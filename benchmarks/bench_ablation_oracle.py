@@ -1,0 +1,35 @@
+"""Ablation — headroom versus a perfect (oracle) predictor.
+
+Not a paper figure: bounds the achievable space.  The oracle predicts
+exactly the processors that must observe each request, so it sits at
+(minimum bandwidth, zero indirections); the gap between each policy
+and the oracle is the unrealised opportunity destination-set
+prediction leaves on the table.
+"""
+
+from repro.evaluation.report import render_tradeoff
+from repro.evaluation.tradeoff import evaluate_design_space
+
+from benchmarks.conftest import run_once
+
+POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group",
+            "oracle")
+
+
+def test_ablation_oracle(benchmark, corpus, n_references, save_result):
+    trace = corpus.trace("oltp", n_references)
+
+    def experiment():
+        return evaluate_design_space(trace, predictors=POLICIES)
+
+    points = run_once(benchmark, experiment)
+    save_result("ablation_oracle_headroom", render_tradeoff(points))
+
+    by_label = {p.label: p for p in points}
+    oracle = by_label["oracle"]
+    assert oracle.indirection_pct == 0.0
+    for label, point in by_label.items():
+        assert (
+            oracle.request_messages_per_miss
+            <= point.request_messages_per_miss + 1e-9
+        ), label

@@ -1,0 +1,69 @@
+"""Ablation — Group's train-down (rollover) mechanism.
+
+The paper credits Group's explicit train-down for removing inactive
+processors from learned destination sets (Section 3.3) and criticises
+StickySpatial for lacking one (Section 3.5).  This ablation runs Group
+with and without the rollover decrement and with different rollover
+periods, quantifying the bandwidth cost of stickiness.
+"""
+
+import dataclasses
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.evaluation.report import render_tradeoff
+from repro.evaluation.tradeoff import evaluate_protocol
+from repro.predictors.group import GroupPredictor
+from repro.protocols.multicast import MulticastSnoopingProtocol
+
+from benchmarks.conftest import run_once
+
+VARIANTS = (
+    ("rollover-8", 8, True),
+    ("rollover-32", 32, True),
+    ("rollover-128", 128, True),
+    ("no-train-down", 32, False),
+)
+
+
+class _AblatedGroupProtocol(MulticastSnoopingProtocol):
+    """Multicast snooping with a parameterised Group predictor."""
+
+    def __init__(self, config, predictor_config, rollover, train_down):
+        super().__init__(config, "group", predictor_config)
+        self.predictors = [
+            GroupPredictor(
+                config.n_processors,
+                self.predictor_config,
+                rollover_period=rollover,
+                train_down=train_down,
+            )
+            for _ in range(config.n_processors)
+        ]
+
+
+def test_ablation_train_down(benchmark, corpus, n_references, save_result):
+    trace = corpus.trace("apache", n_references)
+    system = SystemConfig()
+    predictor_config = PredictorConfig()
+
+    def experiment():
+        points = []
+        for label, rollover, train_down in VARIANTS:
+            protocol = _AblatedGroupProtocol(
+                system, predictor_config, rollover, train_down
+            )
+            point = evaluate_protocol(protocol, trace, label=label)
+            points.append(dataclasses.replace(point, label=f"group {label}"))
+        return points
+
+    points = run_once(benchmark, experiment)
+    save_result("ablation_group_train_down", render_tradeoff(points))
+
+    by_label = {p.label: p for p in points}
+    sticky = by_label["group no-train-down"]
+    trained = by_label["group rollover-32"]
+    # Stickiness never prunes stale members, so it must cost bandwidth.
+    assert (
+        sticky.request_messages_per_miss
+        >= trained.request_messages_per_miss - 0.05
+    )

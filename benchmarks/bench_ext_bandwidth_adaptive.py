@@ -1,0 +1,67 @@
+"""Extension — the bandwidth-adaptive hybrid's tunable tradeoff curve.
+
+Not a paper figure.  Sweeps the adaptive predictor's budget knob on
+Apache, showing that one mechanism traces a curve between the Owner
+and Broadcast-If-Shared endpoints (the related-work direction the
+paper cites as "adapting to available bandwidth").
+"""
+
+import dataclasses
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.evaluation.report import render_tradeoff
+from repro.evaluation.tradeoff import evaluate_design_space, evaluate_protocol
+from repro.predictors.adaptive import BandwidthAdaptivePredictor
+from repro.protocols.multicast import MulticastSnoopingProtocol
+
+from benchmarks.conftest import run_once
+
+BUDGETS = (2.0, 4.0, 8.0, 12.0)
+
+
+class _AdaptiveProtocol(MulticastSnoopingProtocol):
+    """Multicast snooping with budgeted adaptive predictors."""
+
+    def __init__(self, config, predictor_config, budget):
+        super().__init__(config, "bandwidth-adaptive", predictor_config)
+        self.predictors = [
+            BandwidthAdaptivePredictor(
+                config.n_processors, self.predictor_config, budget
+            )
+            for _ in range(config.n_processors)
+        ]
+
+
+def test_ext_bandwidth_adaptive(benchmark, corpus, n_references,
+                                save_result):
+    trace = corpus.trace("apache", n_references)
+    system = SystemConfig()
+    predictor_config = PredictorConfig()
+
+    def experiment():
+        points = evaluate_design_space(
+            trace,
+            predictors=("owner", "broadcast-if-shared"),
+            predictor_config=predictor_config,
+        )
+        for budget in BUDGETS:
+            protocol = _AdaptiveProtocol(system, predictor_config, budget)
+            point = evaluate_protocol(
+                protocol, trace, label=f"adaptive(budget={budget:g})"
+            )
+            points.append(point)
+        return points
+
+    points = run_once(benchmark, experiment)
+    save_result("ext_bandwidth_adaptive", render_tradeoff(points))
+
+    by_label = {p.label: p for p in points}
+    tightest = by_label[f"adaptive(budget={BUDGETS[0]:g})"]
+    loosest = by_label[f"adaptive(budget={BUDGETS[-1]:g})"]
+    # The knob works: tighter budgets spend less bandwidth at the cost
+    # of more indirections.
+    assert (
+        tightest.request_messages_per_miss
+        < loosest.request_messages_per_miss
+    )
+    assert tightest.indirection_pct >= loosest.indirection_pct - 0.5

@@ -1,0 +1,76 @@
+"""Extension — protocol crossover under constrained link bandwidth.
+
+The paper deliberately evaluates with ample bandwidth (10 GB/s links),
+noting that snooping "always performs best for such a system" and that
+the winner "depends upon ... the available interconnect bandwidth"
+(Section 5.3).  This sweep varies link bandwidth and shows the
+crossover the paper alludes to: as links shrink, broadcast snooping's
+request fan-out congests its own links and the bandwidth-efficient
+configurations overtake it.
+"""
+
+import dataclasses
+
+from repro.common.params import SystemConfig
+from repro.evaluation.report import format_table
+from repro.evaluation.runtime import evaluate_runtime
+
+from benchmarks.conftest import run_once
+
+#: Link bandwidths in bytes/ns (1 byte/ns = 1 GB/s, nominal 10).
+BANDWIDTHS = (10.0, 1.0, 0.25, 0.1)
+POLICIES = ("owner-group",)
+
+
+def test_ext_bandwidth_sweep(benchmark, corpus, n_references, save_result):
+    trace = corpus.trace("oltp", n_references)
+
+    def experiment():
+        rows = []
+        for bandwidth in BANDWIDTHS:
+            config = dataclasses.replace(
+                SystemConfig(), link_bandwidth_bytes_per_ns=bandwidth
+            )
+            points = evaluate_runtime(
+                trace, config=config, predictors=POLICIES
+            )
+            for point in points:
+                rows.append((bandwidth, point))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    text = format_table(
+        ("link GB/s", "config", "norm-runtime", "runtime ms"),
+        (
+            (
+                f"{bandwidth:g}",
+                point.label,
+                f"{point.normalized_runtime:.1f}",
+                f"{point.runtime_ns / 1e6:.2f}",
+            )
+            for bandwidth, point in rows
+        ),
+    )
+    save_result("ext_bandwidth_sweep", text)
+
+    def runtime(bandwidth, label):
+        return next(
+            p.normalized_runtime
+            for b, p in rows
+            if b == bandwidth and p.label == label
+        )
+
+    # Ample bandwidth: snooping wins (the paper's configuration).
+    assert runtime(10.0, "broadcast-snooping") < runtime(10.0, "directory")
+    # Snooping degrades more than the bandwidth-efficient configs as
+    # links shrink (normalized runtime is relative to directory=100).
+    assert (
+        runtime(BANDWIDTHS[-1], "broadcast-snooping")
+        > runtime(10.0, "broadcast-snooping")
+    )
+    # The predictor stays within the endpoints everywhere.
+    for bandwidth in BANDWIDTHS:
+        assert runtime(bandwidth, "owner-group") <= max(
+            runtime(bandwidth, "directory"),
+            runtime(bandwidth, "broadcast-snooping"),
+        ) + 1.0

@@ -1,0 +1,70 @@
+"""Extension — destination-set prediction across processor counts.
+
+The paper fixes 16 processors; snooping's end-point bandwidth grows
+with the square of the processor count while predictors track the
+actual sharing degree.  This sweep (4/16/32 processors) quantifies how
+the predictor's bandwidth advantage over snooping widens with scale
+while its indirection advantage over the directory persists.
+"""
+
+from repro.common.params import SystemConfig
+from repro.evaluation.report import format_table
+from repro.evaluation.tradeoff import evaluate_design_space
+from repro.workloads import create_workload
+
+from benchmarks.conftest import run_once
+
+PROCESSOR_COUNTS = (4, 16, 32)
+POLICIES = ("group",)
+
+
+def test_ext_processor_scaling(benchmark, n_references, save_result):
+    def experiment():
+        rows = []
+        for n_processors in PROCESSOR_COUNTS:
+            config = SystemConfig(n_processors=n_processors)
+            model = create_workload("apache", config=config, seed=42)
+            trace = model.collect(
+                max(20_000, n_references // 4)
+            ).trace
+            for point in evaluate_design_space(
+                trace, config=config, predictors=POLICIES
+            ):
+                rows.append((n_processors, point))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    text = format_table(
+        ("processors", "config", "req-msgs/miss", "indirections"),
+        (
+            (
+                n_processors,
+                point.label,
+                f"{point.request_messages_per_miss:.2f}",
+                f"{point.indirection_pct:.1f}%",
+            )
+            for n_processors, point in rows
+        ),
+    )
+    save_result("ext_processor_scaling", text)
+
+    def messages(n_processors, label):
+        return next(
+            p.request_messages_per_miss
+            for n, p in rows
+            if n == n_processors and p.label == label
+        )
+
+    # Snooping fan-out grows linearly per miss (quadratically in
+    # aggregate); the predictor's stays near the sharing degree.
+    for n_processors in PROCESSOR_COUNTS:
+        assert messages(n_processors, "broadcast-snooping") == (
+            n_processors - 1
+        )
+    growth_snooping = messages(32, "broadcast-snooping") / messages(
+        4, "broadcast-snooping"
+    )
+    growth_group = messages(32, "group") / max(
+        1e-9, messages(4, "group")
+    )
+    assert growth_group < growth_snooping

@@ -1,0 +1,29 @@
+"""Figure 2 — instantaneous sharing histogram.
+
+Regenerates: the percent of read/write misses that must contact 0, 1,
+2, or 3+ other processors, for each workload.
+"""
+
+from repro.analysis.sharing import sharing_histogram
+from repro.evaluation.report import render_sharing_histogram
+from repro.workloads import WORKLOAD_NAMES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2(benchmark, corpus, n_references, save_result):
+    def experiment():
+        return [
+            sharing_histogram(corpus.trace(name, n_references))
+            for name in WORKLOAD_NAMES
+        ]
+
+    histograms = run_once(benchmark, experiment)
+    save_result(
+        "fig2_sharing_histogram", render_sharing_histogram(histograms)
+    )
+
+    # Paper: "only about 10% of all requests need to be sent to more
+    # than one other processor."
+    for histogram in histograms:
+        assert histogram.multi_recipient_pct < 25.0, histogram.workload

@@ -1,0 +1,39 @@
+"""Figure 3 — degree of sharing over the execution.
+
+Regenerates: (a) the histogram of blocks by how many processors touch
+them, and (b) the same histogram weighted by each block's miss count.
+"""
+
+from repro.analysis.sharing import degree_of_sharing
+from repro.evaluation.report import render_degree_of_sharing
+from repro.workloads import WORKLOAD_NAMES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3(benchmark, corpus, n_references, save_result):
+    def experiment():
+        return [
+            degree_of_sharing(corpus.trace(name, n_references))
+            for name in WORKLOAD_NAMES
+        ]
+
+    degrees = run_once(benchmark, experiment)
+    save_result(
+        "fig3_degree_of_sharing",
+        render_degree_of_sharing(degrees, thresholds=(1, 2, 4, 8, 16)),
+    )
+
+    by_name = {d.workload: d for d in degrees}
+    # Fig 3a: most blocks are touched by only one processor.
+    for name in ("apache", "slashcode", "specjbb", "oltp"):
+        assert by_name[name].blocks_pct[1] > 50.0, name
+    # Fig 3b: Ocean's misses concentrate on blocks shared by <= 4
+    # processors (column-blocked stencil); commercial workloads put
+    # proportionally more misses on widely shared blocks than the
+    # block population alone would suggest.
+    assert by_name["ocean"].misses_cumulative(4) > 75.0
+    apache = by_name["apache"]
+    assert (100 - apache.misses_cumulative(8)) > (
+        100 - apache.blocks_cumulative(8)
+    )

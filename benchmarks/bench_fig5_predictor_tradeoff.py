@@ -1,0 +1,58 @@
+"""Figure 5 — standout predictor results, all six workloads.
+
+Regenerates: for each workload, the (request messages per miss,
+percent indirections) point of the directory and snooping baselines
+and the four predictor policies, using the paper's standout predictor
+configuration (8,192 entries, 1,024-byte macroblock indexing).
+"""
+
+from repro.common.params import PredictorConfig
+from repro.evaluation.report import render_tradeoff
+from repro.evaluation.tradeoff import evaluate_design_space
+from repro.workloads import WORKLOAD_NAMES
+
+from benchmarks.conftest import run_once
+
+STANDOUT = PredictorConfig(n_entries=8192, index_granularity=1024)
+POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
+
+
+def test_fig5(benchmark, corpus, n_references, save_result):
+    def experiment():
+        points = []
+        for name in WORKLOAD_NAMES:
+            trace = corpus.trace(name, n_references)
+            points.extend(
+                evaluate_design_space(
+                    trace, predictors=POLICIES, predictor_config=STANDOUT
+                )
+            )
+        return points
+
+    points = run_once(benchmark, experiment)
+    save_result("fig5_predictor_tradeoff", render_tradeoff(points))
+
+    by_key = {(p.workload, p.label): p for p in points}
+    for name in WORKLOAD_NAMES:
+        directory = by_key[(name, "directory")]
+        snooping = by_key[(name, "broadcast-snooping")]
+        # Endpoints of the design space.
+        assert snooping.indirection_pct == 0.0
+        assert snooping.request_messages_per_miss > (
+            directory.request_messages_per_miss
+        )
+        for policy in POLICIES:
+            point = by_key[(name, policy)]
+            # Every predictor lands inside the endpoints.
+            assert point.indirection_pct <= directory.indirection_pct + 1.0
+            assert point.request_messages_per_miss <= (
+                snooping.request_messages_per_miss + 1e-9
+            )
+        # Owner stays near directory bandwidth; Broadcast-If-Shared
+        # stays near snooping latency (Section 4.3).
+        owner = by_key[(name, "owner")]
+        assert owner.request_messages_per_miss < (
+            directory.request_messages_per_miss + 1.5
+        )
+        bifs = by_key[(name, "broadcast-if-shared")]
+        assert bifs.indirection_pct < 6.0

@@ -1,0 +1,49 @@
+"""Figure 6(a) — program-counter versus data-block indexing (OLTP).
+
+Regenerates: the four policies with unbounded tables indexed by 64 B
+data-block address versus miss PC.
+"""
+
+import dataclasses
+
+from repro.common.params import PredictorConfig
+from repro.evaluation.report import render_tradeoff
+from repro.evaluation.tradeoff import evaluate_design_space
+
+from benchmarks.conftest import run_once
+
+POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
+CONFIGS = (
+    ("64B-block", PredictorConfig(n_entries=None, index_granularity=64)),
+    ("pc", PredictorConfig(n_entries=None, use_pc_index=True)),
+)
+
+
+def test_fig6a(benchmark, corpus, n_references, save_result):
+    trace = corpus.trace("oltp", n_references)
+
+    def experiment():
+        points = evaluate_design_space(trace, predictors=())
+        for label, config in CONFIGS:
+            for point in evaluate_design_space(
+                trace,
+                predictors=POLICIES,
+                predictor_config=config,
+                include_baselines=False,
+            ):
+                points.append(
+                    dataclasses.replace(
+                        point, label=f"{point.label} [{label}]"
+                    )
+                )
+        return points
+
+    points = run_once(benchmark, experiment)
+    save_result("fig6a_pc_indexing", render_tradeoff(points))
+
+    by_label = {p.label: p for p in points}
+    # Section 4.4: data-block indexing yields better predictions for
+    # Owner (fewer indirections at comparable traffic).
+    owner_block = by_label["owner [64B-block]"]
+    owner_pc = by_label["owner [pc]"]
+    assert owner_block.indirection_pct <= owner_pc.indirection_pct + 2.0

@@ -1,0 +1,56 @@
+"""Figure 6(b) — macroblock indexing (OLTP).
+
+Regenerates: the four policies with unbounded tables indexed at 64 B,
+256 B, and 1024 B granularity.
+"""
+
+import dataclasses
+
+from repro.common.params import PredictorConfig
+from repro.evaluation.report import render_tradeoff
+from repro.evaluation.tradeoff import evaluate_design_space
+
+from benchmarks.conftest import run_once
+
+POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
+GRANULARITIES = (64, 256, 1024)
+
+
+def test_fig6b(benchmark, corpus, n_references, save_result):
+    trace = corpus.trace("oltp", n_references)
+
+    def experiment():
+        points = evaluate_design_space(trace, predictors=())
+        for granularity in GRANULARITIES:
+            config = PredictorConfig(
+                n_entries=None, index_granularity=granularity
+            )
+            for point in evaluate_design_space(
+                trace,
+                predictors=POLICIES,
+                predictor_config=config,
+                include_baselines=False,
+            ):
+                points.append(
+                    dataclasses.replace(
+                        point, label=f"{point.label} [{granularity}B]"
+                    )
+                )
+        return points
+
+    points = run_once(benchmark, experiment)
+    save_result("fig6b_macroblock_indexing", render_tradeoff(points))
+
+    by_label = {p.label: p for p in points}
+    # Section 4.4: macroblock indexing "improves prediction ... in most
+    # cases".  The robust winners are the counter-based policies, where
+    # spatially related blocks pool their training; Owner can lose a
+    # little because distinct blocks in a macroblock have distinct
+    # owners that a shared entry blurs together.
+    for policy in ("group", "broadcast-if-shared"):
+        fine = by_label[f"{policy} [64B]"]
+        coarse = by_label[f"{policy} [1024B]"]
+        assert coarse.indirection_pct <= fine.indirection_pct + 1.0, policy
+    owner_fine = by_label["owner [64B]"]
+    owner_coarse = by_label["owner [1024B]"]
+    assert owner_coarse.indirection_pct <= owner_fine.indirection_pct + 12.0

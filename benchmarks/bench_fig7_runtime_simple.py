@@ -1,0 +1,57 @@
+"""Figure 7 — runtime performance, simple processor model, all six
+workloads.
+
+Regenerates: normalized runtime (directory = 100) versus normalized
+interconnect traffic per miss (snooping = 100) for the baselines and
+the four predictor policies.
+"""
+
+from repro.evaluation.report import render_runtime
+from repro.evaluation.runtime import evaluate_runtime
+from repro.workloads import WORKLOAD_NAMES
+
+from benchmarks.conftest import run_once
+
+POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
+
+
+def test_fig7(benchmark, corpus, n_references, save_result):
+    def experiment():
+        points = []
+        for name in WORKLOAD_NAMES:
+            trace = corpus.trace(name, n_references)
+            points.extend(
+                evaluate_runtime(
+                    trace, predictors=POLICIES, processor_model="simple"
+                )
+            )
+        return points
+
+    points = run_once(benchmark, experiment)
+    save_result("fig7_runtime_simple", render_runtime(points))
+
+    by_key = {(p.workload, p.label): p for p in points}
+    for name in WORKLOAD_NAMES:
+        snooping = by_key[(name, "broadcast-snooping")]
+        directory = by_key[(name, "directory")]
+        # Snooping outperforms the directory under ample bandwidth;
+        # traffic ratio is roughly the paper's factor of two.
+        assert snooping.normalized_runtime < 100.0, name
+        assert (
+            1.4
+            < 100.0 / directory.normalized_traffic_per_miss
+            < 3.5
+        ), name
+        for policy in POLICIES:
+            point = by_key[(name, policy)]
+            # Predictors land between the endpoints on both axes.
+            assert (
+                snooping.normalized_runtime - 2.0
+                <= point.normalized_runtime
+                <= 102.0
+            ), (name, policy)
+            assert (
+                directory.normalized_traffic_per_miss - 2.0
+                <= point.normalized_traffic_per_miss
+                <= 102.0
+            ), (name, policy)

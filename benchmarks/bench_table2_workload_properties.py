@@ -1,0 +1,45 @@
+"""Table 2 — workload properties for all six workloads.
+
+Regenerates: memory touched (64 B and 1024 B), static instructions
+causing misses, total misses, misses per 1,000 instructions, and the
+percent of misses a directory protocol would indirect.
+"""
+
+from repro.analysis.properties import workload_properties
+from repro.evaluation.report import format_table, render_workload_properties
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+from benchmarks.conftest import run_once
+
+
+def test_table2(benchmark, corpus, n_references, save_result):
+    def experiment():
+        return [
+            workload_properties(corpus.collect(name, n_references))
+            for name in WORKLOAD_NAMES
+        ]
+
+    rows = run_once(benchmark, experiment)
+    text = render_workload_properties(rows)
+    paper_rows = [
+        (
+            name,
+            f"{create_workload(name).paper.footprint_mb:.0f} MB",
+            f"{create_workload(name).paper.misses_per_kilo_instr:.1f}",
+            f"{create_workload(name).paper.directory_indirection_pct:.0f}%",
+        )
+        for name in WORKLOAD_NAMES
+    ]
+    text += "\n\npaper reference (full-scale):\n" + format_table(
+        ("workload", "touched-64B", "miss/1k-instr", "dir-indirections"),
+        paper_rows,
+    )
+    save_result("table2_workload_properties", text)
+
+    # Shape check: the indirection column must track the paper rows.
+    for measured in rows:
+        paper = create_workload(measured.workload).paper
+        assert abs(
+            measured.directory_indirection_pct
+            - paper.directory_indirection_pct
+        ) < 12.0

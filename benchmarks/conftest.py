@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures
+and prints the rows/series the paper reports (also persisted under
+``benchmarks/results/``).  Benchmarks share a session-scoped trace
+corpus so workload traces are collected once.
+
+Scale: ``REPRO_BENCH_REFS`` (default 160,000 references per workload)
+controls trace length; raise it for tighter numbers at the cost of
+time.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.evaluation.corpus import TraceCorpus
+
+N_REFERENCES = int(os.environ.get("REPRO_BENCH_REFS", "160000"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def corpus() -> TraceCorpus:
+    return TraceCorpus()
+
+
+@pytest.fixture(scope="session")
+def n_references() -> int:
+    return N_REFERENCES
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist (and echo) a rendered table/series."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, function):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

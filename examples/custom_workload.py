@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Building a custom workload model from the sharing-pattern library.
+
+Shows the extension path a downstream user takes to study their own
+application's sharing behaviour: compose regions (private heaps, a
+migratory lock, one producer-consumer ring) into a WorkloadModel
+subclass, collect a trace through the cache pipeline, and evaluate
+the predictors on it.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import PredictorConfig, evaluate_design_space
+from repro.evaluation.report import render_tradeoff
+from repro.workloads.base import PaperProperties, WorkloadModel
+from repro.workloads.patterns import (
+    MigratoryRegion,
+    PrivateRegion,
+    ProducerConsumerRegion,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+class PipelineServerWorkload(WorkloadModel):
+    """A staged server: each stage hands requests to the next stage.
+
+    Stage i (processor i) produces into a ring buffer consumed by
+    stage i+1; a global scheduler lock migrates among all stages; each
+    stage keeps a private scratch heap.
+    """
+
+    name = "pipeline-server"
+    description = "Staged pipeline server with ring-buffer handoffs"
+    paper = PaperProperties(  # no paper row: targets are aspirational
+        footprint_mb=32,
+        macroblock_footprint_mb=48,
+        static_miss_pcs=500,
+        total_misses_millions=1,
+        misses_per_kilo_instr=4.0,
+        directory_indirection_pct=70,
+    )
+    instructions_per_reference = 60
+
+    def _build(self, alloc):
+        n = self.config.n_processors
+        block = self.config.block_size
+        regions = []
+        for node in range(n):
+            blocks = self.scaled_blocks(1 * MB)
+            regions.append(
+                (
+                    PrivateRegion(
+                        base=alloc.allocate(blocks * block),
+                        n_blocks=blocks,
+                        block_size=block,
+                        owner=node,
+                        pc_base=alloc.allocate_pc_range(),
+                        streaming_fraction=0.2,
+                    ),
+                    0.4,
+                )
+            )
+            blocks = self.scaled_blocks(512 * KB)
+            regions.append(
+                (
+                    ProducerConsumerRegion(
+                        base=alloc.allocate(blocks * block),
+                        n_blocks=blocks,
+                        block_size=block,
+                        producer=node,
+                        consumers=[(node + 1) % n],
+                        pc_base=alloc.allocate_pc_range(),
+                    ),
+                    0.45,
+                )
+            )
+        regions.append(
+            (
+                MigratoryRegion(
+                    base=alloc.allocate(2 * block),
+                    n_blocks=2,
+                    block_size=block,
+                    pool=range(n),
+                    pc_base=alloc.allocate_pc_range(),
+                ),
+                0.15,
+            )
+        )
+        return regions
+
+
+def main() -> None:
+    model = PipelineServerWorkload(seed=11)
+    print(f"Collecting {model.name} ({model.description}) ...")
+    result = model.collect(50_000)
+    trace = result.trace
+    print(
+        f"  {len(trace)} misses, "
+        f"{result.misses_per_kilo_instruction:.1f} misses/1k instructions\n"
+    )
+    points = evaluate_design_space(
+        trace,
+        predictors=("owner", "group", "owner-group"),
+        predictor_config=PredictorConfig(),
+    )
+    print(render_tradeoff(points))
+    print(
+        "\nThe stage-to-stage handoffs are pairwise, so Owner alone "
+        "already removes most indirections; Group catches the "
+        "scheduler lock's wider sharing set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Predictor design-space exploration (the paper's Figure 6).
+
+Sweeps the three predictor design axes on the OLTP workload:
+
+  (a) PC indexing versus data-block indexing,
+  (b) macroblock size (64 B / 256 B / 1024 B), and
+  (c) predictor capacity (unbounded / 32k / 8k entries), including the
+      StickySpatial(1) prior-work baseline.
+
+Run:  python examples/design_space.py
+"""
+
+import dataclasses
+
+from repro import PredictorConfig, default_corpus
+from repro.evaluation.report import render_tradeoff
+from repro.evaluation.tradeoff import evaluate_design_space
+
+N_REFERENCES = 60_000
+POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
+
+
+def sweep(trace, title, configs):
+    print(f"\n== {title} ==")
+    points = []
+    for label, config in configs:
+        for point in evaluate_design_space(
+            trace,
+            predictors=POLICIES,
+            predictor_config=config,
+            include_baselines=not points,  # baselines once
+        ):
+            points.append(
+                dataclasses.replace(
+                    point, label=f"{point.label} [{label}]"
+                )
+            )
+    print(render_tradeoff(points))
+
+
+def main() -> None:
+    trace = default_corpus().trace("oltp", N_REFERENCES)
+    print(f"OLTP trace: {len(trace)} misses")
+
+    sweep(
+        trace,
+        "Figure 6(a): indexing (unbounded tables)",
+        [
+            ("block-64B", PredictorConfig(n_entries=None,
+                                          index_granularity=64)),
+            ("pc", PredictorConfig(n_entries=None, use_pc_index=True)),
+        ],
+    )
+    sweep(
+        trace,
+        "Figure 6(b): macroblock size (unbounded tables)",
+        [
+            ("64B", PredictorConfig(n_entries=None, index_granularity=64)),
+            ("256B", PredictorConfig(n_entries=None, index_granularity=256)),
+            ("1024B", PredictorConfig(n_entries=None,
+                                      index_granularity=1024)),
+        ],
+    )
+    sweep(
+        trace,
+        "Figure 6(c): capacity (1024B macroblocks)",
+        [
+            ("unbounded", PredictorConfig(n_entries=None)),
+            ("32k", PredictorConfig(n_entries=32768)),
+            ("8k", PredictorConfig(n_entries=8192)),
+        ],
+    )
+    print(
+        "\nStickySpatial(1) baseline at 8k entries, for comparison:"
+    )
+    points = evaluate_design_space(
+        trace,
+        predictors=("sticky-spatial",),
+        predictor_config=PredictorConfig(n_entries=8192, associativity=1),
+        include_baselines=False,
+    )
+    print(render_tradeoff(points))
+
+
+if __name__ == "__main__":
+    main()

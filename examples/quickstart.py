@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quickstart: the latency/bandwidth tradeoff in one page.
+
+Generates a (small) OLTP coherence trace, evaluates the two baseline
+protocols and the paper's four destination-set predictors on it, and
+prints each configuration's position on the latency/bandwidth plane —
+one panel of the paper's Figure 5.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PredictorConfig, default_corpus, evaluate_design_space
+from repro.evaluation.report import render_tradeoff
+
+N_REFERENCES = 60_000  # ~35k misses; raise for tighter numbers
+
+
+def main() -> None:
+    print("Collecting an OLTP coherence-request trace ...")
+    trace = default_corpus().trace("oltp", N_REFERENCES)
+    print(f"  {len(trace)} L2 misses from {N_REFERENCES} references\n")
+
+    print("Evaluating protocols (8192-entry, 1024B-macroblock predictors):")
+    points = evaluate_design_space(
+        trace,
+        predictors=("owner", "broadcast-if-shared", "group", "owner-group"),
+        predictor_config=PredictorConfig(),  # the paper's standout config
+    )
+    print(render_tradeoff(points))
+    print(
+        "\nReading the table: snooping never indirects but broadcasts to"
+        "\nall 15 other nodes; the directory uses ~2 request messages per"
+        "\nmiss but indirects most sharing misses; the predictors trade"
+        "\nbetween those endpoints, as in the paper's Figure 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

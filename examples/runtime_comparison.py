@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Execution-driven runtime comparison (the paper's Figures 7 and 8).
+
+Runs the timing simulator for the baseline protocols and the four
+predictors on one workload, under both the simple (in-order blocking)
+and detailed (multiple-outstanding-miss) processor models, and prints
+normalized runtime vs normalized traffic per miss.
+
+Run:  python examples/runtime_comparison.py [workload]
+"""
+
+import sys
+
+from repro import default_corpus
+from repro.evaluation.report import render_runtime
+from repro.evaluation.runtime import evaluate_runtime
+
+N_REFERENCES = 60_000
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "apache"
+    trace = default_corpus().trace(workload, N_REFERENCES)
+    print(f"{workload}: {len(trace)} misses\n")
+
+    for model in ("simple", "detailed"):
+        print(f"== {model} processor model "
+              f"({'Figure 7' if model == 'simple' else 'Figure 8'}) ==")
+        points = evaluate_runtime(trace, processor_model=model)
+        print(render_runtime(points))
+        snooping = next(
+            p for p in points if p.label == "broadcast-snooping"
+        )
+        best = min(
+            (p for p in points if p.label not in
+             ("broadcast-snooping", "directory")),
+            key=lambda p: p.normalized_runtime,
+        )
+        share = 100.0 * snooping.normalized_runtime / best.normalized_runtime
+        print(
+            f"   best predictor ({best.label}) reaches {share:.0f}% of "
+            f"snooping performance at {best.normalized_traffic_per_miss:.0f}%"
+            f" of snooping traffic\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Section 2 workload characterisation (Table 2, Figures 2-4).
+
+Collects traces for all six workload models and reproduces the paper's
+sharing-behaviour analysis: workload properties, the instantaneous
+sharing histogram, degree of sharing over the run, and the locality of
+cache-to-cache misses.
+
+Run:  python examples/sharing_analysis.py [workload ...]
+"""
+
+import sys
+
+from repro import WORKLOAD_NAMES, create_workload, default_corpus
+from repro.analysis import (
+    degree_of_sharing,
+    locality_cdf,
+    sharing_histogram,
+    workload_properties,
+)
+from repro.evaluation.report import (
+    render_degree_of_sharing,
+    render_locality,
+    render_sharing_histogram,
+    render_workload_properties,
+)
+
+N_REFERENCES = 60_000
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(WORKLOAD_NAMES)
+    corpus = default_corpus()
+
+    properties, histograms, degrees, cdfs = [], [], [], []
+    for name in names:
+        print(f"Collecting {name} ...")
+        result = corpus.collect(name, N_REFERENCES)
+        properties.append(workload_properties(result))
+        histograms.append(sharing_histogram(result.trace))
+        degrees.append(degree_of_sharing(result.trace))
+        for kind in ("block", "macroblock", "pc"):
+            cdfs.append(locality_cdf(result.trace, kind=kind))
+
+    print("\n== Table 2: workload properties (scaled 1/16) ==")
+    print(render_workload_properties(properties))
+
+    paper = {n: create_workload(n).paper for n in names}
+    print("\n   paper reference (full scale):")
+    for name in names:
+        row = paper[name]
+        print(
+            f"   {name:11s} {row.footprint_mb:4.0f} MB  "
+            f"{row.misses_per_kilo_instr:4.1f} miss/1k-instr  "
+            f"{row.directory_indirection_pct:3.0f}% indirections"
+        )
+
+    print("\n== Figure 2: processors that must observe each miss ==")
+    print(render_sharing_histogram(histograms))
+
+    print("\n== Figure 3: degree of sharing (cumulative) ==")
+    print(render_degree_of_sharing(degrees))
+
+    print("\n== Figure 4: locality of cache-to-cache misses ==")
+    print(render_locality(cdfs, ks=(10, 100, 1000)))
+
+
+if __name__ == "__main__":
+    main()

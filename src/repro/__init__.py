@@ -1,0 +1,80 @@
+"""repro — destination-set prediction for shared-memory multiprocessors.
+
+A from-scratch Python reproduction of Martin, Harper, Sorin, Hill &
+Wood, *Using Destination-Set Prediction to Improve the
+Latency/Bandwidth Tradeoff in Shared-Memory Multiprocessors*
+(ISCA 2003).
+
+Quick start::
+
+    from repro import (
+        SystemConfig, PredictorConfig, default_corpus,
+        evaluate_design_space,
+    )
+
+    trace = default_corpus().trace("oltp")
+    for point in evaluate_design_space(trace):
+        print(point)
+
+Subpackages:
+
+- :mod:`repro.common` — destination sets, system parameters (Table 4).
+- :mod:`repro.trace` — coherence-request traces.
+- :mod:`repro.workloads` — six synthetic workload models (Table 1).
+- :mod:`repro.cache` — cache hierarchy and trace collection.
+- :mod:`repro.coherence` — global MOSI state and sufficiency.
+- :mod:`repro.predictors` — the destination-set predictors (Table 3).
+- :mod:`repro.protocols` — snooping, directory, multicast snooping.
+- :mod:`repro.timing` — execution-driven timing simulation.
+- :mod:`repro.analysis` — Section 2 sharing-behaviour analysis.
+- :mod:`repro.evaluation` — Figure/Table reproduction harnesses.
+"""
+
+from repro.common import (
+    AccessType,
+    DestinationSet,
+    LatencyModel,
+    PredictorConfig,
+    SystemConfig,
+    TrafficModel,
+)
+from repro.evaluation import (
+    TraceCorpus,
+    default_corpus,
+    evaluate_design_space,
+    evaluate_protocol,
+)
+from repro.evaluation.runtime import evaluate_runtime
+from repro.predictors import create_predictor
+from repro.protocols import (
+    BroadcastSnoopingProtocol,
+    DirectoryProtocol,
+    MulticastSnoopingProtocol,
+)
+from repro.trace import Trace, TraceRecord
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "BroadcastSnoopingProtocol",
+    "DestinationSet",
+    "DirectoryProtocol",
+    "LatencyModel",
+    "MulticastSnoopingProtocol",
+    "PredictorConfig",
+    "SystemConfig",
+    "Trace",
+    "TraceCorpus",
+    "TraceRecord",
+    "TrafficModel",
+    "WORKLOAD_NAMES",
+    "__version__",
+    "create_predictor",
+    "create_workload",
+    "default_corpus",
+    "evaluate_design_space",
+    "evaluate_protocol",
+    "evaluate_runtime",
+]

@@ -1,0 +1,31 @@
+"""Sharing-behaviour analysis (paper Section 2).
+
+Reproduces the paper's workload characterisation from a coherence
+trace:
+
+- :mod:`repro.analysis.properties` — Table 2 workload properties.
+- :mod:`repro.analysis.sharing` — Figure 2 (instantaneous sharing) and
+  Figure 3 (degree of sharing over the execution).
+- :mod:`repro.analysis.locality` — Figure 4 (temporal/spatial locality
+  of cache-to-cache misses).
+"""
+
+from repro.analysis.properties import WorkloadProperties, workload_properties
+from repro.analysis.sharing import (
+    DegreeOfSharing,
+    SharingHistogram,
+    degree_of_sharing,
+    sharing_histogram,
+)
+from repro.analysis.locality import LocalityCdf, locality_cdf
+
+__all__ = [
+    "DegreeOfSharing",
+    "LocalityCdf",
+    "SharingHistogram",
+    "WorkloadProperties",
+    "degree_of_sharing",
+    "locality_cdf",
+    "sharing_histogram",
+    "workload_properties",
+]

@@ -1,0 +1,153 @@
+"""Predictor accuracy analysis (beyond the paper's aggregate metrics).
+
+The paper evaluates predictors end-to-end (indirections and messages).
+This module opens the box: for every prediction it scores the
+predicted destination set against the required one, yielding
+
+- **coverage** (recall): fraction of required processors that were in
+  the predicted set — 100% coverage on a request means no retry;
+- **precision**: fraction of predicted *extra* processors (beyond the
+  minimal set) that were actually required — low precision is pure
+  bandwidth waste;
+- the exact/over/under/mixed breakdown of prediction outcomes.
+
+These decompose *why* a policy sits where it does on the Figure 5
+plane: Owner fails coverage on wide write sets, Broadcast-If-Shared
+buys coverage with near-zero precision, Group balances both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.coherence.sufficiency import minimal_set, required_set
+from repro.protocols.multicast import MulticastSnoopingProtocol
+from repro.trace.trace import Trace
+
+
+class PredictionOutcome(enum.Enum):
+    """Classification of one prediction against the required set."""
+
+    EXACT = "exact"        # predicted extras == required exactly
+    OVER = "over"          # superset of required (wasted messages)
+    UNDER = "under"        # subset of required (retry)
+    MIXED = "mixed"        # both missing and spurious nodes
+    TRIVIAL = "trivial"    # nothing required, nothing predicted
+
+
+@dataclasses.dataclass
+class AccuracyReport:
+    """Aggregated prediction-quality statistics for one policy."""
+
+    policy: str
+    workload: str
+    predictions: int = 0
+    required_nodes: int = 0
+    covered_nodes: int = 0
+    predicted_extra_nodes: int = 0
+    useful_extra_nodes: int = 0
+    outcomes: Dict[PredictionOutcome, int] = dataclasses.field(
+        default_factory=lambda: {o: 0 for o in PredictionOutcome}
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def coverage_pct(self) -> float:
+        """Percent of required processors the predictions covered."""
+        if not self.required_nodes:
+            return 100.0
+        return 100.0 * self.covered_nodes / self.required_nodes
+
+    @property
+    def precision_pct(self) -> float:
+        """Percent of predicted extra processors that were required."""
+        if not self.predicted_extra_nodes:
+            return 100.0
+        return 100.0 * self.useful_extra_nodes / self.predicted_extra_nodes
+
+    def outcome_pct(self, outcome: PredictionOutcome) -> float:
+        """Percent of predictions with the given outcome."""
+        if not self.predictions:
+            return 0.0
+        return 100.0 * self.outcomes[outcome] / self.predictions
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy:20s} coverage={self.coverage_pct:5.1f}%  "
+            f"precision={self.precision_pct:5.1f}%  "
+            f"exact={self.outcome_pct(PredictionOutcome.EXACT):5.1f}%  "
+            f"under={self.outcome_pct(PredictionOutcome.UNDER):5.1f}%"
+        )
+
+
+class _AccuracyProbeProtocol(MulticastSnoopingProtocol):
+    """Multicast snooping that scores each prediction as it happens."""
+
+    def __init__(self, config, predictor, predictor_config, report):
+        super().__init__(config, predictor, predictor_config)
+        self.report = report
+        self.scoring = True
+
+    def _handle(self, record):
+        if self.scoring:
+            self._score(record)
+        return super()._handle(record)
+
+    def _score(self, record) -> None:
+        n = self.config.n_processors
+        predictor = self.predictors[record.requester]
+        predicted = predictor.predict(
+            record.address, record.pc, record.access
+        )
+        state = self.state.lookup(record.address)
+        minimal = minimal_set(record.requester, record.address, n,
+                              self.config.block_size)
+        # Required processors beyond the minimal set.
+        required = required_set(
+            state, record.requester, record.access, n
+        ) - minimal
+        extras = (predicted | minimal) - minimal
+
+        report = self.report
+        report.predictions += 1
+        report.required_nodes += required.count()
+        report.covered_nodes += (required & extras).count()
+        report.predicted_extra_nodes += extras.count()
+        report.useful_extra_nodes += (extras & required).count()
+
+        if required.is_empty() and extras.is_empty():
+            outcome = PredictionOutcome.TRIVIAL
+        elif extras == required:
+            outcome = PredictionOutcome.EXACT
+        elif extras.is_superset_of(required):
+            outcome = PredictionOutcome.OVER
+        elif required.is_superset_of(extras):
+            outcome = PredictionOutcome.UNDER
+        else:
+            outcome = PredictionOutcome.MIXED
+        report.outcomes[outcome] += 1
+
+
+def prediction_accuracy(
+    trace: Trace,
+    policy: str,
+    config: Optional[SystemConfig] = None,
+    predictor_config: Optional[PredictorConfig] = None,
+    warmup_fraction: float = 0.25,
+) -> AccuracyReport:
+    """Score ``policy``'s predictions over the post-warmup trace."""
+    config = config if config is not None else SystemConfig()
+    report = AccuracyReport(policy=policy, workload=trace.name)
+    protocol = _AccuracyProbeProtocol(
+        config, policy, predictor_config, report
+    )
+    n_warmup = int(len(trace) * warmup_fraction)
+    warmup, measured = trace.split_warmup(n_warmup)
+    protocol.scoring = False
+    protocol.run(warmup)
+    protocol.scoring = True
+    protocol.run(measured)
+    return report

@@ -1,0 +1,140 @@
+"""Figures 2 and 3 — instantaneous sharing and degree of sharing.
+
+Figure 2: for each miss, how many *other* processors must observe it
+(0, 1, 2, 3+), split by reads and writes.  Zero means the minimal set
+suffices (no directory indirection).
+
+Figure 3: how many unique processors touch each block over the whole
+run — as a histogram over blocks (3a) and weighted by each block's
+miss count (3b).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List
+
+from repro.coherence.state import GlobalCoherenceState
+from repro.trace.trace import Trace
+
+#: Figure 2 bins: 0, 1, 2, and 3-or-more other processors.
+SHARING_BINS = (0, 1, 2, 3)
+
+
+@dataclasses.dataclass(frozen=True)
+class SharingHistogram:
+    """Figure 2 data: percent of misses per required-recipient bin."""
+
+    workload: str
+    read_pct: Dict[int, float]
+    write_pct: Dict[int, float]
+    total_misses: int
+
+    def total_pct(self, bin_index: int) -> float:
+        """Reads + writes percentage for one bin."""
+        return self.read_pct[bin_index] + self.write_pct[bin_index]
+
+    @property
+    def multi_recipient_pct(self) -> float:
+        """Percent of misses needing >1 other processor (bins 2, 3+).
+
+        The paper observes this is only ~10% across its workloads —
+        the figure motivating destination-set prediction over
+        broadcast.
+        """
+        return sum(self.total_pct(b) for b in SHARING_BINS[2:])
+
+
+def sharing_histogram(
+    trace: Trace, warmup_fraction: float = 0.25
+) -> SharingHistogram:
+    """Compute the Figure 2 histogram for one trace."""
+    state = GlobalCoherenceState(trace.n_processors)
+    n_warmup = int(len(trace) * warmup_fraction)
+    reads = collections.Counter()
+    writes = collections.Counter()
+    measured = 0
+    for index, record in enumerate(trace):
+        outcome = state.apply(record)
+        if index < n_warmup:
+            continue
+        measured += 1
+        bin_index = min(outcome.required.count(), SHARING_BINS[-1])
+        if record.is_read:
+            reads[bin_index] += 1
+        else:
+            writes[bin_index] += 1
+    denominator = max(1, measured)
+    return SharingHistogram(
+        workload=trace.name,
+        read_pct={
+            b: 100.0 * reads[b] / denominator for b in SHARING_BINS
+        },
+        write_pct={
+            b: 100.0 * writes[b] / denominator for b in SHARING_BINS
+        },
+        total_misses=measured,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class DegreeOfSharing:
+    """Figure 3 data: blocks (and misses) by processor-touch count.
+
+    ``blocks_pct[n]`` is the percent of unique blocks touched by
+    exactly ``n`` processors (Fig 3a); ``misses_pct[n]`` weights each
+    block by its miss count (Fig 3b).  Keys run 1..n_processors.
+    """
+
+    workload: str
+    blocks_pct: Dict[int, float]
+    misses_pct: Dict[int, float]
+    unique_blocks: int
+
+    def blocks_cumulative(self, up_to: int) -> float:
+        """Percent of blocks touched by at most ``up_to`` processors."""
+        return sum(
+            pct for n, pct in self.blocks_pct.items() if n <= up_to
+        )
+
+    def misses_cumulative(self, up_to: int) -> float:
+        """Percent of misses to blocks touched by <= ``up_to`` procs."""
+        return sum(
+            pct for n, pct in self.misses_pct.items() if n <= up_to
+        )
+
+
+def degree_of_sharing(
+    trace: Trace, block_size: int = 64
+) -> DegreeOfSharing:
+    """Compute the Figure 3 histograms for one trace."""
+    touchers: Dict[int, set] = collections.defaultdict(set)
+    miss_counts: Dict[int, int] = collections.Counter()
+    for record in trace:
+        block = record.block(block_size)
+        touchers[block].add(record.requester)
+        miss_counts[block] += 1
+
+    n_procs = trace.n_processors
+    block_histogram = collections.Counter()
+    miss_histogram = collections.Counter()
+    for block, nodes in touchers.items():
+        degree = len(nodes)
+        block_histogram[degree] += 1
+        miss_histogram[degree] += miss_counts[block]
+
+    n_blocks = max(1, len(touchers))
+    n_misses = max(1, len(trace))
+    return DegreeOfSharing(
+        workload=trace.name,
+        blocks_pct={
+            n: 100.0 * block_histogram[n] / n_blocks
+            for n in range(1, n_procs + 1)
+        },
+        misses_pct={
+            n: 100.0 * miss_histogram[n] / n_misses
+            for n in range(1, n_procs + 1)
+        },
+        unique_blocks=len(touchers),
+    )

@@ -1,0 +1,26 @@
+"""Cache substrate: set-associative caches and the trace pipeline.
+
+The paper collects traces of second-level cache misses from a 4 MB
+4-way L2 behind 128 kB 4-way L1s (Table 4), under a MOSI protocol.
+This subpackage provides the same machinery:
+
+- :class:`SetAssociativeCache` — a tag store with LRU replacement.
+- :class:`CacheHierarchy` — L1D + unified L2 for one processor.
+- :class:`TraceCollector` — runs per-processor memory-reference
+  streams through the hierarchies while maintaining the global MOSI
+  state, producing the L2-miss coherence-request trace the rest of the
+  system consumes.
+"""
+
+from repro.cache.reference import MemoryReference
+from repro.cache.sets import SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.pipeline import CollectionResult, TraceCollector
+
+__all__ = [
+    "CacheHierarchy",
+    "CollectionResult",
+    "MemoryReference",
+    "SetAssociativeCache",
+    "TraceCollector",
+]

@@ -1,0 +1,78 @@
+"""Per-processor L1/L2 cache hierarchy (inclusive)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.params import SystemConfig
+from repro.common.types import Address
+from repro.cache.sets import SetAssociativeCache
+
+
+class CacheHierarchy:
+    """An L1 data cache in front of a unified L2, kept inclusive.
+
+    Only presence is modelled; coherence permission is the business of
+    the global state tracker, which is consulted by the pipeline.  The
+    hierarchy answers "would this reference reach the coherence layer?"
+    — references that hit in L1 or L2 with a valid copy do not.
+    """
+
+    def __init__(self, config: SystemConfig):
+        self._config = config
+        self._l1 = SetAssociativeCache(
+            config.l1d_size, config.l1d_assoc, config.block_size
+        )
+        self._l2 = SetAssociativeCache(
+            config.l2_size, config.l2_assoc, config.block_size
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def l1(self) -> SetAssociativeCache:
+        return self._l1
+
+    @property
+    def l2(self) -> SetAssociativeCache:
+        return self._l2
+
+    # ------------------------------------------------------------------
+    def lookup(self, address: Address) -> bool:
+        """True if the block is resident in L1 or L2 (no recency update)."""
+        return self._l1.probe(address) or self._l2.probe(address)
+
+    def access(self, address: Address) -> bool:
+        """Reference the block, updating recency.  True on hit.
+
+        L1 hits refresh L1 recency only; L2 hits refill L1 (modelling
+        the normal fill path) and may evict an L1 block, which is
+        harmless because the hierarchy is inclusive.
+        """
+        if self._l1.touch(address):
+            self._l2.touch(address)
+            return True
+        if self._l2.touch(address):
+            self._l1.insert(address)
+            return True
+        return False
+
+    def fill(self, address: Address) -> List[Address]:
+        """Install the block after a miss; return evicted L2 blocks.
+
+        Inclusion is enforced: an L2 victim is also removed from L1.
+        L1-only victims are not reported (they stay resident in L2 so
+        the processor still holds a copy).
+        """
+        evicted: List[Address] = []
+        l2_victim = self._l2.insert(address)
+        if l2_victim is not None:
+            self._l1.invalidate(l2_victim)
+            evicted.append(l2_victim)
+        self._l1.insert(address)
+        return evicted
+
+    def invalidate(self, address: Address) -> bool:
+        """Drop the block from both levels (external invalidation)."""
+        in_l1 = self._l1.invalidate(address)
+        in_l2 = self._l2.invalidate(address)
+        return in_l1 or in_l2

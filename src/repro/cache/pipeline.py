@@ -1,0 +1,147 @@
+"""The trace-collection pipeline: references in, L2 miss trace out.
+
+Reproduces the paper's methodology (Section 2.1): run the workload's
+memory references through per-processor cache hierarchies under a MOSI
+protocol and record every L2 miss as a coherence-request trace record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List
+
+from repro.common.params import SystemConfig
+from repro.common.types import AccessType
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.reference import MemoryReference
+from repro.coherence.state import GlobalCoherenceState
+from repro.trace.record import TraceRecord
+from repro.trace.trace import Trace
+
+
+@dataclasses.dataclass
+class CollectionResult:
+    """Output of a trace-collection run."""
+
+    trace: Trace
+    instructions: Dict[int, int]
+    references: int
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions executed across all processors."""
+        return sum(self.instructions.values())
+
+    @property
+    def misses_per_kilo_instruction(self) -> float:
+        """L2 misses per 1,000 instructions (Table 2, column 6)."""
+        total = self.total_instructions
+        return 1000.0 * len(self.trace) / total if total else 0.0
+
+
+class TraceCollector:
+    """Filters memory references through caches into an L2 miss trace.
+
+    A reference *hits* only when the block is resident in the issuing
+    processor's hierarchy **and** the global MOSI state grants the
+    required permission (any valid copy for loads; ownership for
+    stores).  Everything else becomes a GETS/GETX coherence request.
+    Stores to blocks held shared therefore produce GETX upgrades, and
+    external GETX requests invalidate remote copies — the behaviours
+    that create the cache-to-cache misses this paper studies.
+    """
+
+    def __init__(self, config: SystemConfig, name: str = ""):
+        self._config = config
+        self._name = name
+        self._hierarchies: List[CacheHierarchy] = [
+            CacheHierarchy(config) for _ in range(config.n_processors)
+        ]
+        self._global = GlobalCoherenceState(
+            config.n_processors, config.block_size
+        )
+        self._trace = Trace(n_processors=config.n_processors, name=name)
+        self._instructions: Dict[int, int] = {
+            node: 0 for node in range(config.n_processors)
+        }
+        self._instructions_at_last_miss: Dict[int, int] = {
+            node: 0 for node in range(config.n_processors)
+        }
+        self._references = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def global_state(self) -> GlobalCoherenceState:
+        """The live global MOSI state (useful for inspection/tests)."""
+        return self._global
+
+    def hierarchy(self, node: int) -> CacheHierarchy:
+        """The cache hierarchy of processor ``node``."""
+        return self._hierarchies[node]
+
+    # ------------------------------------------------------------------
+    def process(self, reference: MemoryReference) -> bool:
+        """Process one reference.  Returns True if it missed."""
+        node = reference.node
+        if not 0 <= node < self._config.n_processors:
+            raise ValueError(
+                f"node {node} outside [0, {self._config.n_processors})"
+            )
+        self._instructions[node] += reference.instructions
+        self._references += 1
+
+        hierarchy = self._hierarchies[node]
+        state = self._global.lookup(reference.address)
+        if reference.is_write:
+            # Stores need *exclusive* ownership (M state): a write by
+            # the owner while sharers hold S copies is an upgrade that
+            # must issue a GETX and invalidate them.
+            permitted = state.owner == node and not state.sharers
+        else:
+            permitted = state.is_cached(node)
+
+        if permitted and hierarchy.access(reference.address):
+            return False
+
+        self._record_miss(reference)
+        return True
+
+    def run(self, references: Iterable[MemoryReference]) -> CollectionResult:
+        """Process a full reference stream and return the result."""
+        for reference in references:
+            self.process(reference)
+        return self.result()
+
+    def result(self) -> CollectionResult:
+        """The trace and counters accumulated so far."""
+        return CollectionResult(
+            trace=self._trace,
+            instructions=dict(self._instructions),
+            references=self._references,
+        )
+
+    # ------------------------------------------------------------------
+    def _record_miss(self, reference: MemoryReference) -> None:
+        access = AccessType.GETX if reference.is_write else AccessType.GETS
+        block = reference.address & ~(self._config.block_size - 1)
+        node = reference.node
+        executed = self._instructions[node]
+        gap = executed - self._instructions_at_last_miss[node]
+        self._instructions_at_last_miss[node] = executed
+        record = TraceRecord(
+            address=block,
+            pc=reference.pc,
+            requester=node,
+            access=access,
+            instructions=gap,
+        )
+        outcome = self._global.apply(record)
+        self._trace.append(record)
+
+        if access is AccessType.GETX:
+            # Invalidate remote copies (owner and sharers lose them).
+            for other in outcome.required:
+                self._hierarchies[other].invalidate(block)
+
+        for victim in self._hierarchies[reference.node].fill(block):
+            self._global.evict(reference.node, victim)

@@ -1,0 +1,37 @@
+"""A single processor memory reference (pre-cache-filtering)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.types import Address, NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryReference:
+    """One load or store issued by a processor.
+
+    Attributes:
+        node: issuing processor.
+        address: data address referenced.
+        pc: program counter of the instruction.
+        is_write: True for stores.
+        instructions: instructions executed by ``node`` since its
+            previous memory reference (used to compute misses per
+            1,000 instructions for Table 2 and to pace the timing
+            simulation).
+    """
+
+    node: NodeId
+    address: Address
+    pc: Address
+    is_write: bool
+    instructions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be non-negative")
+        if self.address < 0 or self.pc < 0:
+            raise ValueError("addresses must be non-negative")
+        if self.instructions < 0:
+            raise ValueError("instructions must be non-negative")

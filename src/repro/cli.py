@@ -1,0 +1,294 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``workloads`` — list the workload models and their paper targets.
+- ``collect``   — generate a workload trace and save it to a file.
+- ``analyze``   — Section 2 analysis (Table 2 / Figures 2-4) of a
+  workload or saved trace.
+- ``tradeoff``  — the Figure 5/6 latency/bandwidth plane for a set of
+  predictors, as a table and an ASCII scatter plot.
+- ``runtime``   — the Figure 7/8 runtime/traffic plane.
+- ``accuracy``  — per-policy destination-set coverage/precision.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.accuracy import prediction_accuracy
+from repro.analysis.locality import locality_cdf
+from repro.analysis.properties import workload_properties
+from repro.analysis.sharing import degree_of_sharing, sharing_histogram
+from repro.common.params import PredictorConfig
+from repro.evaluation.corpus import default_corpus
+from repro.evaluation.plot import plot_runtime, plot_tradeoff
+from repro.evaluation.report import (
+    format_table,
+    render_degree_of_sharing,
+    render_locality,
+    render_runtime,
+    render_sharing_histogram,
+    render_tradeoff,
+    render_workload_properties,
+)
+from repro.evaluation.runtime import evaluate_runtime
+from repro.evaluation.tradeoff import evaluate_design_space
+from repro.predictors.registry import PAPER_POLICIES
+from repro.trace.io import read_trace, write_trace
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+DEFAULT_REFERENCES = 100_000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Destination-set prediction for shared-memory "
+            "multiprocessors (Martin et al., ISCA 2003 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "workloads", help="list workload models and paper targets"
+    )
+
+    collect = commands.add_parser(
+        "collect", help="generate a workload trace and save it"
+    )
+    _add_workload_arguments(collect)
+    collect.add_argument("--out", required=True, help="output trace file")
+
+    analyze = commands.add_parser(
+        "analyze", help="Section 2 analysis of a workload or trace file"
+    )
+    _add_workload_arguments(analyze, allow_trace_file=True)
+
+    tradeoff = commands.add_parser(
+        "tradeoff", help="Figure 5/6 latency-bandwidth plane"
+    )
+    _add_workload_arguments(tradeoff, allow_trace_file=True)
+    _add_predictor_arguments(tradeoff)
+    tradeoff.add_argument(
+        "--plot", action="store_true", help="also render an ASCII scatter"
+    )
+
+    runtime = commands.add_parser(
+        "runtime", help="Figure 7/8 runtime-traffic plane"
+    )
+    _add_workload_arguments(runtime, allow_trace_file=True)
+    _add_predictor_arguments(runtime)
+    runtime.add_argument(
+        "--model",
+        choices=("simple", "detailed"),
+        default="simple",
+        help="processor model (default: simple)",
+    )
+    runtime.add_argument(
+        "--plot", action="store_true", help="also render an ASCII scatter"
+    )
+
+    accuracy = commands.add_parser(
+        "accuracy", help="destination-set coverage/precision per policy"
+    )
+    _add_workload_arguments(accuracy, allow_trace_file=True)
+    _add_predictor_arguments(accuracy)
+    return parser
+
+
+def _add_workload_arguments(
+    parser: argparse.ArgumentParser, allow_trace_file: bool = False
+) -> None:
+    help_text = "workload name" + (
+        " or a saved .trace file" if allow_trace_file else ""
+    )
+    parser.add_argument("workload", help=help_text)
+    parser.add_argument(
+        "--refs",
+        type=int,
+        default=DEFAULT_REFERENCES,
+        help=f"memory references to simulate (default {DEFAULT_REFERENCES})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="workload seed (default 42)"
+    )
+
+
+def _add_predictor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--predictors",
+        nargs="+",
+        default=list(PAPER_POLICIES),
+        help="predictor policies (default: the paper's four)",
+    )
+    parser.add_argument(
+        "--entries",
+        type=int,
+        default=8192,
+        help="predictor entries; 0 = unbounded (default 8192)",
+    )
+    parser.add_argument(
+        "--granularity",
+        type=int,
+        default=1024,
+        help="index granularity in bytes (default 1024)",
+    )
+    parser.add_argument(
+        "--pc-index",
+        action="store_true",
+        help="index predictors by miss PC instead of address",
+    )
+
+
+def _predictor_config(args: argparse.Namespace) -> PredictorConfig:
+    return PredictorConfig(
+        n_entries=args.entries if args.entries else None,
+        index_granularity=args.granularity,
+        use_pc_index=args.pc_index,
+    )
+
+
+def _load_trace(args: argparse.Namespace):
+    if args.workload.endswith(".trace"):
+        return read_trace(args.workload)
+    if args.workload not in WORKLOAD_NAMES:
+        known = ", ".join(WORKLOAD_NAMES)
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; known: {known} "
+            "(or pass a .trace file)"
+        )
+    return default_corpus().trace(args.workload, args.refs, args.seed)
+
+
+# ----------------------------------------------------------------------
+def _cmd_workloads(args: argparse.Namespace) -> None:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        model = create_workload(name)
+        paper = model.paper
+        rows.append(
+            (
+                name,
+                model.description,
+                f"{paper.footprint_mb:.0f} MB",
+                f"{paper.misses_per_kilo_instr:.1f}",
+                f"{paper.directory_indirection_pct:.0f}%",
+            )
+        )
+    print(
+        format_table(
+            ("name", "description", "paper-footprint",
+             "paper-miss/1k", "paper-indirections"),
+            rows,
+        )
+    )
+
+
+def _cmd_collect(args: argparse.Namespace) -> None:
+    model = create_workload(args.workload, seed=args.seed)
+    result = model.collect(args.refs)
+    write_trace(result.trace, args.out)
+    print(
+        f"wrote {len(result.trace)} misses "
+        f"({result.misses_per_kilo_instruction:.2f} per 1k instructions) "
+        f"to {args.out}"
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> None:
+    if args.workload.endswith(".trace"):
+        trace = read_trace(args.workload)
+        print("== Figure 2: instantaneous sharing ==")
+        print(render_sharing_histogram([sharing_histogram(trace)]))
+    else:
+        result = default_corpus().collect(
+            args.workload, args.refs, args.seed
+        )
+        trace = result.trace
+        print("== Table 2: workload properties ==")
+        print(render_workload_properties([workload_properties(result)]))
+        print("\n== Figure 2: instantaneous sharing ==")
+        print(render_sharing_histogram([sharing_histogram(trace)]))
+    print("\n== Figure 3: degree of sharing ==")
+    print(render_degree_of_sharing([degree_of_sharing(trace)]))
+    print("\n== Figure 4: cache-to-cache miss locality ==")
+    cdfs = [
+        locality_cdf(trace, kind=kind)
+        for kind in ("block", "macroblock", "pc")
+    ]
+    print(render_locality(cdfs, ks=(10, 100, 1000, 10000)))
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> None:
+    trace = _load_trace(args)
+    points = evaluate_design_space(
+        trace,
+        predictors=tuple(args.predictors),
+        predictor_config=_predictor_config(args),
+    )
+    print(render_tradeoff(points))
+    if args.plot:
+        print()
+        print(plot_tradeoff(points))
+
+
+def _cmd_runtime(args: argparse.Namespace) -> None:
+    trace = _load_trace(args)
+    points = evaluate_runtime(
+        trace,
+        predictors=tuple(args.predictors),
+        predictor_config=_predictor_config(args),
+        processor_model=args.model,
+    )
+    print(render_runtime(points))
+    if args.plot:
+        print()
+        print(plot_runtime(points))
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> None:
+    trace = _load_trace(args)
+    rows = []
+    for policy in args.predictors:
+        report = prediction_accuracy(
+            trace, policy, predictor_config=_predictor_config(args)
+        )
+        rows.append(
+            (
+                report.policy,
+                f"{report.coverage_pct:.1f}%",
+                f"{report.precision_pct:.1f}%",
+                report.predictions,
+            )
+        )
+    print(
+        format_table(
+            ("policy", "coverage", "precision", "predictions"), rows
+        )
+    )
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "collect": _cmd_collect,
+    "analyze": _cmd_analyze,
+    "tradeoff": _cmd_tradeoff,
+    "runtime": _cmd_runtime,
+    "accuracy": _cmd_accuracy,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Global MOSI coherence state.
+
+The substrate beneath both the trace-driven evaluation (Section 4) and
+the timing simulation (Section 5): an oracle view of which node owns
+each block and which nodes share it.  From this state we derive
+
+- the **required destination set** of each request (the processors that
+  must observe it for the request to succeed),
+- whether a directory protocol would **indirect** the request, and
+- whether a multicast destination set is **sufficient** (paper
+  Section 4.1).
+"""
+
+from repro.coherence.state import (
+    BlockState,
+    CoherenceOutcome,
+    GlobalCoherenceState,
+)
+from repro.coherence.sufficiency import is_sufficient, minimal_set, required_set
+
+__all__ = [
+    "BlockState",
+    "CoherenceOutcome",
+    "GlobalCoherenceState",
+    "is_sufficient",
+    "minimal_set",
+    "required_set",
+]

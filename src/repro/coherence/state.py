@@ -1,0 +1,194 @@
+"""Global per-block MOSI ownership/sharing state.
+
+In a MOSI write-invalidate protocol (paper Section 3) each block has at
+most one **owner** — a processor holding the block in M (Modified) or O
+(Owned) state, or the memory/home module when no processor does — and a
+set of **sharers** holding read-only S copies.
+
+:class:`GlobalCoherenceState` is the omniscient view a directory would
+have if it were perfect, and is what the multicast-snooping home node
+consults to decide whether a destination set was sufficient.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.common.destset import DestinationSet
+from repro.common.types import (
+    AccessType,
+    Address,
+    MEMORY_NODE,
+    NodeId,
+)
+from repro.trace.record import TraceRecord
+
+
+@dataclasses.dataclass
+class BlockState:
+    """Ownership state of one cache block.
+
+    ``owner`` is ``MEMORY_NODE`` when memory owns the block (no M/O
+    copy outstanding); ``sharers`` holds processors with S copies.  In
+    MOSI an owning processor may simultaneously appear in ``sharers``
+    conceptually; we keep the owner out of the sharer set and treat
+    "holds a readable copy" as ``owner == p or p in sharers``.
+    """
+
+    owner: NodeId = MEMORY_NODE
+    sharers: frozenset = frozenset()
+
+    def holders(self) -> frozenset:
+        """All processors with a valid copy (owner + sharers)."""
+        if self.owner == MEMORY_NODE:
+            return self.sharers
+        return self.sharers | {self.owner}
+
+    def is_cached(self, node: NodeId) -> bool:
+        """True if ``node`` holds a readable copy."""
+        return node == self.owner or node in self.sharers
+
+
+@dataclasses.dataclass(frozen=True)
+class CoherenceOutcome:
+    """What happened when a request was applied to the global state.
+
+    Attributes:
+        record: the request.
+        owner_before: owner at the time the request was ordered.
+        sharers_before: sharers at that time (excluding the owner).
+        responder: node that supplies the data (``MEMORY_NODE`` if the
+            home memory responds).
+        required: processors *other than the requester* that had to
+            observe the request (the owner if it is a processor, plus
+            all sharers for GETX).
+        directory_indirection: True if a directory protocol would have
+            had to forward this request to at least one processor —
+            i.e. the miss is a cache-to-cache (or invalidation) miss.
+    """
+
+    record: TraceRecord
+    owner_before: NodeId
+    sharers_before: frozenset
+    responder: NodeId
+    required: DestinationSet
+    directory_indirection: bool
+
+    @property
+    def is_cache_to_cache(self) -> bool:
+        """True if the data came from another processor's cache."""
+        return self.responder != MEMORY_NODE
+
+
+class GlobalCoherenceState:
+    """Tracks owner/sharers for every block and applies requests.
+
+    This class is deliberately *protocol free*: it models the logical
+    MOSI state transitions that any of the three protocols (snooping,
+    directory, multicast snooping) would ultimately produce, because
+    all three enforce the same write-invalidate semantics over the same
+    totally-ordered request stream.
+    """
+
+    def __init__(self, n_processors: int, block_size: int = 64):
+        if n_processors <= 0:
+            raise ValueError("n_processors must be positive")
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        self._n = n_processors
+        self._block_size = block_size
+        self._blocks: Dict[Address, BlockState] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        return self._n
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def lookup(self, address: Address) -> BlockState:
+        """Current state of the block containing ``address``."""
+        return self._blocks.get(
+            self._align(address), BlockState()
+        )
+
+    def n_tracked_blocks(self) -> int:
+        """Number of blocks with non-default state."""
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    def apply(self, record: TraceRecord) -> CoherenceOutcome:
+        """Order ``record``, update state, and report the outcome."""
+        if not 0 <= record.requester < self._n:
+            raise ValueError(
+                f"requester {record.requester} outside [0, {self._n})"
+            )
+        block = self._align(record.address)
+        state = self._blocks.get(block, BlockState())
+        requester = record.requester
+
+        required_nodes = set()
+        if state.owner != MEMORY_NODE and state.owner != requester:
+            required_nodes.add(state.owner)
+        if record.access is AccessType.GETX:
+            required_nodes |= state.sharers - {requester}
+
+        responder = self._responder(state, requester)
+
+        if record.access is AccessType.GETS:
+            new_state = self._apply_gets(state, requester)
+        else:
+            new_state = BlockState(owner=requester, sharers=frozenset())
+        self._blocks[block] = new_state
+
+        required = DestinationSet.from_nodes(self._n, required_nodes)
+        return CoherenceOutcome(
+            record=record,
+            owner_before=state.owner,
+            sharers_before=state.sharers,
+            responder=responder,
+            required=required,
+            directory_indirection=not required.is_empty(),
+        )
+
+    def evict(self, node: NodeId, address: Address) -> None:
+        """Model an L2 eviction of ``address`` by ``node``.
+
+        Owner evictions write the block back to memory (owner becomes
+        the memory module); sharer evictions silently drop the copy.
+        """
+        block = self._align(address)
+        state = self._blocks.get(block)
+        if state is None:
+            return
+        if state.owner == node:
+            self._blocks[block] = BlockState(
+                owner=MEMORY_NODE, sharers=state.sharers
+            )
+        elif node in state.sharers:
+            self._blocks[block] = BlockState(
+                owner=state.owner, sharers=state.sharers - {node}
+            )
+
+    # ------------------------------------------------------------------
+    def _apply_gets(self, state: BlockState, requester: NodeId) -> BlockState:
+        if state.owner == requester:
+            # Refetch by the owner (e.g. after an upgrade race); no change.
+            return state
+        # MOSI: a processor owner keeps ownership (M -> O) and the
+        # requester joins the sharers; a memory owner stays the owner.
+        return BlockState(
+            owner=state.owner, sharers=state.sharers | {requester}
+        )
+
+    @staticmethod
+    def _responder(state: BlockState, requester: NodeId) -> NodeId:
+        if state.owner == MEMORY_NODE or state.owner == requester:
+            return MEMORY_NODE
+        return state.owner
+
+    def _align(self, address: Address) -> Address:
+        return address & ~(self._block_size - 1)

@@ -1,0 +1,70 @@
+"""Destination-set sufficiency (paper Section 4.1).
+
+"A destination set is sufficient in multicast snooping if it includes
+the requester, the home node, the owner of the block, and, if the
+request is for write permission, all processors sharing the block."
+
+The **minimal destination set** always includes the requester and the
+home node, so sufficiency reduces to: does the multicast mask cover the
+(processor) owner and, for GETX, all sharers?
+"""
+
+from __future__ import annotations
+
+from repro.common.destset import DestinationSet
+from repro.common.types import (
+    AccessType,
+    Address,
+    MEMORY_NODE,
+    NodeId,
+    home_node,
+)
+from repro.coherence.state import BlockState
+
+
+def minimal_set(
+    requester: NodeId,
+    address: Address,
+    n_processors: int,
+    block_size: int = 64,
+) -> DestinationSet:
+    """The minimal destination set: the requester plus the home node."""
+    home = home_node(address, n_processors, block_size)
+    return DestinationSet.of(n_processors, requester, home)
+
+
+def required_set(
+    state: BlockState,
+    requester: NodeId,
+    access: AccessType,
+    n_processors: int,
+) -> DestinationSet:
+    """Processors (other than the requester) that must see the request."""
+    nodes = set()
+    if state.owner != MEMORY_NODE and state.owner != requester:
+        nodes.add(state.owner)
+    if access is AccessType.GETX:
+        nodes |= state.sharers - {requester}
+    return DestinationSet.from_nodes(n_processors, nodes)
+
+
+def is_sufficient(
+    destination: DestinationSet,
+    state: BlockState,
+    requester: NodeId,
+    access: AccessType,
+    address: Address,
+    block_size: int = 64,
+) -> bool:
+    """True if ``destination`` would let the request succeed directly.
+
+    ``destination`` is checked against the full Section 4.1 definition:
+    it must contain the requester, the home node, the owner (when a
+    processor owns the block) and, for GETX, every sharer.
+    """
+    n = destination.n_nodes
+    home = home_node(address, n, block_size)
+    if not destination.contains(requester) or not destination.contains(home):
+        return False
+    needed = required_set(state, requester, access, n)
+    return destination.is_superset_of(needed)

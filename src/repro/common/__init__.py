@@ -1,0 +1,34 @@
+"""Shared primitive types, configuration and utilities.
+
+This subpackage holds the vocabulary used throughout the reproduction:
+
+- :mod:`repro.common.types` — node identifiers, addresses, access kinds.
+- :mod:`repro.common.destset` — the :class:`DestinationSet` bitset, the
+  paper's central data type (the set of processors that receive a
+  coherence request).
+- :mod:`repro.common.params` — system configuration mirroring the paper's
+  Table 4 (16-node target system) and derived latency/traffic constants.
+- :mod:`repro.common.rng` — deterministic random-number helpers so every
+  experiment is exactly reproducible.
+"""
+
+from repro.common.destset import DestinationSet
+from repro.common.params import (
+    LatencyModel,
+    PredictorConfig,
+    SystemConfig,
+    TrafficModel,
+)
+from repro.common.types import AccessType, Address, NodeId, MEMORY_NODE
+
+__all__ = [
+    "AccessType",
+    "Address",
+    "DestinationSet",
+    "LatencyModel",
+    "MEMORY_NODE",
+    "NodeId",
+    "PredictorConfig",
+    "SystemConfig",
+    "TrafficModel",
+]

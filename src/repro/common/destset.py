@@ -1,0 +1,187 @@
+"""The :class:`DestinationSet` — a bitset of processor nodes.
+
+The *destination set* is the collection of processors that receive a
+particular coherence request (paper Section 1).  Snooping uses the
+maximal set (all processors); directories use the minimal set (the home
+node); destination-set predictors pick something in between.
+
+The implementation is an immutable bitmask over ``n_nodes`` processors,
+supporting the set algebra the protocols and predictors need.  Immutable
+value semantics keep predictor/protocol interactions easy to reason
+about and hashable for use in dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.common.types import NodeId
+
+
+class DestinationSet:
+    """An immutable set of processor node ids in ``[0, n_nodes)``.
+
+    Instances are value objects: all "mutators" (:meth:`add`,
+    :meth:`union`, ...) return new sets.
+    """
+
+    __slots__ = ("_bits", "_n_nodes")
+
+    def __init__(self, n_nodes: int, bits: int = 0):
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        full = (1 << n_nodes) - 1
+        if bits & ~full:
+            raise ValueError(
+                f"bitmask {bits:#x} has nodes outside [0, {n_nodes})"
+            )
+        self._bits = bits
+        self._n_nodes = n_nodes
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n_nodes: int) -> "DestinationSet":
+        """The empty destination set."""
+        return cls(n_nodes, 0)
+
+    @classmethod
+    def broadcast(cls, n_nodes: int) -> "DestinationSet":
+        """The maximal destination set — all processors (snooping)."""
+        return cls(n_nodes, (1 << n_nodes) - 1)
+
+    @classmethod
+    def of(cls, n_nodes: int, *nodes: NodeId) -> "DestinationSet":
+        """A destination set containing exactly ``nodes``."""
+        return cls.from_nodes(n_nodes, nodes)
+
+    @classmethod
+    def from_nodes(
+        cls, n_nodes: int, nodes: Iterable[NodeId]
+    ) -> "DestinationSet":
+        """A destination set containing ``nodes`` (duplicates allowed)."""
+        bits = 0
+        for node in nodes:
+            cls._check_node(node, n_nodes)
+            bits |= 1 << node
+        return cls(n_nodes, bits)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """The size of the node universe (system processor count)."""
+        return self._n_nodes
+
+    @property
+    def bits(self) -> int:
+        """The raw bitmask (bit ``i`` set means node ``i`` is a member)."""
+        return self._bits
+
+    def contains(self, node: NodeId) -> bool:
+        """True if ``node`` is a member."""
+        self._check_node(node, self._n_nodes)
+        return bool(self._bits >> node & 1)
+
+    def count(self) -> int:
+        """Number of member nodes."""
+        return bin(self._bits).count("1")
+
+    def is_empty(self) -> bool:
+        """True if no nodes are members."""
+        return self._bits == 0
+
+    def is_broadcast(self) -> bool:
+        """True if every node is a member (maximal set)."""
+        return self._bits == (1 << self._n_nodes) - 1
+
+    def is_superset_of(self, other: "DestinationSet") -> bool:
+        """True if every member of ``other`` is also a member of self."""
+        self._check_compatible(other)
+        return other._bits & ~self._bits == 0
+
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """The member node ids, ascending."""
+        return tuple(self)
+
+    # ------------------------------------------------------------------
+    # Algebra (all return new sets)
+    # ------------------------------------------------------------------
+    def add(self, node: NodeId) -> "DestinationSet":
+        """Return a new set that also contains ``node``."""
+        self._check_node(node, self._n_nodes)
+        return DestinationSet(self._n_nodes, self._bits | 1 << node)
+
+    def remove(self, node: NodeId) -> "DestinationSet":
+        """Return a new set without ``node`` (no-op if absent)."""
+        self._check_node(node, self._n_nodes)
+        return DestinationSet(self._n_nodes, self._bits & ~(1 << node))
+
+    def union(self, other: "DestinationSet") -> "DestinationSet":
+        """Set union."""
+        self._check_compatible(other)
+        return DestinationSet(self._n_nodes, self._bits | other._bits)
+
+    def intersection(self, other: "DestinationSet") -> "DestinationSet":
+        """Set intersection."""
+        self._check_compatible(other)
+        return DestinationSet(self._n_nodes, self._bits & other._bits)
+
+    def difference(self, other: "DestinationSet") -> "DestinationSet":
+        """Members of self that are not members of ``other``."""
+        self._check_compatible(other)
+        return DestinationSet(self._n_nodes, self._bits & ~other._bits)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[NodeId]:
+        bits = self._bits
+        node = 0
+        while bits:
+            if bits & 1:
+                yield node
+            bits >>= 1
+            node += 1
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, int) and 0 <= node < self._n_nodes and bool(
+            self._bits >> node & 1
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DestinationSet)
+            and self._bits == other._bits
+            and self._n_nodes == other._n_nodes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._n_nodes))
+
+    def __repr__(self) -> str:
+        return f"DestinationSet({list(self)!r}, n_nodes={self._n_nodes})"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_node(node: NodeId, n_nodes: int) -> None:
+        if not 0 <= node < n_nodes:
+            raise ValueError(f"node {node} outside [0, {n_nodes})")
+
+    def _check_compatible(self, other: "DestinationSet") -> None:
+        if self._n_nodes != other._n_nodes:
+            raise ValueError(
+                "destination sets from different systems: "
+                f"{self._n_nodes} vs {other._n_nodes} nodes"
+            )

@@ -1,0 +1,184 @@
+"""System configuration — the paper's Table 4 target system.
+
+The defaults reproduce the paper's 16-node system:
+
+==============================  =======================================
+L1 instruction cache            128 kB, 4-way, 2 cycles
+L1 data cache                   128 kB, 4-way, 2 cycles
+L2 cache (unified)              4 MB, 4-way, 12 ns
+block size                      64 B
+memory                          2 GB total, 80 ns
+interconnect link bandwidth     10 GB/s
+interconnect latency            50 ns traversal
+clock frequency                 2 GHz
+==============================  =======================================
+
+From these the paper derives (Section 5.1) and we reproduce exactly:
+
+- 180 ns to obtain a block from memory          (50 + 80 + 50)
+- 112 ns for a snooping cache-to-cache transfer (50 + 12 + 50)
+- 242 ns for a directory 3-hop transfer or a retried multicast
+  request                                       (50 + 80 + 50 + 12 + 50)
+
+Request/forward/retry messages are 8 bytes; data responses are 72 bytes
+(64 B of data plus an 8 B header).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """Static description of the simulated multiprocessor.
+
+    All sizes are bytes, latencies nanoseconds, bandwidth bytes/ns
+    (1 GB/s == 1 byte/ns in round numbers; we use 10 bytes/ns for the
+    paper's 10 GB/s links).
+    """
+
+    n_processors: int = 16
+    block_size: int = 64
+    macroblock_size: int = 1024
+
+    l1i_size: int = 128 * KB
+    l1i_assoc: int = 4
+    l1d_size: int = 128 * KB
+    l1d_assoc: int = 4
+    l1_latency_cycles: int = 2
+
+    l2_size: int = 4 * MB
+    l2_assoc: int = 4
+    l2_latency_ns: float = 12.0
+
+    memory_size: int = 2 * GB
+    memory_latency_ns: float = 80.0
+
+    link_bandwidth_bytes_per_ns: float = 10.0
+    link_latency_ns: float = 50.0
+
+    clock_ghz: float = 2.0
+
+    control_message_bytes: int = 8
+    data_message_bytes: int = 72
+
+    def __post_init__(self) -> None:
+        if self.n_processors <= 0:
+            raise ValueError("n_processors must be positive")
+        for name in ("block_size", "macroblock_size", "l2_size", "l1d_size"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+        if self.macroblock_size < self.block_size:
+            raise ValueError("macroblock_size must be >= block_size")
+
+    @property
+    def blocks_per_macroblock(self) -> int:
+        """Number of cache blocks per predictor macroblock."""
+        return self.macroblock_size // self.block_size
+
+    @property
+    def l2_sets(self) -> int:
+        """Number of sets in the L2 cache."""
+        return self.l2_size // (self.block_size * self.l2_assoc)
+
+    @property
+    def cycle_ns(self) -> float:
+        """Processor cycle time in nanoseconds."""
+        return 1.0 / self.clock_ghz
+
+    def with_processors(self, n_processors: int) -> "SystemConfig":
+        """A copy of this config with a different processor count."""
+        return dataclasses.replace(self, n_processors=n_processors)
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyModel:
+    """Derived end-to-end transaction latencies (paper Section 5.1).
+
+    Build one from a :class:`SystemConfig` with :meth:`from_config`.
+    """
+
+    memory_ns: float
+    cache_to_cache_direct_ns: float
+    cache_to_cache_indirect_ns: float
+    l2_hit_ns: float
+    l1_hit_ns: float
+
+    @classmethod
+    def from_config(cls, config: SystemConfig) -> "LatencyModel":
+        link = config.link_latency_ns
+        mem = config.memory_latency_ns
+        l2 = config.l2_latency_ns
+        return cls(
+            # request traversal + memory access + data traversal
+            memory_ns=link + mem + link,
+            # request traversal + remote L2 + data traversal
+            cache_to_cache_direct_ns=link + l2 + link,
+            # request to home + directory/memory lookup + forward
+            # traversal + remote L2 + data traversal
+            cache_to_cache_indirect_ns=link + mem + link + l2 + link,
+            l2_hit_ns=l2,
+            l1_hit_ns=config.l1_latency_cycles / config.clock_ghz,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficModel:
+    """Per-message byte costs used in traffic accounting."""
+
+    control_bytes: int = 8
+    data_bytes: int = 72
+
+    @classmethod
+    def from_config(cls, config: SystemConfig) -> "TrafficModel":
+        return cls(
+            control_bytes=config.control_message_bytes,
+            data_bytes=config.data_message_bytes,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictorConfig:
+    """Configuration of a destination-set predictor table.
+
+    ``n_entries=None`` models the paper's *unbounded* predictors.  The
+    paper's standout configuration is 8192 entries, 4-way associative,
+    1024-byte macroblock indexing.
+    """
+
+    n_entries: Optional[int] = 8192
+    associativity: int = 4
+    index_granularity: int = 1024
+    use_pc_index: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_entries is not None:
+            if self.n_entries <= 0 or self.n_entries & (self.n_entries - 1):
+                raise ValueError("n_entries must be a power of two or None")
+            if self.associativity <= 0:
+                raise ValueError("associativity must be positive")
+            if self.n_entries % self.associativity:
+                raise ValueError("n_entries must be divisible by associativity")
+        if self.index_granularity <= 0 or (
+            self.index_granularity & (self.index_granularity - 1)
+        ):
+            raise ValueError("index_granularity must be a power of two")
+
+    @property
+    def unbounded(self) -> bool:
+        """True if the table never evicts (infinite capacity)."""
+        return self.n_entries is None
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets in a bounded table."""
+        if self.n_entries is None:
+            raise ValueError("unbounded predictor has no sets")
+        return self.n_entries // self.associativity

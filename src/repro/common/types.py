@@ -1,0 +1,80 @@
+"""Primitive types: node ids, addresses and coherence access kinds.
+
+The paper models a 16-processor SPARC system.  Processors are identified
+by small integers (``NodeId``); physical addresses are plain integers
+(``Address``).  Coherence requests come in two kinds, matching a MOSI
+write-invalidate protocol (paper Section 3):
+
+- ``GETS`` — *request for shared* (a load miss).  The request must reach
+  the current **owner** of the block.
+- ``GETX`` — *request for exclusive* (a store miss or upgrade).  The
+  request must reach the owner **and all sharers**.
+"""
+
+from __future__ import annotations
+
+import enum
+
+NodeId = int
+Address = int
+
+#: Sentinel "node id" used for the memory/home module when it owns a block.
+#: Real processors are numbered ``0 .. n_processors - 1``.
+MEMORY_NODE: NodeId = -1
+
+
+class AccessType(enum.Enum):
+    """Kind of coherence request issued on an L2 miss."""
+
+    GETS = "GETS"
+    GETX = "GETX"
+
+    @property
+    def is_read(self) -> bool:
+        """True for requests for shared (load misses)."""
+        return self is AccessType.GETS
+
+    @property
+    def is_write(self) -> bool:
+        """True for requests for exclusive (store misses / upgrades)."""
+        return self is AccessType.GETX
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def block_address(address: Address, block_size: int) -> Address:
+    """Return ``address`` aligned down to its cache-block boundary.
+
+    ``block_size`` must be a power of two.
+    """
+    _require_power_of_two(block_size, "block_size")
+    return address & ~(block_size - 1)
+
+
+def macroblock_address(address: Address, macroblock_size: int) -> Address:
+    """Return ``address`` aligned down to its macroblock boundary.
+
+    Macroblocks (paper Section 3.4) are aligned regions of multiple
+    cache blocks — e.g. 1024-byte macroblocks group 16 64-byte blocks —
+    and are used to index predictors so that one entry captures the
+    spatial locality of a whole region.
+    """
+    _require_power_of_two(macroblock_size, "macroblock_size")
+    return address & ~(macroblock_size - 1)
+
+
+def home_node(address: Address, n_processors: int, block_size: int) -> NodeId:
+    """Return the home (directory/memory) node for ``address``.
+
+    Memory is interleaved across the processor/memory nodes at
+    cache-block granularity, as in the paper's target system where each
+    node contains a memory controller for part of the globally shared
+    memory.
+    """
+    return (address // block_size) % n_processors
+
+
+def _require_power_of_two(value: int, name: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")

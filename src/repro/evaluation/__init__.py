@@ -1,0 +1,25 @@
+"""Experiment harnesses reproducing the paper's tables and figures.
+
+- :mod:`repro.evaluation.corpus` — memoized workload trace generation
+  (the analogue of the paper's trace files).
+- :mod:`repro.evaluation.tradeoff` — the Section 4 trace-driven
+  latency/bandwidth tradeoff (Figures 5 and 6).
+- :mod:`repro.evaluation.runtime` — the Section 5 execution-driven
+  runtime/traffic evaluation (Figures 7 and 8).
+- :mod:`repro.evaluation.report` — plain-text table/series rendering.
+"""
+
+from repro.evaluation.corpus import TraceCorpus, default_corpus
+from repro.evaluation.tradeoff import (
+    TradeoffPoint,
+    evaluate_design_space,
+    evaluate_protocol,
+)
+
+__all__ = [
+    "TraceCorpus",
+    "TradeoffPoint",
+    "default_corpus",
+    "evaluate_design_space",
+    "evaluate_protocol",
+]

@@ -1,0 +1,112 @@
+"""ASCII scatter plots of the tradeoff/runtime planes.
+
+The paper presents Figures 5-8 as scatter plots; this module renders
+the same planes in plain text so examples and benchmark output can
+show the *shape* (who is where, where the frontier bends) without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Marker characters assigned to series in order.
+_MARKERS = "XO*#@%&+=~"
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float, str]],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled (x, y) points as an ASCII scatter plot.
+
+    Each distinct label gets a marker; a legend maps markers back to
+    labels.  Axes are scaled to the data with a small margin and
+    annotated with their ranges.
+    """
+    if not points:
+        return "(no points)"
+    if width < 16 or height < 6:
+        raise ValueError("plot must be at least 16x6 characters")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = _padded_range(min(xs), max(xs))
+    y_lo, y_hi = _padded_range(min(ys), max(ys))
+
+    labels: List[str] = []
+    for _, _, label in points:
+        if label not in labels:
+            labels.append(label)
+    markers = {
+        label: _MARKERS[index % len(_MARKERS)]
+        for index, label in enumerate(labels)
+    }
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, label in points:
+        column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][column] = markers[label]
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_hi:8.1f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:8.1f} +" + "-" * width + "+")
+    lines.append(
+        " " * 10 + f"{x_lo:<10.2f}" + " " * (width - 20) + f"{x_hi:>10.2f}"
+    )
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join(
+        f"{markers[label]}={label}" for label in labels
+    )
+    lines.append("")
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def plot_tradeoff(points, width: int = 64, height: int = 18) -> str:
+    """Plot :class:`TradeoffPoint` rows as a Figure 5-style scatter."""
+    return scatter_plot(
+        [
+            (p.request_messages_per_miss, p.indirection_pct, p.label)
+            for p in points
+        ],
+        width=width,
+        height=height,
+        x_label="request messages per miss",
+        y_label="indirections (percent of misses)",
+    )
+
+
+def plot_runtime(points, width: int = 64, height: int = 18) -> str:
+    """Plot :class:`RuntimePoint` rows as a Figure 7-style scatter."""
+    return scatter_plot(
+        [
+            (
+                p.normalized_traffic_per_miss,
+                p.normalized_runtime,
+                p.label,
+            )
+            for p in points
+        ],
+        width=width,
+        height=height,
+        x_label="normalized traffic per miss (snooping = 100)",
+        y_label="normalized runtime (directory = 100)",
+    )
+
+
+def _padded_range(lo: float, hi: float) -> Tuple[float, float]:
+    if lo == hi:
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    pad = (hi - lo) * 0.05
+    return lo - pad, hi + pad

@@ -1,0 +1,152 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.analysis.locality import LocalityCdf
+from repro.analysis.properties import WorkloadProperties
+from repro.analysis.sharing import (
+    SHARING_BINS,
+    DegreeOfSharing,
+    SharingHistogram,
+)
+from repro.evaluation.runtime import RuntimePoint
+from repro.evaluation.tradeoff import TradeoffPoint
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_workload_properties(
+    rows: Sequence[WorkloadProperties],
+) -> str:
+    """Table 2: workload properties."""
+    return format_table(
+        (
+            "workload",
+            "touched-64B",
+            "touched-1KB",
+            "miss-PCs",
+            "misses",
+            "miss/1k-instr",
+            "dir-indirections",
+        ),
+        (
+            (
+                p.workload,
+                f"{p.footprint_bytes / 2**20:.1f} MB",
+                f"{p.macroblock_footprint_bytes / 2**20:.1f} MB",
+                p.static_miss_pcs,
+                p.total_misses,
+                f"{p.misses_per_kilo_instruction:.1f}",
+                f"{p.directory_indirection_pct:.0f}%",
+            )
+            for p in rows
+        ),
+    )
+
+
+def render_sharing_histogram(rows: Sequence[SharingHistogram]) -> str:
+    """Figure 2: required-recipient histogram, reads and writes."""
+    headers = ["workload"]
+    for b in SHARING_BINS:
+        name = f"{b}" if b < SHARING_BINS[-1] else f"{b}+"
+        headers += [f"R:{name}", f"W:{name}"]
+    body = []
+    for h in rows:
+        row: List[str] = [h.workload]
+        for b in SHARING_BINS:
+            row.append(f"{h.read_pct[b]:.1f}%")
+            row.append(f"{h.write_pct[b]:.1f}%")
+        body.append(row)
+    return format_table(headers, body)
+
+
+def render_degree_of_sharing(
+    rows: Sequence[DegreeOfSharing], thresholds: Sequence[int] = (1, 4, 8, 16)
+) -> str:
+    """Figure 3: cumulative blocks/misses by processor-touch degree."""
+    headers = ["workload"]
+    for t in thresholds:
+        headers += [f"blocks<={t}", f"misses<={t}"]
+    body = []
+    for d in rows:
+        row: List[str] = [d.workload]
+        for t in thresholds:
+            row.append(f"{d.blocks_cumulative(t):.1f}%")
+            row.append(f"{d.misses_cumulative(t):.1f}%")
+        body.append(row)
+    return format_table(headers, body)
+
+
+def render_locality(
+    rows: Sequence[LocalityCdf],
+    ks: Sequence[int] = (100, 1000, 10000),
+) -> str:
+    """Figure 4: cache-to-cache miss coverage by hottest-k entities."""
+    headers = ["workload", "kind"] + [f"top-{k}" for k in ks]
+    body = [
+        [c.workload, c.kind, *(f"{c.coverage(k):.1f}%" for k in ks)]
+        for c in rows
+    ]
+    return format_table(headers, body)
+
+
+def render_tradeoff(points: Sequence[TradeoffPoint]) -> str:
+    """Figure 5/6: the latency/bandwidth plane, one row per config."""
+    return format_table(
+        ("workload", "config", "req-msgs/miss", "indirections", "bytes/miss"),
+        (
+            (
+                p.workload,
+                p.label,
+                f"{p.request_messages_per_miss:.2f}",
+                f"{p.indirection_pct:.1f}%",
+                f"{p.traffic_bytes_per_miss:.1f}",
+            )
+            for p in points
+        ),
+    )
+
+
+def render_runtime(points: Sequence[RuntimePoint]) -> str:
+    """Figure 7/8: normalized runtime vs normalized traffic."""
+    return format_table(
+        (
+            "workload",
+            "config",
+            "norm-runtime",
+            "norm-traffic/miss",
+            "indirections",
+        ),
+        (
+            (
+                p.workload,
+                p.label,
+                f"{p.normalized_runtime:.1f}",
+                f"{p.normalized_traffic_per_miss:.1f}",
+                f"{p.indirection_pct:.1f}%",
+            )
+            for p in points
+        ),
+    )

@@ -1,0 +1,125 @@
+"""Runtime performance evaluation (Section 5, Figures 7 and 8).
+
+For each workload, runs the timing simulator once per protocol
+configuration and reports the paper's normalized metrics: runtime
+normalized to the directory protocol (=100) and interconnect traffic
+per miss normalized to broadcast snooping (=100).  The dotted "ideal"
+lines of Figures 7/8 are the directory's traffic and snooping's
+runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.directory import DirectoryProtocol
+from repro.protocols.multicast import MulticastSnoopingProtocol
+from repro.protocols.snooping import BroadcastSnoopingProtocol
+from repro.timing.system import RuntimeResult, TimingSimulator
+from repro.trace.trace import Trace
+
+#: Baseline labels (always included so normalization is well defined).
+DIRECTORY = "directory"
+SNOOPING = "broadcast-snooping"
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimePoint:
+    """One protocol's position on the Figure 7/8 plane."""
+
+    label: str
+    workload: str
+    normalized_runtime: float
+    normalized_traffic_per_miss: float
+    runtime_ns: float
+    traffic_bytes_per_miss: float
+    indirection_pct: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label:24s} runtime={self.normalized_runtime:5.1f}  "
+            f"traffic/miss={self.normalized_traffic_per_miss:5.1f}  "
+            f"(abs {self.runtime_ns/1e6:.2f} ms, "
+            f"{self.traffic_bytes_per_miss:.0f} B/miss)"
+        )
+
+
+def make_protocol(
+    label: str,
+    config: SystemConfig,
+    predictor_config: Optional[PredictorConfig] = None,
+) -> CoherenceProtocol:
+    """Build the protocol a Figure 7/8 series point refers to.
+
+    ``label`` is ``"directory"``, ``"broadcast-snooping"``, or a
+    registered predictor name (run under multicast snooping).
+    """
+    if label == DIRECTORY:
+        return DirectoryProtocol(config)
+    if label == SNOOPING:
+        return BroadcastSnoopingProtocol(config)
+    return MulticastSnoopingProtocol(
+        config, predictor=label, predictor_config=predictor_config
+    )
+
+
+def evaluate_runtime(
+    trace: Trace,
+    config: Optional[SystemConfig] = None,
+    predictors: Sequence[str] = (
+        "owner",
+        "broadcast-if-shared",
+        "group",
+        "owner-group",
+    ),
+    predictor_config: Optional[PredictorConfig] = None,
+    processor_model: str = "simple",
+    max_outstanding: int = 4,
+    warmup_fraction: float = 0.25,
+) -> List[RuntimePoint]:
+    """Produce one Figure 7 (or 8) panel for ``trace``.
+
+    Always includes the directory and snooping baselines; normalizes
+    runtime to directory=100 and traffic/miss to snooping=100.
+    """
+    config = config if config is not None else SystemConfig()
+    labels = [DIRECTORY, SNOOPING, *predictors]
+    raw: Dict[str, RuntimeResult] = {}
+    for label in labels:
+        protocol = make_protocol(label, config, predictor_config)
+        simulator = TimingSimulator(
+            config,
+            protocol,
+            processor_model=processor_model,
+            max_outstanding=max_outstanding,
+        )
+        raw[label] = simulator.run(trace, warmup_fraction=warmup_fraction)
+
+    directory_runtime = raw[DIRECTORY].runtime_ns
+    snooping_traffic = raw[SNOOPING].traffic_bytes_per_miss
+    points = []
+    for label in labels:
+        result = raw[label]
+        points.append(
+            RuntimePoint(
+                label=label,
+                workload=trace.name,
+                normalized_runtime=(
+                    100.0 * result.runtime_ns / directory_runtime
+                    if directory_runtime
+                    else 0.0
+                ),
+                normalized_traffic_per_miss=(
+                    100.0 * result.traffic_bytes_per_miss / snooping_traffic
+                    if snooping_traffic
+                    else 0.0
+                ),
+                runtime_ns=result.runtime_ns,
+                traffic_bytes_per_miss=result.traffic_bytes_per_miss,
+                indirection_pct=result.indirection_pct,
+            )
+        )
+    return points

@@ -1,0 +1,128 @@
+"""Trace-driven latency/bandwidth tradeoff evaluation (Section 4).
+
+Each protocol/predictor configuration becomes one point on the paper's
+two-dimensional plane: request messages per miss (bandwidth) against
+percent of misses requiring indirection (latency).  Figures 5 and 6
+are sweeps over this evaluator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.directory import DirectoryProtocol
+from repro.protocols.multicast import MulticastSnoopingProtocol
+from repro.protocols.snooping import BroadcastSnoopingProtocol
+from repro.trace.trace import Trace
+
+#: Fraction of the trace used to warm caches/predictors before
+#: measurement begins (the paper uses its first million misses).
+DEFAULT_WARMUP_FRACTION = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffPoint:
+    """One protocol configuration's position on the tradeoff plane."""
+
+    label: str
+    workload: str
+    indirection_pct: float
+    request_messages_per_miss: float
+    traffic_bytes_per_miss: float
+    average_latency_ns: float
+    misses: int
+    retries: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label:24s} ind={self.indirection_pct:5.1f}%  "
+            f"req/miss={self.request_messages_per_miss:5.2f}  "
+            f"bytes/miss={self.traffic_bytes_per_miss:6.1f}  "
+            f"lat={self.average_latency_ns:5.1f}ns"
+        )
+
+
+def evaluate_protocol(
+    protocol: CoherenceProtocol,
+    trace: Trace,
+    label: Optional[str] = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> TradeoffPoint:
+    """Run ``trace`` through ``protocol``; measure the post-warmup part.
+
+    The warmup prefix trains caches' coherence state and predictors
+    without contributing to the reported metrics, mirroring the paper's
+    warmup protocol.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    n_warmup = int(len(trace) * warmup_fraction)
+    warmup, measured = trace.split_warmup(n_warmup)
+    protocol.run(warmup)
+    protocol.reset_totals()
+    totals = protocol.run(measured)
+    return TradeoffPoint(
+        label=label if label is not None else protocol.name,
+        workload=trace.name,
+        indirection_pct=totals.indirection_pct,
+        request_messages_per_miss=totals.request_messages_per_miss,
+        traffic_bytes_per_miss=totals.traffic_bytes_per_miss,
+        average_latency_ns=totals.average_latency_ns,
+        misses=totals.misses,
+        retries=totals.retries,
+    )
+
+
+def evaluate_design_space(
+    trace: Trace,
+    config: Optional[SystemConfig] = None,
+    predictors: Sequence[str] = (
+        "owner",
+        "broadcast-if-shared",
+        "group",
+        "owner-group",
+    ),
+    predictor_config: Optional[PredictorConfig] = None,
+    include_baselines: bool = True,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> List[TradeoffPoint]:
+    """Evaluate baselines plus each named predictor on one trace.
+
+    This reproduces one panel of Figure 5: the snooping and directory
+    endpoints plus one point per prediction policy.
+    """
+    config = config if config is not None else SystemConfig()
+    points: List[TradeoffPoint] = []
+    if include_baselines:
+        points.append(
+            evaluate_protocol(
+                DirectoryProtocol(config),
+                trace,
+                label="directory",
+                warmup_fraction=warmup_fraction,
+            )
+        )
+        points.append(
+            evaluate_protocol(
+                BroadcastSnoopingProtocol(config),
+                trace,
+                label="broadcast-snooping",
+                warmup_fraction=warmup_fraction,
+            )
+        )
+    for name in predictors:
+        protocol = MulticastSnoopingProtocol(
+            config, predictor=name, predictor_config=predictor_config
+        )
+        points.append(
+            evaluate_protocol(
+                protocol,
+                trace,
+                label=name,
+                warmup_fraction=warmup_fraction,
+            )
+        )
+    return points

@@ -1,0 +1,59 @@
+"""Destination-set predictors (the paper's core contribution).
+
+Each L2 cache controller owns one predictor.  On a miss the controller
+asks the predictor for a destination set; the multicast-snooping
+protocol sends the request to the predicted set unioned with the
+minimal set (requester + home).  Predictors train on two cues
+(Section 3.2): data responses (carrying the responder's identity) and
+external coherence requests delivered to this node.
+
+Policies (Table 3):
+
+- :class:`OwnerPredictor` — predict just the last owner (bandwidth).
+- :class:`BroadcastIfSharedPredictor` — broadcast when a 2-bit counter
+  says the block is shared (latency).
+- :class:`GroupPredictor` — per-processor 2-bit counters with a 5-bit
+  rollover "train-down" mechanism (balanced).
+- :class:`OwnerGroupPredictor` — Group for GETX, Owner for GETS.
+- :class:`StickySpatialPredictor` — the original multicast-snooping
+  predictor of Bilir et al. (prior work baseline).
+- :class:`MinimalPredictor` / :class:`BroadcastPredictor` — the
+  directory-like and snooping-like degenerate policies.
+- :class:`OraclePredictor` — perfect prediction (a bound, not in the
+  paper's figures).
+"""
+
+from repro.predictors.adaptive import BandwidthAdaptivePredictor
+from repro.predictors.base import (
+    DestinationSetPredictor,
+    PredictorTable,
+    indexing_key,
+)
+from repro.predictors.owner import OwnerPredictor
+from repro.predictors.broadcast_if_shared import BroadcastIfSharedPredictor
+from repro.predictors.group import GroupPredictor
+from repro.predictors.owner_group import OwnerGroupPredictor
+from repro.predictors.sticky_spatial import StickySpatialPredictor
+from repro.predictors.static import (
+    BroadcastPredictor,
+    MinimalPredictor,
+    OraclePredictor,
+)
+from repro.predictors.registry import PREDICTOR_NAMES, create_predictor
+
+__all__ = [
+    "BandwidthAdaptivePredictor",
+    "BroadcastIfSharedPredictor",
+    "BroadcastPredictor",
+    "DestinationSetPredictor",
+    "GroupPredictor",
+    "MinimalPredictor",
+    "OraclePredictor",
+    "OwnerGroupPredictor",
+    "OwnerPredictor",
+    "PREDICTOR_NAMES",
+    "PredictorTable",
+    "StickySpatialPredictor",
+    "create_predictor",
+    "indexing_key",
+]

@@ -1,0 +1,181 @@
+"""Predictor framework: interface and the tagged set-associative table.
+
+Predictors are tagged, set-associative, and (by default) indexed by
+data block address (paper Section 3.1); alternative indexings use
+macroblock addresses (dropping low-order bits) or the miss PC
+(Section 3.4).  On a predictor miss the predictor returns the empty
+set, which the protocol unions with the minimal destination set —
+reproducing the paper's "on a predictor miss, return the minimal
+destination set" default.
+
+Allocation policy (Section 3.1): "the predictor allocates an entry only
+if the minimal destination set proves insufficient to directly locate
+the requested block" — the ``allocate`` flag on
+:meth:`DestinationSetPredictor.train_response` carries that signal.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Callable, Generic, Optional, TypeVar
+
+from repro.common.destset import DestinationSet
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType, Address, NodeId
+
+EntryT = TypeVar("EntryT")
+
+
+def indexing_key(
+    address: Address, pc: Address, config: PredictorConfig
+) -> int:
+    """The predictor index key for a miss at ``address`` / ``pc``."""
+    if config.use_pc_index:
+        return pc
+    return address // config.index_granularity
+
+
+class PredictorTable(Generic[EntryT]):
+    """A tagged, set-associative (or unbounded) predictor table.
+
+    Bounded tables use LRU replacement within each set; unbounded
+    tables (``config.n_entries is None``) never evict, modelling the
+    paper's "unbounded size" sensitivity points.
+    """
+
+    def __init__(
+        self, config: PredictorConfig, entry_factory: Callable[[], EntryT]
+    ):
+        self._config = config
+        self._entry_factory = entry_factory
+        if config.unbounded:
+            self._store: OrderedDict = OrderedDict()
+            self._sets = None
+        else:
+            self._sets = [
+                OrderedDict() for _ in range(config.n_sets)
+            ]
+            self._store = None
+        self.n_allocations = 0
+        self.n_evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> PredictorConfig:
+        return self._config
+
+    def key_for(self, address: Address, pc: Address) -> int:
+        """Index key for an access (see :func:`indexing_key`)."""
+        return indexing_key(address, pc, self._config)
+
+    def lookup(self, key: int) -> Optional[EntryT]:
+        """Return the entry for ``key`` or None; refreshes LRU."""
+        table = self._table_for(key)
+        entry = table.get(key)
+        if entry is not None:
+            table.move_to_end(key)
+        return entry
+
+    def lookup_allocate(self, key: int) -> EntryT:
+        """Return the entry for ``key``, allocating (evicting) if absent."""
+        table = self._table_for(key)
+        entry = table.get(key)
+        if entry is not None:
+            table.move_to_end(key)
+            return entry
+        if (
+            self._sets is not None
+            and len(table) >= self._config.associativity
+        ):
+            table.popitem(last=False)
+            self.n_evictions += 1
+        entry = self._entry_factory()
+        table[key] = entry
+        self.n_allocations += 1
+        return entry
+
+    def occupancy(self) -> int:
+        """Number of live entries."""
+        if self._store is not None:
+            return len(self._store)
+        return sum(len(s) for s in self._sets)
+
+    # ------------------------------------------------------------------
+    def _table_for(self, key: int) -> OrderedDict:
+        if self._store is not None:
+            return self._store
+        return self._sets[key % self._config.n_sets]
+
+
+class DestinationSetPredictor(abc.ABC):
+    """Interface of a per-node destination-set predictor.
+
+    The returned prediction contains only the *extra* processors the
+    predictor nominates; the protocol always unions in the minimal
+    destination set (requester + home), as in the paper.
+    """
+
+    #: Short name used in reports and the registry.
+    policy_name: str = ""
+
+    def __init__(self, n_nodes: int, config: PredictorConfig):
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        self.config = config
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def predict(
+        self, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        """Predict extra destinations for a miss at ``address``."""
+
+    @abc.abstractmethod
+    def train_response(
+        self,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        """Train on the data response for this node's own miss.
+
+        ``responder`` is the supplying node, or ``MEMORY_NODE`` when
+        memory responded.  ``allocate`` is True when the minimal
+        destination set proved insufficient (the paper's allocation
+        filter); when False only existing entries are updated.
+        """
+
+    @abc.abstractmethod
+    def train_external(
+        self,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        """Train on an external coherence request delivered to this node."""
+
+    # ------------------------------------------------------------------
+    def train_truth(
+        self, address: Address, pc: Address, truth: DestinationSet
+    ) -> None:
+        """Train with the corrected destination set from the directory.
+
+        Only predictors that learn from directory retries/corrections
+        (StickySpatial) implement this; the default is a no-op.
+        """
+
+    def entry_bits(self) -> int:
+        """Approximate entry size in bits, excluding the tag (Table 3)."""
+        return 0
+
+    def stats(self) -> dict:
+        """Implementation counters for reports/tests."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_nodes={self.n_nodes})"

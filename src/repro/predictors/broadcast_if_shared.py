@@ -1,0 +1,109 @@
+"""The Broadcast-If-Shared predictor (paper Table 3, column 2).
+
+Targets latency: a single 2-bit saturating counter per entry decides
+between broadcasting (block predicted shared) and the minimal set.
+The counter is incremented on requests and responses from other
+processors and decremented on responses from memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.common.destset import DestinationSet
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType, Address, MEMORY_NODE, NodeId
+from repro.predictors.base import DestinationSetPredictor, PredictorTable
+
+_COUNTER_MAX = 3  # 2-bit saturating counter
+
+
+@dataclasses.dataclass
+class _CounterEntry:
+    """One 2-bit saturating counter."""
+
+    counter: int = 0
+
+    def increment(self) -> None:
+        if self.counter < _COUNTER_MAX:
+            self.counter += 1
+
+    def decrement(self) -> None:
+        if self.counter > 0:
+            self.counter -= 1
+
+
+class BroadcastIfSharedPredictor(DestinationSetPredictor):
+    """Broadcast when the block appears shared, minimal set otherwise."""
+
+    policy_name = "broadcast-if-shared"
+
+    def __init__(self, n_nodes: int, config: PredictorConfig):
+        super().__init__(n_nodes, config)
+        self._table: PredictorTable[_CounterEntry] = PredictorTable(
+            config, _CounterEntry
+        )
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        entry = self._table.lookup(self._table.key_for(address, pc))
+        if entry is not None and entry.counter > 1:
+            return DestinationSet.broadcast(self.n_nodes)
+        return DestinationSet.empty(self.n_nodes)
+
+    def train_response(
+        self,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        entry = self._entry(address, pc, allocate)
+        if entry is None:
+            return
+        if responder == MEMORY_NODE and not allocate:
+            # Memory satisfied the minimal set: block looks unshared.
+            entry.decrement()
+        else:
+            # Another cache responded, or the transaction needed other
+            # processors even though memory supplied/acked the data
+            # (e.g. an upgrade invalidating sharers): block is shared.
+            entry.increment()
+
+    def train_external(
+        self,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        # "incremented on requests and responses from other
+        # processors" (Section 3.3) — any external request signals
+        # sharing, reads included.
+        entry = self._entry(address, pc, allocate=False)
+        if entry is None:
+            return
+        entry.increment()
+
+    # ------------------------------------------------------------------
+    def entry_bits(self) -> int:
+        return 2
+
+    def stats(self) -> dict:
+        return {
+            "entries": self._table.occupancy(),
+            "allocations": self._table.n_allocations,
+            "evictions": self._table.n_evictions,
+        }
+
+    def _entry(
+        self, address: Address, pc: Address, allocate: bool
+    ) -> Optional[_CounterEntry]:
+        key = self._table.key_for(address, pc)
+        if allocate:
+            return self._table.lookup_allocate(key)
+        return self._table.lookup(key)

@@ -1,0 +1,149 @@
+"""The Group predictor (paper Table 3, column 3).
+
+Targets sharing among groups smaller than the whole machine: each
+entry holds one 2-bit saturating counter per processor plus a 5-bit
+rollover counter.  Training increments the counter of the responding
+or requesting processor; when the rollover counter wraps, every
+per-processor counter is decremented — the explicit "train down"
+mechanism that removes processors that stopped touching the block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.destset import DestinationSet
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType, Address, MEMORY_NODE, NodeId
+from repro.predictors.base import DestinationSetPredictor, PredictorTable
+
+_COUNTER_MAX = 3  # 2-bit saturating counters
+_ROLLOVER_PERIOD = 32  # 5-bit rollover counter
+
+
+class _GroupEntry:
+    """N 2-bit counters plus a 5-bit rollover counter."""
+
+    __slots__ = ("counters", "rollover")
+
+    def __init__(self, n_nodes: int):
+        self.counters: List[int] = [0] * n_nodes
+        self.rollover = 0
+
+    def predicted_nodes(self) -> List[NodeId]:
+        """Processors whose counters exceed the threshold."""
+        return [node for node, count in enumerate(self.counters) if count > 1]
+
+
+class GroupPredictor(DestinationSetPredictor):
+    """Predict the recently active sharing group of the block.
+
+    ``counter_bits`` generalises Table 3's 2-bit saturating counters
+    (an ablation knob): a node is predicted once its counter exceeds
+    half the saturation value, so 2 bits reproduces the paper's
+    "Counters[n] > 1" rule exactly.
+    """
+
+    policy_name = "group"
+
+    def __init__(
+        self,
+        n_nodes: int,
+        config: PredictorConfig,
+        rollover_period: int = _ROLLOVER_PERIOD,
+        train_down: bool = True,
+        counter_bits: int = 2,
+    ):
+        super().__init__(n_nodes, config)
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be at least 1")
+        if rollover_period < 1:
+            raise ValueError("rollover_period must be at least 1")
+        self._rollover_period = rollover_period
+        self._train_down = train_down
+        self._counter_max = (1 << counter_bits) - 1
+        self._threshold = self._counter_max // 2
+        self._counter_bits = counter_bits
+        self._table: PredictorTable[_GroupEntry] = PredictorTable(
+            config, self._make_entry
+        )
+
+    def _make_entry(self) -> _GroupEntry:
+        return _GroupEntry(self.n_nodes)
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        entry = self._table.lookup(self._table.key_for(address, pc))
+        if entry is None:
+            return DestinationSet.empty(self.n_nodes)
+        return DestinationSet.from_nodes(
+            self.n_nodes,
+            (
+                node
+                for node, count in enumerate(entry.counters)
+                if count > self._threshold
+            ),
+        )
+
+    def train_response(
+        self,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        entry = self._entry(address, pc, allocate)
+        if entry is None:
+            return
+        if responder != MEMORY_NODE:
+            self._train(entry, responder)
+
+    def train_external(
+        self,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        # "On each request or response, the predictor increments the
+        # corresponding counter" (Section 3.3) — external reads train
+        # too, which is what lets Group learn a producer's readers and
+        # predict the sharers its next upgrade must invalidate.
+        entry = self._entry(address, pc, allocate=False)
+        if entry is None:
+            return
+        self._train(entry, requester)
+
+    # ------------------------------------------------------------------
+    def entry_bits(self) -> int:
+        return self._counter_bits * self.n_nodes + 5
+
+    def stats(self) -> dict:
+        return {
+            "entries": self._table.occupancy(),
+            "allocations": self._table.n_allocations,
+            "evictions": self._table.n_evictions,
+        }
+
+    def _train(self, entry: _GroupEntry, node: NodeId) -> None:
+        if entry.counters[node] < self._counter_max:
+            entry.counters[node] += 1
+        if not self._train_down:
+            return  # Stickiness ablation: never decay.
+        entry.rollover += 1
+        if entry.rollover >= self._rollover_period:
+            entry.rollover = 0
+            entry.counters = [
+                count - 1 if count > 0 else 0 for count in entry.counters
+            ]
+
+    def _entry(
+        self, address: Address, pc: Address, allocate: bool
+    ) -> Optional[_GroupEntry]:
+        key = self._table.key_for(address, pc)
+        if allocate:
+            return self._table.lookup_allocate(key)
+        return self._table.lookup(key)

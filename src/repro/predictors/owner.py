@@ -1,0 +1,98 @@
+"""The Owner predictor (paper Table 3, column 1).
+
+Targets pairwise sharing and bandwidth-limited systems: it records the
+last processor known to own the block (the last responder or last
+external writer) and predicts exactly that one processor — at most one
+extra control message per request, independent of system size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.common.destset import DestinationSet
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType, Address, MEMORY_NODE, NodeId
+from repro.predictors.base import DestinationSetPredictor, PredictorTable
+
+
+@dataclasses.dataclass
+class _OwnerEntry:
+    """Owner id plus a valid bit (entry size ~ log2(N) + 1 bits)."""
+
+    owner: NodeId = 0
+    valid: bool = False
+
+
+class OwnerPredictor(DestinationSetPredictor):
+    """Predict the last known owner of the block."""
+
+    policy_name = "owner"
+
+    def __init__(self, n_nodes: int, config: PredictorConfig):
+        super().__init__(n_nodes, config)
+        self._table: PredictorTable[_OwnerEntry] = PredictorTable(
+            config, _OwnerEntry
+        )
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        entry = self._table.lookup(self._table.key_for(address, pc))
+        if entry is not None and entry.valid:
+            return DestinationSet.of(self.n_nodes, entry.owner)
+        return DestinationSet.empty(self.n_nodes)
+
+    def train_response(
+        self,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        entry = self._entry(address, pc, allocate)
+        if entry is None:
+            return
+        if responder == MEMORY_NODE:
+            # Memory responded: the minimal set suffices next time.
+            entry.valid = False
+        else:
+            entry.owner = responder
+            entry.valid = True
+
+    def train_external(
+        self,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        if access is not AccessType.GETX:
+            return  # Table 3: requests for shared are ignored.
+        entry = self._entry(address, pc, allocate=False)
+        if entry is None:
+            return
+        entry.owner = requester
+        entry.valid = True
+
+    # ------------------------------------------------------------------
+    def entry_bits(self) -> int:
+        return max(1, (self.n_nodes - 1).bit_length()) + 1
+
+    def stats(self) -> dict:
+        return {
+            "entries": self._table.occupancy(),
+            "allocations": self._table.n_allocations,
+            "evictions": self._table.n_evictions,
+        }
+
+    def _entry(
+        self, address: Address, pc: Address, allocate: bool
+    ) -> Optional[_OwnerEntry]:
+        key = self._table.key_for(address, pc)
+        if allocate:
+            return self._table.lookup_allocate(key)
+        return self._table.lookup(key)

@@ -1,0 +1,54 @@
+"""Predictor registry: name -> factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.common.params import PredictorConfig
+from repro.predictors.adaptive import BandwidthAdaptivePredictor
+from repro.predictors.base import DestinationSetPredictor
+from repro.predictors.broadcast_if_shared import BroadcastIfSharedPredictor
+from repro.predictors.group import GroupPredictor
+from repro.predictors.owner import OwnerPredictor
+from repro.predictors.owner_group import OwnerGroupPredictor
+from repro.predictors.static import (
+    BroadcastPredictor,
+    MinimalPredictor,
+    OraclePredictor,
+)
+from repro.predictors.sticky_spatial import StickySpatialPredictor
+
+PredictorFactory = Callable[[int, PredictorConfig], DestinationSetPredictor]
+
+_REGISTRY: Dict[str, PredictorFactory] = {
+    cls.policy_name: cls
+    for cls in (
+        BandwidthAdaptivePredictor,
+        OwnerPredictor,
+        BroadcastIfSharedPredictor,
+        GroupPredictor,
+        OwnerGroupPredictor,
+        StickySpatialPredictor,
+        MinimalPredictor,
+        BroadcastPredictor,
+        OraclePredictor,
+    )
+}
+
+#: The paper's four proposed policies, in Table 3 order.
+PAPER_POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
+
+#: All registered policy names.
+PREDICTOR_NAMES = tuple(sorted(_REGISTRY))
+
+
+def create_predictor(
+    name: str, n_nodes: int, config: PredictorConfig
+) -> DestinationSetPredictor:
+    """Instantiate the predictor registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown predictor {name!r}; known: {known}")
+    return factory(n_nodes, config)

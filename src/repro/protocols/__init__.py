@@ -1,0 +1,37 @@
+"""Message-level coherence protocol models.
+
+Three protocols, matching the paper's evaluation (Section 4):
+
+- :class:`BroadcastSnoopingProtocol` — MOSI broadcast snooping on a
+  totally-ordered interconnect: every request goes to every processor.
+- :class:`DirectoryProtocol` — a bandwidth-efficient MOSI directory
+  modelled on the AlphaServer GS320: requests go to the home node,
+  which forwards to the owner and/or sharers as needed.
+- :class:`MulticastSnoopingProtocol` — requests go to a predicted
+  destination set; the home's directory detects insufficient sets and
+  re-issues them with a corrected set (the Sorin et al. retry
+  optimization), falling back to broadcast on the third retry.
+
+Each protocol consumes trace records, maintains its own global MOSI
+state, and accounts messages, bytes, indirections, and latency.
+"""
+
+from repro.protocols.base import (
+    CoherenceProtocol,
+    LatencyClass,
+    RequestOutcome,
+    TrafficTotals,
+)
+from repro.protocols.snooping import BroadcastSnoopingProtocol
+from repro.protocols.directory import DirectoryProtocol
+from repro.protocols.multicast import MulticastSnoopingProtocol
+
+__all__ = [
+    "BroadcastSnoopingProtocol",
+    "CoherenceProtocol",
+    "DirectoryProtocol",
+    "LatencyClass",
+    "MulticastSnoopingProtocol",
+    "RequestOutcome",
+    "TrafficTotals",
+]

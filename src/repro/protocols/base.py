@@ -1,0 +1,165 @@
+"""Protocol interface and shared accounting types."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import enum
+
+from repro.common.params import LatencyModel, SystemConfig, TrafficModel
+from repro.coherence.state import CoherenceOutcome, GlobalCoherenceState
+from repro.trace.record import TraceRecord
+
+
+class LatencyClass(enum.Enum):
+    """End-to-end latency class of one coherence transaction.
+
+    Matches the paper's Section 5.1 numbers: 112 ns for a direct
+    cache-to-cache transfer, 180 ns for a fetch from memory, 242 ns for
+    an indirected (3-hop or retried) transfer.
+    """
+
+    CACHE_TO_CACHE_DIRECT = "c2c-direct"
+    MEMORY = "memory"
+    INDIRECT = "indirect"
+
+    def latency_ns(self, model: LatencyModel) -> float:
+        """Resolve this class against a :class:`LatencyModel`."""
+        if self is LatencyClass.CACHE_TO_CACHE_DIRECT:
+            return model.cache_to_cache_direct_ns
+        if self is LatencyClass.MEMORY:
+            return model.memory_ns
+        return model.cache_to_cache_indirect_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestOutcome:
+    """Accounting record for one coherence transaction.
+
+    ``request_messages`` counts deliveries of the initial request;
+    ``forward_messages`` counts directory forwards/invalidations;
+    ``retry_messages`` counts re-issued multicast deliveries.  The
+    paper's "request messages per miss" metric is the sum of all
+    three (Section 4.2: "requests, forwards, and retries").
+    """
+
+    coherence: CoherenceOutcome
+    request_messages: int
+    forward_messages: int
+    retry_messages: int
+    data_messages: int
+    indirection: bool
+    latency_class: LatencyClass
+    retries: int = 0
+
+    @property
+    def total_request_messages(self) -> int:
+        """Requests + forwards + retries (the Figure 5 x-axis unit)."""
+        return (
+            self.request_messages
+            + self.forward_messages
+            + self.retry_messages
+        )
+
+    def traffic_bytes(self, traffic: TrafficModel) -> int:
+        """Total interconnect bytes for this transaction."""
+        return (
+            self.total_request_messages * traffic.control_bytes
+            + self.data_messages * traffic.data_bytes
+        )
+
+
+@dataclasses.dataclass
+class TrafficTotals:
+    """Running totals over a stream of transactions."""
+
+    misses: int = 0
+    indirections: int = 0
+    request_messages: int = 0
+    forward_messages: int = 0
+    retry_messages: int = 0
+    data_messages: int = 0
+    traffic_bytes: int = 0
+    latency_ns_sum: float = 0.0
+    retries: int = 0
+
+    def add(
+        self,
+        outcome: RequestOutcome,
+        traffic: TrafficModel,
+        latency: LatencyModel,
+    ) -> None:
+        """Fold one transaction into the totals."""
+        self.misses += 1
+        self.indirections += int(outcome.indirection)
+        self.request_messages += outcome.request_messages
+        self.forward_messages += outcome.forward_messages
+        self.retry_messages += outcome.retry_messages
+        self.data_messages += outcome.data_messages
+        self.traffic_bytes += outcome.traffic_bytes(traffic)
+        self.latency_ns_sum += outcome.latency_class.latency_ns(latency)
+        self.retries += outcome.retries
+
+    # ------------------------------------------------------------------
+    @property
+    def indirection_pct(self) -> float:
+        """Percent of misses that required indirection (Fig 5 y-axis)."""
+        return 100.0 * self.indirections / self.misses if self.misses else 0.0
+
+    @property
+    def request_messages_per_miss(self) -> float:
+        """Requests + forwards + retries per miss (Fig 5 x-axis)."""
+        total = (
+            self.request_messages
+            + self.forward_messages
+            + self.retry_messages
+        )
+        return total / self.misses if self.misses else 0.0
+
+    @property
+    def traffic_bytes_per_miss(self) -> float:
+        """Interconnect bytes per miss (Fig 7/8 x-axis, unnormalized)."""
+        return self.traffic_bytes / self.misses if self.misses else 0.0
+
+    @property
+    def average_latency_ns(self) -> float:
+        """Mean transaction latency under the Table 4 latency model."""
+        return self.latency_ns_sum / self.misses if self.misses else 0.0
+
+
+class CoherenceProtocol(abc.ABC):
+    """A message-level protocol model consuming trace records."""
+
+    #: Protocol name for reports.
+    name: str = ""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.latency = LatencyModel.from_config(config)
+        self.traffic = TrafficModel.from_config(config)
+        self.state = GlobalCoherenceState(
+            config.n_processors, config.block_size
+        )
+        self.totals = TrafficTotals()
+
+    # ------------------------------------------------------------------
+    def handle(self, record: TraceRecord) -> RequestOutcome:
+        """Process one coherence request and update the totals."""
+        outcome = self._handle(record)
+        self.totals.add(outcome, self.traffic, self.latency)
+        return outcome
+
+    def run(self, records) -> TrafficTotals:
+        """Process a whole trace; returns the accumulated totals."""
+        for record in records:
+            self.handle(record)
+        return self.totals
+
+    def reset_totals(self) -> None:
+        """Clear accounting (e.g. after predictor/cache warmup)."""
+        self.totals = TrafficTotals()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _handle(self, record: TraceRecord) -> RequestOutcome:
+        """Protocol-specific transaction handling."""

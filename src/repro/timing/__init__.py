@@ -1,0 +1,33 @@
+"""Execution-driven timing simulation (paper Section 5).
+
+Models the paper's 16-node target system: processors paced by the
+instruction gaps between their L2 misses, coherence transactions costed
+with the Table 4 latency model, and a totally-ordered crossbar whose
+finite link bandwidth introduces queueing and serialization delays.
+
+Two processor models, as in the paper:
+
+- **simple** — in-order, blocking: one outstanding miss; would retire
+  four billion instructions per second with perfect caches.
+- **detailed** — approximates the dynamically scheduled core with a
+  configurable number of overlapping outstanding misses (memory-level
+  parallelism), capturing the latency overlap the paper's TFsim model
+  exposes.
+"""
+
+from repro.timing.interconnect import CrossbarInterconnect
+from repro.timing.processor import (
+    DetailedProcessorModel,
+    ProcessorModel,
+    SimpleProcessorModel,
+)
+from repro.timing.system import RuntimeResult, TimingSimulator
+
+__all__ = [
+    "CrossbarInterconnect",
+    "DetailedProcessorModel",
+    "ProcessorModel",
+    "RuntimeResult",
+    "SimpleProcessorModel",
+    "TimingSimulator",
+]

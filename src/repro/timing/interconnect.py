@@ -1,0 +1,64 @@
+"""The totally-ordered crossbar with link contention.
+
+All three protocols the paper evaluates require a total order of
+requests, so it models a single crossbar switch; contention arises from
+finite per-node link bandwidth (Table 4: 10 GB/s).  We model each
+node's link as a resource that serializes the bytes it carries: a
+transaction whose link is still busy waits, and large data responses
+occupy the requester's inbound link for ``bytes / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.params import SystemConfig
+from repro.common.types import NodeId
+
+
+class CrossbarInterconnect:
+    """Per-node link occupancy tracking for queueing/serialization."""
+
+    def __init__(self, config: SystemConfig):
+        self._bandwidth = config.link_bandwidth_bytes_per_ns
+        if self._bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self._link_free: List[float] = [0.0] * config.n_processors
+        self.bytes_carried = 0
+        self.total_queue_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def occupancy_ns(self, n_bytes: int) -> float:
+        """Time ``n_bytes`` occupies a link."""
+        return n_bytes / self._bandwidth
+
+    def acquire(self, node: NodeId, ready_ns: float, n_bytes: int) -> float:
+        """Send/receive ``n_bytes`` over ``node``'s link at ``ready_ns``.
+
+        Returns the delay added by the link: queueing (the link was
+        still busy) plus serialization of these bytes.  The link is
+        then busy until the transfer completes.
+        """
+        start = max(ready_ns, self._link_free[node])
+        queue_ns = start - ready_ns
+        finish = start + self.occupancy_ns(n_bytes)
+        self._link_free[node] = finish
+        self.bytes_carried += n_bytes
+        self.total_queue_ns += queue_ns
+        return finish - ready_ns
+
+    def load_broadcast(self, ready_ns: float, n_bytes: int) -> None:
+        """Charge ``n_bytes`` to every link (snooping request fan-out).
+
+        Broadcast requests occupy every node's inbound link; this only
+        matters under constrained bandwidth, but modelling it keeps the
+        bandwidth-sweep extension honest.
+        """
+        for node in range(len(self._link_free)):
+            start = max(ready_ns, self._link_free[node])
+            self._link_free[node] = start + self.occupancy_ns(n_bytes)
+            self.bytes_carried += n_bytes
+
+    def link_free_at(self, node: NodeId) -> float:
+        """When ``node``'s link next becomes idle."""
+        return self._link_free[node]

@@ -1,0 +1,124 @@
+"""The system-level timing simulator (Figures 7 and 8).
+
+Drives a coherence protocol with a trace, pacing each processor by its
+instruction gaps, costing each transaction with the Table 4 latency
+model, and adding crossbar queueing/serialization delays.  Records in
+the shared trace are processed in trace order (the total order the
+interconnect would impose); per-node clocks advance independently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.common.params import SystemConfig
+from repro.protocols.base import CoherenceProtocol
+from repro.timing.interconnect import CrossbarInterconnect
+from repro.timing.processor import (
+    DetailedProcessorModel,
+    ProcessorModel,
+    SimpleProcessorModel,
+)
+from repro.trace.trace import Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeResult:
+    """Outcome of one timing simulation."""
+
+    protocol: str
+    workload: str
+    runtime_ns: float
+    misses: int
+    traffic_bytes: int
+    indirection_pct: float
+    average_latency_ns: float
+    queue_ns_per_miss: float
+
+    @property
+    def traffic_bytes_per_miss(self) -> float:
+        """Interconnect bytes per miss (Fig 7/8 x-axis, unnormalized)."""
+        return self.traffic_bytes / self.misses if self.misses else 0.0
+
+
+def _make_processor(model: str, max_outstanding: int) -> ProcessorModel:
+    if model == "simple":
+        return SimpleProcessorModel()
+    if model == "detailed":
+        return DetailedProcessorModel(max_outstanding)
+    raise ValueError(f"unknown processor model {model!r}")
+
+
+class TimingSimulator:
+    """Executes a miss trace against a protocol with timing."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocol: CoherenceProtocol,
+        processor_model: str = "simple",
+        max_outstanding: int = 4,
+    ):
+        self.config = config
+        self.protocol = protocol
+        self.processor_model = processor_model
+        self.processors: List[ProcessorModel] = [
+            _make_processor(processor_model, max_outstanding)
+            for _ in range(config.n_processors)
+        ]
+        self.interconnect = CrossbarInterconnect(config)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, trace: Trace, warmup_fraction: float = 0.25
+    ) -> RuntimeResult:
+        """Simulate ``trace``; timing measured after the warmup prefix.
+
+        The warmup prefix trains protocol state and predictors without
+        advancing the clocks, so runtimes compare steady-state behaviour
+        (the paper warms caches and predictors from traces before its
+        timing runs).
+        """
+        n_warmup = int(len(trace) * warmup_fraction)
+        warmup, measured = trace.split_warmup(n_warmup)
+        self.protocol.run(warmup)
+        self.protocol.reset_totals()
+
+        traffic = self.protocol.traffic
+        latency = self.protocol.latency
+        for record in measured:
+            outcome = self.protocol.handle(record)
+            processor = self.processors[record.requester]
+            processor.compute(record.instructions)
+            issue_ns = processor.issue_miss()
+
+            # Bytes crossing the requester's own link: outbound request
+            # copies plus the inbound data response.
+            request_bytes = (
+                outcome.total_request_messages * traffic.control_bytes
+            )
+            data_bytes = outcome.data_messages * traffic.data_bytes
+            link_delay = self.interconnect.acquire(
+                record.requester, issue_ns, request_bytes + data_bytes
+            )
+            base_ns = outcome.latency_class.latency_ns(latency)
+            completion = issue_ns + max(base_ns, link_delay)
+            processor.complete_miss(completion)
+
+        totals = self.protocol.totals
+        runtime = max(p.finish_time() for p in self.processors)
+        return RuntimeResult(
+            protocol=self.protocol.name,
+            workload=trace.name,
+            runtime_ns=runtime,
+            misses=totals.misses,
+            traffic_bytes=totals.traffic_bytes,
+            indirection_pct=totals.indirection_pct,
+            average_latency_ns=totals.average_latency_ns,
+            queue_ns_per_miss=(
+                self.interconnect.total_queue_ns / totals.misses
+                if totals.misses
+                else 0.0
+            ),
+        )

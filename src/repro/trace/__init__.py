@@ -1,0 +1,24 @@
+"""Coherence-request traces.
+
+The paper's trace-driven evaluation (Sections 2 and 4) works from traces
+of second-level cache misses.  Each trace record contains the data
+address, program counter (PC), requesting processor, and request type —
+exactly the fields the paper lists in Section 2.1.
+
+This subpackage provides the record type, an in-memory trace container,
+text-file round-tripping, and stream filters/statistics.
+"""
+
+from repro.trace.record import TraceRecord
+from repro.trace.trace import Trace
+from repro.trace.io import read_trace, write_trace
+from repro.trace.stats import TraceStats, compute_trace_stats
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "TraceStats",
+    "compute_trace_stats",
+    "read_trace",
+    "write_trace",
+]

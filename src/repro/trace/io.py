@@ -1,0 +1,85 @@
+"""Trace file round-tripping.
+
+Traces are stored as a simple line-oriented text format so they are
+diffable and greppable::
+
+    # repro-trace v1 n_processors=16 name=apache
+    <address-hex> <pc-hex> <requester> <GETS|GETX> [instructions]
+
+One record per line; the optional fifth field is the instruction gap
+since the requester's previous miss.  Comment lines start with ``#``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.common.types import AccessType
+from repro.trace.record import TraceRecord
+from repro.trace.trace import Trace
+
+_HEADER_PREFIX = "# repro-trace v1"
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_trace(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in the text format."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(
+            f"{_HEADER_PREFIX} n_processors={trace.n_processors} "
+            f"name={trace.name or '-'}\n"
+        )
+        for record in trace:
+            handle.write(
+                f"{record.address:x} {record.pc:x} "
+                f"{record.requester} {record.access.value} "
+                f"{record.instructions}\n"
+            )
+
+
+def read_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`write_trace`."""
+    with open(path, "r", encoding="ascii") as handle:
+        header = handle.readline().rstrip("\n")
+        n_processors, name = _parse_header(header, path)
+        trace = Trace(n_processors=n_processors, name=name)
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            trace.append(_parse_record(line, path, line_number))
+    return trace
+
+
+def _parse_header(header: str, path: PathLike) -> tuple[int, str]:
+    if not header.startswith(_HEADER_PREFIX):
+        raise ValueError(f"{path}: not a repro-trace file (bad header)")
+    fields = dict(
+        part.split("=", 1)
+        for part in header[len(_HEADER_PREFIX):].split()
+        if "=" in part
+    )
+    try:
+        n_processors = int(fields["n_processors"])
+    except (KeyError, ValueError) as exc:
+        raise ValueError(f"{path}: malformed trace header") from exc
+    name = fields.get("name", "-")
+    return n_processors, "" if name == "-" else name
+
+
+def _parse_record(line: str, path: PathLike, line_number: int) -> TraceRecord:
+    parts = line.split()
+    if len(parts) not in (4, 5):
+        raise ValueError(f"{path}:{line_number}: expected 4 or 5 fields")
+    try:
+        return TraceRecord(
+            address=int(parts[0], 16),
+            pc=int(parts[1], 16),
+            requester=int(parts[2]),
+            access=AccessType(parts[3]),
+            instructions=int(parts[4]) if len(parts) == 5 else 0,
+        )
+    except ValueError as exc:
+        raise ValueError(f"{path}:{line_number}: {exc}") from exc

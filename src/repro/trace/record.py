@@ -1,0 +1,63 @@
+"""A single L2-miss coherence-request trace record.
+
+Matches the paper's trace format (Section 2.1): "For each coherence
+request, trace records contain the data address, program counter (PC)
+address, requester, and request type."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.types import AccessType, Address, NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One coherence request (an L2 miss) in program order.
+
+    Attributes:
+        address: physical data address of the miss (block-aligned or
+            not — consumers align as needed).
+        pc: program counter of the load/store instruction that missed.
+        requester: node id of the requesting processor.
+        access: ``GETS`` (read / request-for-shared) or ``GETX``
+            (write / request-for-exclusive).
+        instructions: instructions the requester executed since its
+            previous L2 miss (paces the execution-driven timing model;
+            zero when unknown, e.g. hand-built traces).
+    """
+
+    address: Address
+    pc: Address
+    requester: NodeId
+    access: AccessType
+    instructions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"negative address {self.address:#x}")
+        if self.pc < 0:
+            raise ValueError(f"negative pc {self.pc:#x}")
+        if self.requester < 0:
+            raise ValueError(f"negative requester {self.requester}")
+        if self.instructions < 0:
+            raise ValueError(f"negative instructions {self.instructions}")
+
+    def block(self, block_size: int) -> Address:
+        """The record's block-aligned address."""
+        return self.address & ~(block_size - 1)
+
+    def macroblock(self, macroblock_size: int) -> Address:
+        """The record's macroblock-aligned address."""
+        return self.address & ~(macroblock_size - 1)
+
+    @property
+    def is_read(self) -> bool:
+        """True for GETS records."""
+        return self.access.is_read
+
+    @property
+    def is_write(self) -> bool:
+        """True for GETX records."""
+        return self.access.is_write

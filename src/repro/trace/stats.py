@@ -1,0 +1,70 @@
+"""Aggregate trace statistics."""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict
+
+from repro.trace.trace import Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics for a coherence-request trace."""
+
+    n_records: int
+    n_reads: int
+    n_writes: int
+    unique_blocks: int
+    unique_macroblocks: int
+    unique_pcs: int
+    per_processor: Dict[int, int]
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of records that are GETS requests."""
+        return self.n_reads / self.n_records if self.n_records else 0.0
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of records that are GETX requests."""
+        return self.n_writes / self.n_records if self.n_records else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Memory touched, in bytes of 64-byte blocks (Table 2 col 2)."""
+        return self.unique_blocks * 64
+
+    @property
+    def macroblock_footprint_bytes(self) -> int:
+        """Memory touched in 1024-byte macroblocks (Table 2 col 3)."""
+        return self.unique_macroblocks * 1024
+
+
+def compute_trace_stats(
+    trace: Trace, block_size: int = 64, macroblock_size: int = 1024
+) -> TraceStats:
+    """Compute :class:`TraceStats` in a single pass over ``trace``."""
+    blocks = set()
+    macroblocks = set()
+    pcs = set()
+    n_reads = 0
+    per_processor: Dict[int, int] = collections.Counter()
+    for record in trace:
+        blocks.add(record.block(block_size))
+        macroblocks.add(record.macroblock(macroblock_size))
+        pcs.add(record.pc)
+        if record.is_read:
+            n_reads += 1
+        per_processor[record.requester] += 1
+    n_records = len(trace)
+    return TraceStats(
+        n_records=n_records,
+        n_reads=n_reads,
+        n_writes=n_records - n_reads,
+        unique_blocks=len(blocks),
+        unique_macroblocks=len(macroblocks),
+        unique_pcs=len(pcs),
+        per_processor=dict(per_processor),
+    )

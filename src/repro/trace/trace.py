@@ -1,0 +1,161 @@
+"""In-memory coherence-request trace container."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.common.types import AccessType, NodeId
+from repro.trace.record import TraceRecord
+
+
+class Trace:
+    """An ordered sequence of :class:`TraceRecord` with provenance.
+
+    The paper uses the first one million misses to warm caches and
+    predictors; :meth:`split_warmup` supports the same protocol.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[TraceRecord] = (),
+        n_processors: int = 16,
+        name: str = "",
+    ):
+        if n_processors <= 0:
+            raise ValueError("n_processors must be positive")
+        self._records: List[TraceRecord] = list(records)
+        self._n_processors = n_processors
+        self._name = name
+        for record in self._records:
+            self._check_record(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        """Processor count of the traced system."""
+        return self._n_processors
+
+    @property
+    def name(self) -> str:
+        """Workload name (e.g. ``"apache"``), for reporting."""
+        return self._name
+
+    def append(self, record: TraceRecord) -> None:
+        """Append one record (validated against the processor count)."""
+        self._check_record(record)
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    def split_warmup(self, n_warmup: int) -> tuple["Trace", "Trace"]:
+        """Split into (warmup, measurement) traces at ``n_warmup``."""
+        if n_warmup < 0:
+            raise ValueError("n_warmup must be non-negative")
+        head = Trace(
+            self._records[:n_warmup], self._n_processors, self._name
+        )
+        tail = Trace(
+            self._records[n_warmup:], self._n_processors, self._name
+        )
+        return head, tail
+
+    def filtered(
+        self, predicate: Callable[[TraceRecord], bool]
+    ) -> "Trace":
+        """A new trace with only records satisfying ``predicate``."""
+        return Trace(
+            (r for r in self._records if predicate(r)),
+            self._n_processors,
+            self._name,
+        )
+
+    def reads(self) -> "Trace":
+        """Only the GETS records."""
+        return self.filtered(lambda r: r.access is AccessType.GETS)
+
+    def writes(self) -> "Trace":
+        """Only the GETX records."""
+        return self.filtered(lambda r: r.access is AccessType.GETX)
+
+    def by_processor(self, node: NodeId) -> "Trace":
+        """Only records issued by ``node``."""
+        return self.filtered(lambda r: r.requester == node)
+
+    def head(self, n: int) -> "Trace":
+        """The first ``n`` records."""
+        return Trace(self._records[:n], self._n_processors, self._name)
+
+    def unique_blocks(self, block_size: int) -> int:
+        """Number of distinct block addresses touched."""
+        return len({r.block(block_size) for r in self._records})
+
+    def unique_pcs(self) -> int:
+        """Number of distinct miss PCs."""
+        return len({r.pc for r in self._records})
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(
+                self._records[index], self._n_processors, self._name
+            )
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self._name!r}, records={len(self._records)}, "
+            f"n_processors={self._n_processors})"
+        )
+
+    # ------------------------------------------------------------------
+    def _check_record(self, record: TraceRecord) -> None:
+        if not isinstance(record, TraceRecord):
+            raise TypeError(f"expected TraceRecord, got {type(record)}")
+        if record.requester >= self._n_processors:
+            raise ValueError(
+                f"requester {record.requester} outside "
+                f"[0, {self._n_processors})"
+            )
+
+
+def merge_round_robin(
+    traces: Sequence[Trace], name: Optional[str] = None
+) -> Trace:
+    """Interleave per-processor traces into one global order.
+
+    Used by workload generators that produce per-processor streams; the
+    round-robin interleave models the totally-ordered interconnect's
+    arbitration among concurrently issuing processors.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    n_processors = traces[0].n_processors
+    for trace in traces:
+        if trace.n_processors != n_processors:
+            raise ValueError("traces disagree on processor count")
+    merged = Trace(
+        n_processors=n_processors,
+        name=name if name is not None else traces[0].name,
+    )
+    iterators = [iter(t) for t in traces]
+    live = list(range(len(iterators)))
+    while live:
+        still_live = []
+        for idx in live:
+            try:
+                merged.append(next(iterators[idx]))
+            except StopIteration:
+                continue
+            still_live.append(idx)
+        live = still_live
+    return merged

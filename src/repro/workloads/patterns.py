@@ -1,0 +1,313 @@
+"""Sharing-pattern primitives used to compose workload models.
+
+Each :class:`Region` models one kind of data structure identified by
+the paper's sharing analysis (Section 2) and the coherence-prediction
+literature it cites:
+
+- :class:`PrivateRegion` — data touched by a single processor; tunable
+  between reuse-heavy (cache resident, few misses) and streaming
+  (capacity misses that memory, not a remote cache, satisfies).
+- :class:`MigratoryRegion` — lock-protected data that migrates between
+  processors with read-modify-write sequences (Gupta/Weber migratory
+  sharing; the dominant pattern behind "1 other processor" misses).
+- :class:`ProducerConsumerRegion` — one writer streaming a buffer that
+  one or more readers then consume (the paper's Section 3.4 motivating
+  example for macroblock indexing).
+- :class:`ReadMostlyRegion` — widely shared, rarely written data whose
+  occasional writes trigger wide invalidations ("3+" write misses in
+  Figure 2).
+
+A region is a stateful generator: ``access(node, rng)`` returns the
+next :class:`Access` that processor would make to the region.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import itertools
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.rng import zipf_rank
+from repro.common.types import Address, NodeId
+
+#: Byte distance between synthetic static instructions (SPARC-like).
+_PC_STRIDE = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class Access:
+    """One memory access produced by a region."""
+
+    address: Address
+    is_write: bool
+    pc: Address
+
+
+class Region(abc.ABC):
+    """A contiguous address range with a characteristic sharing pattern.
+
+    Attributes:
+        base: first byte of the region (block aligned by construction).
+        n_blocks: region length in cache blocks.
+        members: processors that access the region.
+    """
+
+    def __init__(
+        self,
+        base: Address,
+        n_blocks: int,
+        block_size: int,
+        members: Sequence[NodeId],
+        pc_base: Address,
+        n_pc_sites: int = 8,
+    ):
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        if not members:
+            raise ValueError("a region needs at least one member")
+        self.base = base
+        self.n_blocks = n_blocks
+        self.block_size = block_size
+        self.members: Tuple[NodeId, ...] = tuple(sorted(set(members)))
+        self._pc_base = pc_base
+        self._n_pc_sites = max(1, n_pc_sites)
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Region length in bytes."""
+        return self.n_blocks * self.block_size
+
+    @property
+    def end(self) -> Address:
+        """One past the last byte of the region."""
+        return self.base + self.size_bytes
+
+    def block_address(self, block_index: int) -> Address:
+        """Address of the region's ``block_index``-th block."""
+        return self.base + (block_index % self.n_blocks) * self.block_size
+
+    def pc_site(self, site: int) -> Address:
+        """PC of the region's ``site``-th static instruction."""
+        return self._pc_base + (site % self._n_pc_sites) * _PC_STRIDE
+
+    @abc.abstractmethod
+    def access(self, node: NodeId, rng: random.Random) -> Access:
+        """Produce ``node``'s next access to this region."""
+
+    def _check_member(self, node: NodeId) -> None:
+        if node not in self.members:
+            raise ValueError(
+                f"node {node} is not a member of region at {self.base:#x}"
+            )
+
+
+class PrivateRegion(Region):
+    """Data accessed by exactly one processor.
+
+    ``streaming_fraction`` controls the access pattern mixture:
+    sequential sweeps (which defeat LRU once the region exceeds the
+    cache, producing memory-sourced capacity misses) versus Zipf reuse
+    of hot blocks (which stay cache resident).  ``write_fraction`` sets
+    the store ratio.
+    """
+
+    def __init__(
+        self,
+        base: Address,
+        n_blocks: int,
+        block_size: int,
+        owner: NodeId,
+        pc_base: Address,
+        write_fraction: float = 0.3,
+        streaming_fraction: float = 0.3,
+        n_pc_sites: int = 8,
+    ):
+        super().__init__(
+            base, n_blocks, block_size, (owner,), pc_base, n_pc_sites
+        )
+        self.owner = owner
+        self.write_fraction = write_fraction
+        self.streaming_fraction = streaming_fraction
+        self._cursor = 0
+
+    def access(self, node: NodeId, rng: random.Random) -> Access:
+        self._check_member(node)
+        if rng.random() < self.streaming_fraction:
+            block = self._cursor
+            self._cursor = (self._cursor + 1) % self.n_blocks
+        else:
+            block = zipf_rank(rng, self.n_blocks)
+        is_write = rng.random() < self.write_fraction
+        site = 0 if is_write else 1
+        if block == self._cursor:
+            site += 2  # streaming loop has its own static instructions
+        return Access(
+            address=self.block_address(block),
+            is_write=is_write,
+            pc=self.pc_site(site + rng.randrange(2) * 4),
+        )
+
+
+class MigratoryRegion(Region):
+    """Lock-protected data migrating among a pool of processors.
+
+    Whenever a member that is not the current holder accesses the
+    region, the region migrates to it and the node performs a
+    read-modify-write: a load miss (finding the previous owner's dirty
+    copy) followed by a store (upgrading and invalidating it).  This is
+    the canonical migratory/pairwise pattern: both the read and the
+    write need exactly one other processor.
+    """
+
+    def __init__(
+        self,
+        base: Address,
+        n_blocks: int,
+        block_size: int,
+        pool: Sequence[NodeId],
+        pc_base: Address,
+        blocks_per_visit: int = 2,
+        n_pc_sites: int = 8,
+    ):
+        super().__init__(base, n_blocks, block_size, pool, pc_base, n_pc_sites)
+        self._holder: Optional[NodeId] = None
+        self._pending_writes: Dict[NodeId, Address] = {}
+        self.blocks_per_visit = max(1, blocks_per_visit)
+
+    def access(self, node: NodeId, rng: random.Random) -> Access:
+        self._check_member(node)
+        pending = self._pending_writes.pop(node, None)
+        if pending is not None and self._holder == node:
+            return Access(address=pending, is_write=True, pc=self.pc_site(1))
+        self._holder = node
+        block = zipf_rank(rng, self.n_blocks, exponent=0.8)
+        address = self.block_address(block)
+        self._pending_writes[node] = address
+        return Access(address=address, is_write=False, pc=self.pc_site(0))
+
+
+class ProducerConsumerRegion(Region):
+    """A buffer written sequentially by a producer, read by consumers.
+
+    The producer's writes invalidate the consumers' copies; consumer
+    reads then find the producer's dirty blocks (cache-to-cache
+    misses).  Sequential cursors give the pattern strong spatial
+    locality — a macroblock predictor that sees one block supplied by
+    the producer can predict the rest of the buffer.
+    """
+
+    def __init__(
+        self,
+        base: Address,
+        n_blocks: int,
+        block_size: int,
+        producer: NodeId,
+        consumers: Sequence[NodeId],
+        pc_base: Address,
+        n_pc_sites: int = 6,
+    ):
+        members = [producer, *consumers]
+        super().__init__(
+            base, n_blocks, block_size, members, pc_base, n_pc_sites
+        )
+        self.producer = producer
+        self.consumers = tuple(consumers)
+        self._write_cursor = 0
+        self._read_cursors: Dict[NodeId, int] = {
+            consumer: 0 for consumer in self.consumers
+        }
+
+    def access(self, node: NodeId, rng: random.Random) -> Access:
+        self._check_member(node)
+        if node == self.producer:
+            block = self._write_cursor
+            self._write_cursor = (self._write_cursor + 1) % self.n_blocks
+            return Access(
+                address=self.block_address(block),
+                is_write=True,
+                pc=self.pc_site(0),
+            )
+        cursor = self._read_cursors[node]
+        # Consumers chase the producer but never read ahead of it.
+        if cursor == self._write_cursor:
+            cursor = (self._write_cursor - 1) % self.n_blocks
+        self._read_cursors[node] = (cursor + 1) % self.n_blocks
+        return Access(
+            address=self.block_address(cursor),
+            is_write=False,
+            pc=self.pc_site(1 + self.consumers.index(node) % 4),
+        )
+
+
+class ReadMostlyRegion(Region):
+    """Widely shared data with rare writes.
+
+    Reads hit once a node has a copy, so steady-state misses cluster
+    just after each write: the writer's GETX invalidates every sharer
+    (a wide destination set) and the sharers' re-reads each find the
+    writer's copy.
+    """
+
+    def __init__(
+        self,
+        base: Address,
+        n_blocks: int,
+        block_size: int,
+        members: Sequence[NodeId],
+        pc_base: Address,
+        write_fraction: float = 0.02,
+        hot_exponent: float = 1.0,
+        n_pc_sites: int = 8,
+    ):
+        super().__init__(
+            base, n_blocks, block_size, members, pc_base, n_pc_sites
+        )
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.write_fraction = write_fraction
+        self.hot_exponent = hot_exponent
+
+    def access(self, node: NodeId, rng: random.Random) -> Access:
+        self._check_member(node)
+        block = zipf_rank(rng, self.n_blocks, exponent=self.hot_exponent)
+        is_write = rng.random() < self.write_fraction
+        return Access(
+            address=self.block_address(block),
+            is_write=is_write,
+            pc=self.pc_site(0 if is_write else 1 + block % 3),
+        )
+
+
+class AddressSpaceAllocator:
+    """Hands out non-overlapping, macroblock-aligned address ranges.
+
+    Keeps region placement deterministic and collision free; regions
+    are aligned to 1024-byte macroblocks so that macroblock-indexed
+    predictors never see two regions aliasing into one entry.
+    """
+
+    def __init__(self, alignment: int = 1024, start: Address = 0x1000_0000):
+        self._alignment = alignment
+        self._next = self._align_up(start)
+        self._pc_counter = itertools.count()
+        self._pc_base = 0x40_0000
+
+    def allocate(self, size_bytes: int) -> Address:
+        """Reserve ``size_bytes`` and return the base address."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        base = self._next
+        self._next = self._align_up(base + size_bytes)
+        return base
+
+    def allocate_pc_range(self, n_sites: int = 16) -> Address:
+        """Reserve a PC range for a region's static instructions."""
+        index = next(self._pc_counter)
+        return self._pc_base + index * n_sites * _PC_STRIDE * 16
+
+    def _align_up(self, address: Address) -> Address:
+        mask = self._alignment - 1
+        return (address + mask) & ~mask

@@ -1,0 +1,56 @@
+"""Workload registry: name -> model factory."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Type
+
+from repro.common.params import SystemConfig
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.barnes_hut import BarnesHutWorkload
+from repro.workloads.base import WorkloadModel
+from repro.workloads.ocean import OceanWorkload
+from repro.workloads.oltp import OltpWorkload
+from repro.workloads.slashcode import SlashcodeWorkload
+from repro.workloads.specjbb import SpecJbbWorkload
+
+_REGISTRY: Dict[str, Type[WorkloadModel]] = {
+    cls.name: cls
+    for cls in (
+        ApacheWorkload,
+        BarnesHutWorkload,
+        OceanWorkload,
+        OltpWorkload,
+        SlashcodeWorkload,
+        SpecJbbWorkload,
+    )
+}
+
+#: Workload names in the paper's presentation order.
+WORKLOAD_NAMES = tuple(
+    sorted(_REGISTRY, key=lambda name: name)
+)
+
+
+def create_workload(
+    name: str,
+    config: Optional[SystemConfig] = None,
+    seed: int = 42,
+    scale: float = 1.0 / 32.0,
+) -> WorkloadModel:
+    """Instantiate the workload model registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown workload {name!r}; known: {known}")
+    return factory(config=config, seed=seed, scale=scale)
+
+
+def iter_workloads(
+    config: Optional[SystemConfig] = None,
+    seed: int = 42,
+    scale: float = 1.0 / 32.0,
+) -> Iterator[WorkloadModel]:
+    """Instantiate every registered workload, in name order."""
+    for name in WORKLOAD_NAMES:
+        yield create_workload(name, config=config, seed=seed, scale=scale)

@@ -1,0 +1,98 @@
+"""Slashcode — dynamic web message board (paper Table 1).
+
+Modelled behaviours: large per-process Perl/MySQL heaps streamed with
+low reuse (the paper's largest commercial footprint at 181 MB and the
+lowest indirection rate at 35% — most misses are capacity misses that
+memory satisfies), plus moderate read-mostly message caches and a few
+migratory locks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.workloads.base import PaperProperties, WeightedRegion, WorkloadModel
+from repro.workloads.patterns import (
+    AddressSpaceAllocator,
+    MigratoryRegion,
+    PrivateRegion,
+    ReadMostlyRegion,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+class SlashcodeWorkload(WorkloadModel):
+    """Dynamic web serving: big cold heaps, light sharing."""
+
+    name = "slashcode"
+    description = "Slashcode 2.0 + Apache/mod_perl + MySQL, 48 users"
+    paper = PaperProperties(
+        footprint_mb=181,
+        macroblock_footprint_mb=316,
+        static_miss_pcs=42770,
+        total_misses_millions=13,
+        misses_per_kilo_instr=1.0,
+        directory_indirection_pct=35,
+    )
+    instructions_per_reference = 800
+
+    def _build(
+        self, alloc: AddressSpaceAllocator
+    ) -> Sequence[WeightedRegion]:
+        config = self.config
+        n = config.n_processors
+        regions: List[WeightedRegion] = []
+
+        # Per-process interpreter heaps: large and streamed.
+        for node in range(n):
+            blocks = self.scaled_blocks(10 * MB)
+            regions.append(
+                (
+                    PrivateRegion(
+                        base=alloc.allocate(blocks * config.block_size),
+                        n_blocks=blocks,
+                        block_size=config.block_size,
+                        owner=node,
+                        pc_base=alloc.allocate_pc_range(),
+                        write_fraction=0.3,
+                        streaming_fraction=0.75,
+                    ),
+                    0.48,
+                )
+            )
+
+        # Rendered-message caches: read-mostly, shared by all.
+        for index in range(8):
+            blocks = self.scaled_blocks(1 * MB)
+            regions.append(
+                (
+                    ReadMostlyRegion(
+                        base=alloc.allocate(blocks * config.block_size),
+                        n_blocks=blocks,
+                        block_size=config.block_size,
+                        members=range(n),
+                        pc_base=alloc.allocate_pc_range(),
+                        write_fraction=0.02,
+                    ),
+                    0.30 / 8,
+                )
+            )
+
+        # Database row locks: migratory among small pools.
+        for index in range(48):
+            pool = self.node_pool("locks", 2 + index % 5, index)
+            regions.append(
+                (
+                    MigratoryRegion(
+                        base=alloc.allocate(2 * config.block_size),
+                        n_blocks=2,
+                        block_size=config.block_size,
+                        pool=pool,
+                        pc_base=alloc.allocate_pc_range(),
+                    ),
+                    0.32 / 48 * len(pool),
+                )
+            )
+        return regions

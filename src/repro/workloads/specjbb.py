@@ -1,0 +1,100 @@
+"""SPECjbb — server-side Java middleware benchmark (paper Table 1).
+
+Modelled behaviours: per-warehouse object heaps (SPECjbb partitions
+work into warehouses, one per driver thread, so most data is
+effectively private but far larger than the cache — the paper's
+largest footprint at 341 MB with 41% indirections), plus shared
+read-mostly company-wide structures and migratory order records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.workloads.base import PaperProperties, WeightedRegion, WorkloadModel
+from repro.workloads.patterns import (
+    AddressSpaceAllocator,
+    MigratoryRegion,
+    PrivateRegion,
+    ReadMostlyRegion,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+class SpecJbbWorkload(WorkloadModel):
+    """Server-side Java: warehouse-partitioned heaps, modest sharing."""
+
+    name = "specjbb"
+    description = "SPECjbb2000, HotSpot JVM, 24 warehouses"
+    paper = PaperProperties(
+        footprint_mb=341,
+        macroblock_footprint_mb=558,
+        static_miss_pcs=24023,
+        total_misses_millions=21,
+        misses_per_kilo_instr=3.3,
+        directory_indirection_pct=41,
+    )
+    instructions_per_reference = 200
+
+    def _build(
+        self, alloc: AddressSpaceAllocator
+    ) -> Sequence[WeightedRegion]:
+        config = self.config
+        n = config.n_processors
+        regions: List[WeightedRegion] = []
+
+        # Warehouse heaps: one per node, much larger than the cache,
+        # accessed with a mix of reuse and allocation-sweep streaming
+        # (JVM allocation is sequential through the nursery).
+        for node in range(n):
+            blocks = self.scaled_blocks(19 * MB)
+            regions.append(
+                (
+                    PrivateRegion(
+                        base=alloc.allocate(blocks * config.block_size),
+                        n_blocks=blocks,
+                        block_size=config.block_size,
+                        owner=node,
+                        pc_base=alloc.allocate_pc_range(),
+                        write_fraction=0.4,
+                        streaming_fraction=0.5,
+                    ),
+                    0.44,
+                )
+            )
+
+        # Company-wide structures: read-mostly, shared by all.
+        for index in range(6):
+            blocks = self.scaled_blocks(1.5 * MB)
+            regions.append(
+                (
+                    ReadMostlyRegion(
+                        base=alloc.allocate(blocks * config.block_size),
+                        n_blocks=blocks,
+                        block_size=config.block_size,
+                        members=range(n),
+                        pc_base=alloc.allocate_pc_range(),
+                        write_fraction=0.03,
+                    ),
+                    0.30 / 6,
+                )
+            )
+
+        # Order records handed between warehouses: migratory.
+        for index in range(96):
+            pool = self.node_pool("orders", 2 + index % 5, index)
+            regions.append(
+                (
+                    MigratoryRegion(
+                        base=alloc.allocate(4 * config.block_size),
+                        n_blocks=4,
+                        block_size=config.block_size,
+                        pool=pool,
+                        pc_base=alloc.allocate_pc_range(),
+                    ),
+                    0.32 / 96 * len(pool),
+                )
+            )
+        return regions

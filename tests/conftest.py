@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.common.types import AccessType
+from repro.trace.record import TraceRecord
+from repro.trace.trace import Trace
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture
+def config16() -> SystemConfig:
+    """The paper's 16-node Table 4 system."""
+    return SystemConfig()
+
+
+@pytest.fixture
+def config4() -> SystemConfig:
+    """A small 4-node system with tiny caches for fast unit tests."""
+    return SystemConfig(
+        n_processors=4,
+        l1i_size=4 * KB,
+        l1d_size=4 * KB,
+        l2_size=16 * KB,
+    )
+
+
+@pytest.fixture
+def small_predictor_config() -> PredictorConfig:
+    """A small bounded predictor table."""
+    return PredictorConfig(
+        n_entries=64, associativity=4, index_granularity=64
+    )
+
+
+@pytest.fixture
+def unbounded_predictor_config() -> PredictorConfig:
+    """An unbounded, block-indexed predictor table."""
+    return PredictorConfig(n_entries=None, index_granularity=64)
+
+
+def gets(address: int, requester: int, pc: int = 0x1000) -> TraceRecord:
+    """A GETS (read) trace record."""
+    return TraceRecord(
+        address=address, pc=pc, requester=requester, access=AccessType.GETS
+    )
+
+
+def getx(address: int, requester: int, pc: int = 0x2000) -> TraceRecord:
+    """A GETX (write) trace record."""
+    return TraceRecord(
+        address=address, pc=pc, requester=requester, access=AccessType.GETX
+    )
+
+
+def make_trace(records, n_processors: int = 4, name: str = "test") -> Trace:
+    """Build a trace from record helpers."""
+    return Trace(records, n_processors=n_processors, name=name)

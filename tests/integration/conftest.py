@@ -1,0 +1,37 @@
+"""Shared corpus for integration tests.
+
+One moderate-size trace per workload, generated once per session —
+big enough for stable shapes, small enough for CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.corpus import TraceCorpus
+
+#: Reference count for integration traces.  Must be large enough that
+#: post-warmup measurements are past the cold-miss regime (each
+#: workload's footprint has been touched at least once); 200k
+#: references yield ~100k-200k misses per workload.
+N_REFERENCES = 200_000
+
+
+@pytest.fixture(scope="session")
+def corpus() -> TraceCorpus:
+    return TraceCorpus()
+
+
+@pytest.fixture(scope="session")
+def oltp_trace(corpus):
+    return corpus.trace("oltp", N_REFERENCES)
+
+
+@pytest.fixture(scope="session")
+def apache_trace(corpus):
+    return corpus.trace("apache", N_REFERENCES)
+
+
+@pytest.fixture(scope="session")
+def ocean_trace(corpus):
+    return corpus.trace("ocean", N_REFERENCES)

@@ -1,0 +1,106 @@
+"""Calibration fidelity: each workload model vs its paper Table 2 row.
+
+These are *shape* tests with deliberate slack: the workloads are
+synthetic, so we require the reproduced statistics to sit near the
+published values, not match them exactly.
+"""
+
+import pytest
+
+from repro.analysis.properties import workload_properties
+from repro.analysis.sharing import degree_of_sharing, sharing_histogram
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+from tests.integration.conftest import N_REFERENCES
+
+
+@pytest.fixture(scope="module")
+def measurements(corpus):
+    results = {}
+    for name in WORKLOAD_NAMES:
+        result = corpus.collect(name, N_REFERENCES)
+        results[name] = (
+            create_workload(name).paper,
+            workload_properties(result),
+            result,
+        )
+    return results
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestTable2Fidelity:
+    def test_directory_indirections_near_paper(self, measurements, name):
+        paper, measured, _ = measurements[name]
+        assert measured.directory_indirection_pct == pytest.approx(
+            paper.directory_indirection_pct, abs=10.0
+        )
+
+    def test_miss_rate_within_factor_two(self, measurements, name):
+        paper, measured, _ = measurements[name]
+        ratio = (
+            measured.misses_per_kilo_instruction
+            / paper.misses_per_kilo_instr
+        )
+        assert 0.5 < ratio < 2.0
+
+    def test_macroblock_footprint_smaller_than_block_count(
+        self, measurements, name
+    ):
+        _, measured, _ = measurements[name]
+        assert measured.footprint_macroblocks < measured.footprint_blocks
+        assert measured.static_miss_pcs > 20
+
+
+class TestTable2Ordering:
+    def test_indirection_ordering_matches_paper(self, measurements):
+        """Paper order: barnes > apache > oltp > ocean > jbb > slash."""
+        ind = {
+            name: measurements[name][1].directory_indirection_pct
+            for name in WORKLOAD_NAMES
+        }
+        assert ind["barnes-hut"] > ind["apache"] > ind["oltp"]
+        assert ind["oltp"] > ind["ocean"] > ind["specjbb"]
+        assert ind["specjbb"] > ind["slashcode"]
+
+    def test_commercial_miss_rates_exceed_scientific(self, measurements):
+        mki = {
+            name: measurements[name][1].misses_per_kilo_instruction
+            for name in WORKLOAD_NAMES
+        }
+        for commercial in ("apache", "oltp", "specjbb"):
+            for scientific in ("barnes-hut", "ocean"):
+                assert mki[commercial] > mki[scientific]
+
+
+class TestFigure2Shape:
+    def test_few_misses_need_multiple_recipients(self, corpus):
+        """Paper: only ~10% of requests go to >1 other processor."""
+        for name in WORKLOAD_NAMES:
+            trace = corpus.trace(name, N_REFERENCES)
+            histogram = sharing_histogram(trace)
+            assert histogram.multi_recipient_pct < 25.0, name
+
+    def test_apache_majority_single_recipient(self, apache_trace):
+        histogram = sharing_histogram(apache_trace)
+        assert histogram.total_pct(1) > 40.0
+
+
+class TestFigure3Shape:
+    def test_most_blocks_touched_by_one_processor(self, corpus):
+        """Fig 3a: the block histogram is dominated by degree 1."""
+        for name in ("apache", "slashcode", "specjbb"):
+            degree = degree_of_sharing(corpus.trace(name, N_REFERENCES))
+            assert degree.blocks_pct[1] > 50.0, name
+
+    def test_ocean_misses_concentrated_at_low_degree(self, ocean_trace):
+        """Fig 3b: Ocean's misses hit blocks shared by <= 4 procs."""
+        degree = degree_of_sharing(ocean_trace)
+        assert degree.misses_cumulative(4) > 75.0
+
+    def test_apache_misses_hit_widely_shared_blocks(self, apache_trace):
+        """Fig 3b: commercial misses concentrate on widely-touched
+        blocks far more than the block population (Fig 3a) suggests."""
+        degree = degree_of_sharing(apache_trace)
+        tail_misses = 100.0 - degree.misses_cumulative(8)
+        tail_blocks = 100.0 - degree.blocks_cumulative(8)
+        assert tail_misses > tail_blocks

@@ -1,0 +1,196 @@
+"""The paper's headline claims, as qualitative shape assertions.
+
+Every assertion here encodes a sentence from the paper's abstract,
+Section 4.3, or Section 5.3.  Absolute numbers differ (synthetic
+substrate); orderings and rough factors must hold.
+"""
+
+import pytest
+
+from repro.common.params import PredictorConfig
+from repro.evaluation.runtime import evaluate_runtime
+from repro.evaluation.tradeoff import evaluate_design_space
+
+PAPER_PREDICTORS = ("owner", "broadcast-if-shared", "group", "owner-group")
+
+
+@pytest.fixture(scope="module")
+def oltp_points(oltp_trace):
+    return {
+        p.label: p
+        for p in evaluate_design_space(
+            oltp_trace, predictors=PAPER_PREDICTORS + ("oracle",)
+        )
+    }
+
+
+@pytest.fixture(scope="module")
+def apache_points(apache_trace):
+    return {
+        p.label: p
+        for p in evaluate_design_space(
+            apache_trace, predictors=PAPER_PREDICTORS
+        )
+    }
+
+
+class TestEndpoints:
+    def test_snooping_is_zero_indirection_max_bandwidth(self, oltp_points):
+        snooping = oltp_points["broadcast-snooping"]
+        assert snooping.indirection_pct == 0.0
+        assert snooping.request_messages_per_miss == pytest.approx(15.0)
+        for label, point in oltp_points.items():
+            assert (
+                point.request_messages_per_miss
+                <= snooping.request_messages_per_miss + 1e-9
+            ), label
+
+    def test_directory_is_minimum_bandwidth(self, oltp_points):
+        directory = oltp_points["directory"]
+        for label, point in oltp_points.items():
+            if label in ("directory", "oracle"):
+                continue
+            assert (
+                point.request_messages_per_miss
+                >= directory.request_messages_per_miss - 0.2
+            ), label
+
+
+class TestAbstractClaim:
+    """Abstract: 'reduce indirections by up to 90% versus a directory,
+    using less than one third the request bandwidth of snooping.'"""
+
+    def test_group_reduces_indirections_by_most_of_directory(
+        self, oltp_points, apache_points
+    ):
+        for points in (oltp_points, apache_points):
+            directory = points["directory"].indirection_pct
+            group = points["group"].indirection_pct
+            assert group < 0.25 * directory
+
+    def test_group_uses_less_than_third_of_snooping_bandwidth(
+        self, oltp_points, apache_points
+    ):
+        for points in (oltp_points, apache_points):
+            snooping = points["broadcast-snooping"]
+            group = points["group"]
+            assert (
+                group.request_messages_per_miss
+                < snooping.request_messages_per_miss / 3.0
+            )
+
+
+class TestSection43Claims:
+    def test_owner_small_bandwidth_increment_over_directory(
+        self, oltp_points
+    ):
+        """Owner: < 25% more request traffic than the directory."""
+        directory = oltp_points["directory"]
+        owner = oltp_points["owner"]
+        assert owner.request_messages_per_miss < (
+            1.5 * directory.request_messages_per_miss
+        )
+        assert owner.indirection_pct < directory.indirection_pct
+
+    def test_bifs_keeps_indirections_under_six_percent(
+        self, oltp_points, apache_points
+    ):
+        for points in (oltp_points, apache_points):
+            assert points["broadcast-if-shared"].indirection_pct < 6.0
+
+    def test_bifs_cheaper_than_snooping(self, oltp_points):
+        assert (
+            oltp_points["broadcast-if-shared"].request_messages_per_miss
+            < oltp_points["broadcast-snooping"].request_messages_per_miss
+        )
+
+    def test_group_halves_snooping_traffic_below_15pct_indirection(
+        self, oltp_points, apache_points
+    ):
+        for points in (oltp_points, apache_points):
+            group = points["group"]
+            snooping = points["broadcast-snooping"]
+            assert group.indirection_pct < 15.0
+            assert (
+                group.request_messages_per_miss
+                < snooping.request_messages_per_miss / 2
+            )
+
+    def test_owner_group_between_owner_and_group(self, oltp_points):
+        owner = oltp_points["owner"]
+        group = oltp_points["group"]
+        hybrid = oltp_points["owner-group"]
+        assert (
+            group.indirection_pct - 1.0
+            <= hybrid.indirection_pct
+            <= owner.indirection_pct + 1.0
+        )
+        assert (
+            hybrid.request_messages_per_miss
+            <= group.request_messages_per_miss + 0.2
+        )
+
+    def test_oracle_bounds_every_policy(self, oltp_points):
+        oracle = oltp_points["oracle"]
+        assert oracle.indirection_pct == 0.0
+        for label, point in oltp_points.items():
+            assert (
+                oracle.request_messages_per_miss
+                <= point.request_messages_per_miss + 1e-9
+            ), label
+
+
+class TestRuntimeHeadline:
+    """Abstract: 'one of our predictors obtains almost 90% of the
+    performance of snooping while using only 15% more bandwidth than a
+    directory protocol (and less than half the bandwidth of
+    snooping).'"""
+
+    @pytest.fixture(scope="class")
+    def runtime_points(self, oltp_trace):
+        return {
+            p.label: p
+            for p in evaluate_runtime(
+                oltp_trace, predictors=("owner-group", "group")
+            )
+        }
+
+    def test_some_predictor_achieves_headline(self, runtime_points):
+        snooping = runtime_points["broadcast-snooping"]
+        directory = runtime_points["directory"]
+        achieved = False
+        for label in ("owner-group", "group"):
+            point = runtime_points[label]
+            performance = (
+                snooping.normalized_runtime / point.normalized_runtime
+            )
+            bandwidth_increment = (
+                point.normalized_traffic_per_miss
+                / directory.normalized_traffic_per_miss
+            )
+            half_snooping = (
+                point.normalized_traffic_per_miss
+                < snooping.normalized_traffic_per_miss / 2
+            )
+            if performance > 0.85 and bandwidth_increment < 1.25 and (
+                half_snooping
+            ):
+                achieved = True
+        assert achieved
+
+    def test_snooping_fastest_directory_slowest(self, runtime_points):
+        runtimes = {
+            label: p.normalized_runtime
+            for label, p in runtime_points.items()
+        }
+        assert min(runtimes, key=runtimes.get) == "broadcast-snooping"
+        assert max(runtimes, key=runtimes.get) == "directory"
+
+    def test_snooping_about_twice_directory_traffic(self, runtime_points):
+        """Section 5.3: snooping uses about twice the interconnect
+        bandwidth of the directory protocol on this configuration."""
+        ratio = (
+            runtime_points["broadcast-snooping"].normalized_traffic_per_miss
+            / runtime_points["directory"].normalized_traffic_per_miss
+        )
+        assert 1.6 < ratio < 3.0

@@ -1,0 +1,95 @@
+"""Unit tests for the predictor accuracy analysis."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    PredictionOutcome,
+    prediction_accuracy,
+)
+from repro.common.params import PredictorConfig, SystemConfig
+
+from tests.conftest import gets, getx, make_trace
+
+
+def pingpong_trace(n_rounds=40, n_processors=16):
+    records = []
+    for i in range(n_rounds):
+        node = i % 2
+        records.append(gets(0x1000, node, pc=0x10))
+        records.append(getx(0x1000, node, pc=0x14))
+    return make_trace(records, n_processors=n_processors)
+
+
+UNBOUNDED = PredictorConfig(n_entries=None, index_granularity=64)
+
+
+class TestAccuracyReport:
+    def test_empty_report_is_vacuously_perfect(self):
+        report = AccuracyReport(policy="x", workload="y")
+        assert report.coverage_pct == 100.0
+        assert report.precision_pct == 100.0
+        assert report.outcome_pct(PredictionOutcome.EXACT) == 0.0
+
+    def test_percentages(self):
+        report = AccuracyReport(
+            policy="x",
+            workload="y",
+            predictions=10,
+            required_nodes=8,
+            covered_nodes=6,
+            predicted_extra_nodes=12,
+            useful_extra_nodes=6,
+        )
+        report.outcomes[PredictionOutcome.EXACT] = 5
+        assert report.coverage_pct == pytest.approx(75.0)
+        assert report.precision_pct == pytest.approx(50.0)
+        assert report.outcome_pct(PredictionOutcome.EXACT) == 50.0
+
+
+class TestPredictionAccuracy:
+    def test_broadcast_has_full_coverage_low_precision(self):
+        report = prediction_accuracy(
+            pingpong_trace(), "broadcast", predictor_config=UNBOUNDED
+        )
+        assert report.coverage_pct == 100.0
+        assert report.precision_pct < 25.0
+        assert report.outcomes[PredictionOutcome.UNDER] == 0
+
+    def test_minimal_has_zero_coverage(self):
+        report = prediction_accuracy(
+            pingpong_trace(), "minimal", predictor_config=UNBOUNDED
+        )
+        assert report.coverage_pct == 0.0
+        # Everything required was missed entirely.
+        assert report.outcomes[PredictionOutcome.OVER] == 0
+        assert report.outcomes[PredictionOutcome.EXACT] == 0
+
+    def test_oracle_is_exact(self):
+        report = prediction_accuracy(
+            pingpong_trace(), "oracle", predictor_config=UNBOUNDED
+        )
+        assert report.coverage_pct == 100.0
+        assert report.precision_pct == 100.0
+        assert report.outcomes[PredictionOutcome.UNDER] == 0
+        assert report.outcomes[PredictionOutcome.OVER] == 0
+        assert report.outcomes[PredictionOutcome.MIXED] == 0
+
+    def test_owner_learns_pairwise_pattern(self):
+        report = prediction_accuracy(
+            pingpong_trace(200),
+            "owner",
+            predictor_config=UNBOUNDED,
+            warmup_fraction=0.5,
+        )
+        # Steady-state pairwise sharing is Owner's design target.
+        assert report.coverage_pct > 90.0
+        assert report.precision_pct > 90.0
+
+    def test_counts_only_post_warmup(self):
+        trace = pingpong_trace(40)
+        report = prediction_accuracy(
+            trace, "minimal", predictor_config=UNBOUNDED,
+            warmup_fraction=0.5,
+        )
+        assert report.predictions == len(trace) // 2

@@ -1,0 +1,68 @@
+"""Unit tests for the bandwidth-adaptive hybrid predictor (extension)."""
+
+import pytest
+
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType
+from repro.predictors.adaptive import BandwidthAdaptivePredictor
+
+N = 16
+GETS = AccessType.GETS
+CONFIG = PredictorConfig(n_entries=None, index_granularity=64)
+
+
+def trained(budget):
+    """A predictor trained so BIfS would broadcast and Owner knows 5."""
+    predictor = BandwidthAdaptivePredictor(N, CONFIG, budget)
+    for _ in range(3):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+    return predictor
+
+
+class TestModeSelection:
+    def test_generous_budget_behaves_like_bifs(self):
+        predictor = trained(budget=20.0)
+        assert predictor.predict(0x40, 0, GETS).is_broadcast()
+        assert predictor.stats()["aggressive_predictions"] == 1
+
+    def test_tight_budget_falls_back_to_owner(self):
+        predictor = trained(budget=0.5)
+        # First prediction is aggressive (EWMA starts at 0), which
+        # pushes the moving average over the tight budget...
+        assert predictor.predict(0x40, 0, GETS).is_broadcast()
+        # ...after which the controller switches to Owner mode.
+        for _ in range(5):
+            prediction = predictor.predict(0x40, 0, GETS)
+        assert prediction.nodes() == (5,)
+        assert predictor.stats()["conservative_predictions"] >= 1
+
+    def test_budget_controls_long_run_set_size(self):
+        tight = trained(budget=2.0)
+        generous = trained(budget=14.0)
+        tight_total = sum(
+            tight.predict(0x40, 0, GETS).count() for _ in range(300)
+        )
+        generous_total = sum(
+            generous.predict(0x40, 0, GETS).count() for _ in range(300)
+        )
+        assert tight_total < generous_total
+        # The tight controller's recent set size hovers near budget.
+        assert tight.stats()["recent_set_size"] < 8.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            BandwidthAdaptivePredictor(N, CONFIG, budget_messages_per_miss=0)
+
+    def test_trains_both_subpolicies(self):
+        predictor = BandwidthAdaptivePredictor(N, CONFIG, 4.0)
+        predictor.train_external(0x40, 0, 9, AccessType.GETX)
+        predictor.train_response(0x40, 0, 9, GETS, allocate=True)
+        # Owner learned 9 (response); drain the EWMA into Owner mode.
+        for _ in range(10):
+            predictor.predict(0x40, 0, AccessType.GETS)
+        predictor._recent_set_size = 100.0  # force conservative
+        assert predictor.predict(0x40, 0, GETS).nodes() == (9,)
+
+    def test_entry_bits_is_sum(self):
+        predictor = BandwidthAdaptivePredictor(N, CONFIG, 4.0)
+        assert predictor.entry_bits() == 2 + (4 + 1)

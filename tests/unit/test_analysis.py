@@ -1,0 +1,133 @@
+"""Unit tests for the Section 2 analysis modules."""
+
+import pytest
+
+from repro.analysis.locality import locality_cdf
+from repro.analysis.properties import workload_properties
+from repro.analysis.sharing import degree_of_sharing, sharing_histogram
+from repro.cache.pipeline import CollectionResult
+
+from tests.conftest import gets, getx, make_trace
+
+
+def pingpong_trace(n_rounds=10):
+    """Two processors trading one block: all sharing misses."""
+    records = []
+    for i in range(n_rounds):
+        node = i % 2
+        records.append(gets(0x40, node, pc=0x10))
+        records.append(getx(0x40, node, pc=0x14))
+    return make_trace(records)
+
+
+class TestSharingHistogram:
+    def test_cold_reads_fall_in_bin_zero(self):
+        trace = make_trace([gets(64 * i, 0) for i in range(10)])
+        histogram = sharing_histogram(trace, warmup_fraction=0.0)
+        assert histogram.read_pct[0] == pytest.approx(100.0)
+        assert histogram.multi_recipient_pct == 0.0
+
+    def test_pingpong_needs_one_other(self):
+        histogram = sharing_histogram(pingpong_trace(), warmup_fraction=0.2)
+        assert histogram.read_pct[1] + histogram.write_pct[1] > 90.0
+
+    def test_wide_invalidation_lands_in_three_plus(self):
+        records = [gets(0x40, node) for node in range(4)]
+        records.append(getx(0x40, 0))
+        histogram = sharing_histogram(
+            make_trace(records), warmup_fraction=0.0
+        )
+        assert histogram.write_pct[3] > 0
+
+    def test_percentages_sum_to_100(self):
+        histogram = sharing_histogram(pingpong_trace(), warmup_fraction=0.0)
+        total = sum(
+            histogram.read_pct[b] + histogram.write_pct[b]
+            for b in (0, 1, 2, 3)
+        )
+        assert total == pytest.approx(100.0)
+
+
+class TestDegreeOfSharing:
+    def test_private_blocks_have_degree_one(self):
+        trace = make_trace([gets(64 * i, 0) for i in range(5)])
+        degree = degree_of_sharing(trace)
+        assert degree.blocks_pct[1] == pytest.approx(100.0)
+
+    def test_shared_block_counts_every_toucher(self):
+        trace = make_trace([gets(0x40, node) for node in range(4)])
+        degree = degree_of_sharing(trace)
+        assert degree.blocks_pct[4] == pytest.approx(100.0)
+
+    def test_miss_weighting(self):
+        # One private block with 9 misses, one 2-shared with 1 miss each.
+        records = [gets(0x40, 0, pc=i) for i in range(9)]
+        records += [gets(0x80, 0), gets(0x80, 1)]
+        degree = degree_of_sharing(make_trace(records))
+        assert degree.blocks_pct[1] == pytest.approx(50.0)
+        assert degree.misses_pct[1] == pytest.approx(100 * 9 / 11)
+        assert degree.misses_cumulative(2) == pytest.approx(100.0)
+
+    def test_cumulative_is_monotone(self):
+        degree = degree_of_sharing(pingpong_trace())
+        values = [degree.misses_cumulative(n) for n in range(1, 17)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(100.0)
+
+
+class TestLocality:
+    def test_hot_block_dominates_cdf(self):
+        trace = pingpong_trace(50)
+        cdf = locality_cdf(trace, kind="block", warmup_fraction=0.0)
+        assert cdf.coverage(1) == pytest.approx(100.0)
+        assert cdf.n_entities == 1
+
+    def test_macroblock_aggregates_blocks(self):
+        records = []
+        for i in range(8):  # 8 blocks in one 1 KB macroblock
+            records.append(getx(0x1000 + 64 * i, 0, pc=0x10))
+            records.append(gets(0x1000 + 64 * i, 1, pc=0x14))
+        trace = make_trace(records)
+        blocks = locality_cdf(trace, kind="block", warmup_fraction=0.0)
+        macros = locality_cdf(trace, kind="macroblock", warmup_fraction=0.0)
+        assert blocks.n_entities == 8
+        assert macros.n_entities == 1
+
+    def test_pc_kind(self):
+        cdf = locality_cdf(pingpong_trace(20), kind="pc",
+                           warmup_fraction=0.0)
+        assert cdf.n_entities == 2  # one read PC, one write PC
+
+    def test_only_c2c_misses_counted(self):
+        trace = make_trace([gets(64 * i, 0) for i in range(10)])
+        cdf = locality_cdf(trace, kind="block", warmup_fraction=0.0)
+        assert cdf.total == 0
+        assert cdf.coverage(10) == 0.0
+
+    def test_entities_for_coverage(self):
+        cdf = locality_cdf(pingpong_trace(50), kind="block",
+                           warmup_fraction=0.0)
+        assert cdf.entities_for_coverage(50.0) == 1
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            locality_cdf(pingpong_trace(), kind="galaxy")
+
+
+class TestWorkloadProperties:
+    def test_measures_pingpong(self):
+        trace = pingpong_trace(25)
+        result = CollectionResult(
+            trace=trace,
+            instructions={0: 5000, 1: 5000},
+            references=len(trace),
+        )
+        properties = workload_properties(result, n_processors=4,
+                                         warmup_fraction=0.2)
+        assert properties.workload == "test"
+        assert properties.footprint_blocks == 1
+        assert properties.footprint_macroblocks == 1
+        assert properties.static_miss_pcs == 2
+        assert properties.total_misses == 50
+        assert properties.directory_indirection_pct > 90.0
+        assert properties.misses_per_kilo_instruction > 0

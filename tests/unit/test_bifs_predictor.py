@@ -1,0 +1,82 @@
+"""Unit tests for the Broadcast-If-Shared predictor."""
+
+import pytest
+
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType, MEMORY_NODE
+from repro.predictors.broadcast_if_shared import BroadcastIfSharedPredictor
+
+N = 16
+GETS = AccessType.GETS
+GETX = AccessType.GETX
+
+
+@pytest.fixture
+def predictor():
+    return BroadcastIfSharedPredictor(
+        N, PredictorConfig(n_entries=None, index_granularity=64)
+    )
+
+
+class TestCounterBehaviour:
+    def test_cold_is_minimal(self, predictor):
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+    def test_two_cache_responses_trigger_broadcast(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_empty()  # counter == 1
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_broadcast()
+
+    def test_memory_responses_train_down(self, predictor):
+        for _ in range(3):
+            predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_broadcast()
+        for _ in range(2):
+            predictor.train_response(0x40, 0, MEMORY_NODE, GETS,
+                                     allocate=False)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+    def test_counter_saturates(self, predictor):
+        for _ in range(10):
+            predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        # Two decrements from saturation (3) must drop below threshold.
+        predictor.train_response(0x40, 0, MEMORY_NODE, GETS, allocate=False)
+        assert predictor.predict(0x40, 0, GETS).is_broadcast()
+        predictor.train_response(0x40, 0, MEMORY_NODE, GETS, allocate=False)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+    def test_external_requests_train_up(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_external(0x40, 0, requester=3, access=GETS)
+        assert predictor.predict(0x40, 0, GETS).is_broadcast()
+
+    def test_upgrade_with_sharers_trains_up(self, predictor):
+        """Memory-acked transactions that needed other processors count
+        as sharing evidence, not as memory responses."""
+        predictor.train_response(0x40, 0, MEMORY_NODE, GETX, allocate=True)
+        predictor.train_response(0x40, 0, MEMORY_NODE, GETX, allocate=True)
+        assert predictor.predict(0x40, 0, GETX).is_broadcast()
+
+    def test_counter_floor_at_zero(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        for _ in range(5):
+            predictor.train_response(0x40, 0, MEMORY_NODE, GETS,
+                                     allocate=False)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=False)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=False)
+        # 0 -> 1 -> 2: broadcast again (floor was 0, not negative).
+        assert predictor.predict(0x40, 0, GETS).is_broadcast()
+
+
+class TestStructure:
+    def test_entry_bits(self, predictor):
+        assert predictor.entry_bits() == 2
+
+    def test_all_or_nothing(self, predictor):
+        """BIfS never predicts a proper subset: broadcast or empty."""
+        for i in range(40):
+            predictor.train_response(i * 64, 0, i % 4, GETS,
+                                     allocate=True)
+            prediction = predictor.predict(i * 64, 0, GETS)
+            assert prediction.is_empty() or prediction.is_broadcast()

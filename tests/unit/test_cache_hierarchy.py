@@ -1,0 +1,65 @@
+"""Unit tests for the L1/L2 hierarchy."""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.params import SystemConfig
+
+KB = 1024
+
+
+def make_hierarchy():
+    config = SystemConfig(
+        n_processors=4, l1d_size=1 * KB, l1i_size=1 * KB, l2_size=4 * KB
+    )
+    return CacheHierarchy(config)
+
+
+class TestHierarchy:
+    def test_miss_then_fill_then_hit(self):
+        h = make_hierarchy()
+        assert not h.access(0x40)
+        h.fill(0x40)
+        assert h.access(0x40)
+
+    def test_l2_hit_refills_l1(self):
+        h = make_hierarchy()
+        h.fill(0x40)
+        h.l1.invalidate(0x40)
+        assert not h.l1.probe(0x40)
+        assert h.access(0x40)  # L2 hit
+        assert h.l1.probe(0x40)  # refilled
+
+    def test_invalidate_clears_both_levels(self):
+        h = make_hierarchy()
+        h.fill(0x40)
+        assert h.invalidate(0x40)
+        assert not h.lookup(0x40)
+        assert not h.invalidate(0x40)
+
+    def test_inclusion_on_l2_eviction(self):
+        h = make_hierarchy()
+        # L2: 4 KB 4-way, 64 B blocks -> 16 sets... fill one set over.
+        set_stride = h.l2.n_sets * 64
+        addresses = [i * set_stride for i in range(5)]
+        evicted = []
+        for address in addresses:
+            evicted += h.fill(address)
+        assert evicted == [addresses[0]]
+        # Inclusion: the evicted block is gone from L1 too.
+        assert not h.l1.probe(addresses[0])
+        assert not h.lookup(addresses[0])
+
+    def test_fill_returns_only_l2_victims(self):
+        h = make_hierarchy()
+        # L1 is 1 KB (16 blocks), L2 64 blocks: overflow L1 only.
+        evicted = []
+        for i in range(20):
+            evicted += h.fill(i * 64)
+        assert evicted == []  # L1 victims stay resident in L2
+
+    def test_lookup_does_not_disturb_lru(self):
+        h = make_hierarchy()
+        h.fill(0x40)
+        before = h.l1.occupied_blocks(), h.l2.occupied_blocks()
+        h.lookup(0x40)
+        after = h.l1.occupied_blocks(), h.l2.occupied_blocks()
+        assert before == after

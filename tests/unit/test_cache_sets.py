@@ -1,0 +1,112 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.sets import SetAssociativeCache
+
+
+def make_cache(blocks=8, assoc=2, block_size=64):
+    return SetAssociativeCache(blocks * block_size, assoc, block_size)
+
+
+class TestGeometry:
+    def test_sets_and_capacity(self):
+        cache = make_cache(blocks=8, assoc=2)
+        assert cache.n_sets == 4
+        assert cache.capacity_blocks() == 8
+
+    def test_rejects_non_pow2_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 2, 64)
+
+    def test_rejects_indivisible_assoc(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(512, 3, 64)
+
+    def test_rejects_nonpositive_assoc(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(512, 0, 64)
+
+
+class TestBasicOperation:
+    def test_insert_then_probe(self):
+        cache = make_cache()
+        assert not cache.probe(0x40)
+        cache.insert(0x40)
+        assert cache.probe(0x40)
+
+    def test_probe_is_side_effect_free(self):
+        cache = make_cache(blocks=2, assoc=2, block_size=64)
+        cache.insert(0x000)  # set 0
+        cache.insert(0x080)  # set 0 (2 sets? blocks=2 assoc=2 -> 1 set)
+        cache.probe(0x000)
+        victim = cache.insert(0x100)
+        # LRU untouched by probe: 0x000 is still LRU and evicted.
+        assert victim == 0x000
+
+    def test_touch_refreshes_lru(self):
+        cache = SetAssociativeCache(128, 2, 64)  # one set, 2 ways
+        cache.insert(0x000)
+        cache.insert(0x040)
+        cache.touch(0x000)
+        victim = cache.insert(0x080)
+        assert victim == 0x040
+
+    def test_insert_existing_is_touch(self):
+        cache = SetAssociativeCache(128, 2, 64)
+        cache.insert(0x000)
+        cache.insert(0x040)
+        assert cache.insert(0x000) is None
+        assert cache.insert(0x080) == 0x040
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.probe(0x40)
+        assert not cache.invalidate(0x40)
+
+    def test_sub_block_addresses_alias(self):
+        cache = make_cache()
+        cache.insert(0x43)
+        assert cache.probe(0x7F)
+
+    def test_eviction_only_within_set(self):
+        cache = make_cache(blocks=8, assoc=2)  # 4 sets
+        # Fill set 0 beyond capacity; other sets untouched.
+        sets0 = [0x000, 0x100, 0x200]
+        victims = [cache.insert(a) for a in sets0]
+        assert victims == [None, None, 0x000]
+
+
+class TestLruProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, block_ids):
+        cache = make_cache(blocks=8, assoc=2)
+        for block_id in block_ids:
+            cache.insert(block_id * 64)
+        assert cache.occupied_blocks() <= cache.capacity_blocks()
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+    def test_most_recent_insert_always_present(self, block_ids):
+        cache = make_cache(blocks=8, assoc=2)
+        for block_id in block_ids:
+            cache.insert(block_id * 64)
+        assert cache.probe(block_ids[-1] * 64)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=100))
+    def test_victim_was_resident(self, block_ids):
+        cache = make_cache(blocks=4, assoc=4)  # fully associative
+        resident = set()
+        for block_id in block_ids:
+            address = block_id * 64
+            victim = cache.insert(address)
+            if victim is not None:
+                assert victim in resident
+                resident.discard(victim)
+            resident.add(address)
+        assert cache.occupied_blocks() == len(resident)

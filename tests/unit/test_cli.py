@@ -1,0 +1,86 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tradeoff_defaults(self):
+        args = build_parser().parse_args(["tradeoff", "oltp"])
+        assert args.workload == "oltp"
+        assert args.entries == 8192
+        assert args.granularity == 1024
+        assert not args.pc_index
+        assert "owner" in args.predictors
+
+    def test_runtime_model_choices(self):
+        args = build_parser().parse_args(
+            ["runtime", "oltp", "--model", "detailed"]
+        )
+        assert args.model == "detailed"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runtime", "oltp", "--model", "bad"])
+
+
+class TestCommands:
+    def test_workloads_lists_all_six(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        for name in ("apache", "barnes-hut", "ocean", "oltp",
+                     "slashcode", "specjbb"):
+            assert name in output
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["tradeoff", "nope", "--refs", "1000"])
+
+    def test_collect_then_tradeoff_roundtrip(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "mini.trace")
+        assert main(
+            ["collect", "barnes-hut", "--refs", "4000", "--out", trace_file]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(
+            ["tradeoff", trace_file, "--predictors", "owner",
+             "--entries", "0"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "broadcast-snooping" in output
+        assert "owner" in output
+
+    def test_tradeoff_with_plot(self, capsys):
+        assert main(
+            ["tradeoff", "barnes-hut", "--refs", "4000",
+             "--predictors", "group", "--plot"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "request messages per miss" in output
+        assert "X=directory" in output
+
+    def test_analyze_workload(self, capsys):
+        assert main(["analyze", "barnes-hut", "--refs", "4000"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "Figure 4" in output
+
+    def test_accuracy_command(self, capsys):
+        assert main(
+            ["accuracy", "barnes-hut", "--refs", "4000",
+             "--predictors", "owner", "group"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "coverage" in output
+        assert "group" in output
+
+    def test_runtime_command(self, capsys):
+        assert main(
+            ["runtime", "barnes-hut", "--refs", "4000",
+             "--predictors", "owner"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "norm-runtime" in output

@@ -1,0 +1,139 @@
+"""Unit and property tests for DestinationSet."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.destset import DestinationSet
+
+N = 16
+
+
+def bits_sets(n_nodes=N):
+    return st.integers(min_value=0, max_value=(1 << n_nodes) - 1).map(
+        lambda bits: DestinationSet(n_nodes, bits)
+    )
+
+
+class TestConstruction:
+    def test_empty_has_no_members(self):
+        s = DestinationSet.empty(N)
+        assert s.is_empty()
+        assert s.count() == 0
+        assert list(s) == []
+
+    def test_broadcast_has_all_members(self):
+        s = DestinationSet.broadcast(N)
+        assert s.is_broadcast()
+        assert s.count() == N
+        assert list(s) == list(range(N))
+
+    def test_of_builds_exact_membership(self):
+        s = DestinationSet.of(N, 3, 7, 11)
+        assert s.nodes() == (3, 7, 11)
+
+    def test_from_nodes_deduplicates(self):
+        s = DestinationSet.from_nodes(N, [5, 5, 5])
+        assert s.count() == 1
+
+    def test_rejects_nonpositive_universe(self):
+        with pytest.raises(ValueError):
+            DestinationSet(0)
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ValueError):
+            DestinationSet(4, 1 << 4)
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            DestinationSet.of(4, 4)
+        with pytest.raises(ValueError):
+            DestinationSet.of(4, -1)
+
+
+class TestQueries:
+    def test_contains(self):
+        s = DestinationSet.of(N, 2, 9)
+        assert s.contains(2) and s.contains(9)
+        assert not s.contains(3)
+
+    def test_in_operator(self):
+        s = DestinationSet.of(N, 2)
+        assert 2 in s
+        assert 3 not in s
+        assert "x" not in s
+        assert N + 5 not in s
+
+    def test_superset(self):
+        big = DestinationSet.of(N, 1, 2, 3)
+        small = DestinationSet.of(N, 2, 3)
+        assert big.is_superset_of(small)
+        assert not small.is_superset_of(big)
+        assert big.is_superset_of(DestinationSet.empty(N))
+
+    def test_len_matches_count(self):
+        s = DestinationSet.of(N, 0, 15)
+        assert len(s) == s.count() == 2
+
+
+class TestAlgebra:
+    def test_add_remove_roundtrip(self):
+        s = DestinationSet.empty(N).add(4)
+        assert s.contains(4)
+        assert not s.remove(4).contains(4)
+
+    def test_add_is_pure(self):
+        s = DestinationSet.empty(N)
+        s.add(1)
+        assert s.is_empty()
+
+    def test_union_intersection_difference(self):
+        a = DestinationSet.of(N, 1, 2)
+        b = DestinationSet.of(N, 2, 3)
+        assert (a | b).nodes() == (1, 2, 3)
+        assert (a & b).nodes() == (2,)
+        assert (a - b).nodes() == (1,)
+
+    def test_incompatible_universes_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationSet.empty(4).union(DestinationSet.empty(8))
+
+    def test_equality_and_hash(self):
+        a = DestinationSet.of(N, 1, 2)
+        b = DestinationSet.of(N, 2, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != DestinationSet.of(N, 1)
+        assert DestinationSet.of(4, 1) != DestinationSet.of(8, 1)
+
+
+class TestProperties:
+    @given(bits_sets(), bits_sets())
+    def test_union_is_superset_of_both(self, a, b):
+        u = a | b
+        assert u.is_superset_of(a) and u.is_superset_of(b)
+
+    @given(bits_sets(), bits_sets())
+    def test_union_count_inclusion_exclusion(self, a, b):
+        assert (a | b).count() == a.count() + b.count() - (a & b).count()
+
+    @given(bits_sets(), bits_sets())
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert ((a - b) & b).is_empty()
+
+    @given(bits_sets())
+    def test_iteration_matches_contains(self, s):
+        members = set(s)
+        for node in range(N):
+            assert (node in members) == s.contains(node)
+
+    @given(bits_sets(), bits_sets())
+    def test_union_commutes(self, a, b):
+        assert a | b == b | a
+
+    @given(bits_sets())
+    def test_broadcast_absorbs(self, s):
+        assert (s | DestinationSet.broadcast(N)).is_broadcast()
+
+    @given(st.integers(0, N - 1), bits_sets())
+    def test_add_then_contains(self, node, s):
+        assert s.add(node).contains(node)

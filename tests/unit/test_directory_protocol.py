@@ -1,0 +1,64 @@
+"""Unit tests for the directory protocol model."""
+
+import pytest
+
+from repro.common.types import home_node
+from repro.protocols.base import LatencyClass
+from repro.protocols.directory import DirectoryProtocol
+
+from tests.conftest import gets, getx, make_trace
+
+
+@pytest.fixture
+def protocol(config4):
+    return DirectoryProtocol(config4)
+
+
+class TestDirectory:
+    def test_memory_read_is_two_hop(self, protocol):
+        outcome = protocol.handle(gets(0x40, 0))
+        assert not outcome.indirection
+        assert outcome.latency_class is LatencyClass.MEMORY
+        assert outcome.forward_messages == 0
+
+    def test_c2c_read_indirects(self, protocol):
+        protocol.handle(getx(0x40, 1))
+        outcome = protocol.handle(gets(0x40, 2))
+        assert outcome.indirection
+        assert outcome.latency_class is LatencyClass.INDIRECT
+        assert outcome.forward_messages == 1
+
+    def test_write_forwards_invalidations(self, protocol):
+        protocol.handle(getx(0x40, 1))
+        protocol.handle(gets(0x40, 2))
+        protocol.handle(gets(0x40, 3))
+        outcome = protocol.handle(getx(0x40, 0))
+        # Owner (1) plus sharers (2, 3) each get one forward.
+        assert outcome.forward_messages == 3
+        assert outcome.indirection
+
+    def test_request_message_free_when_requester_is_home(self, config4):
+        protocol = DirectoryProtocol(config4)
+        address = 0x40
+        home = home_node(address, config4.n_processors, config4.block_size)
+        outcome = protocol.handle(gets(address, home))
+        assert outcome.request_messages == 0
+        other = (home + 1) % config4.n_processors
+        outcome = protocol.handle(gets(address + 0x1000, other))
+        assert outcome.request_messages in (0, 1)
+
+    def test_request_bandwidth_far_below_snooping(self, protocol, config4):
+        trace = make_trace(
+            [gets(0x40 * i, i % 4) for i in range(1, 40)]
+        )
+        totals = protocol.run(trace)
+        assert totals.request_messages_per_miss < 2.0
+
+    def test_invalidation_only_write_counts_as_indirection(self, protocol):
+        protocol.handle(gets(0x40, 1))
+        protocol.handle(gets(0x40, 2))
+        outcome = protocol.handle(getx(0x40, 3))
+        # Data from memory, but sharers 1, 2 must be invalidated.
+        assert outcome.indirection
+        assert outcome.latency_class is LatencyClass.MEMORY
+        assert outcome.forward_messages == 2

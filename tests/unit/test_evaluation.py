@@ -1,0 +1,161 @@
+"""Unit tests for the evaluation harnesses and report rendering."""
+
+import pytest
+
+from repro.analysis.locality import locality_cdf
+from repro.analysis.properties import workload_properties
+from repro.analysis.sharing import degree_of_sharing, sharing_histogram
+from repro.cache.pipeline import CollectionResult
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.evaluation.corpus import TraceCorpus
+from repro.evaluation.report import (
+    format_table,
+    render_degree_of_sharing,
+    render_locality,
+    render_runtime,
+    render_sharing_histogram,
+    render_tradeoff,
+    render_workload_properties,
+)
+from repro.evaluation.runtime import evaluate_runtime, make_protocol
+from repro.evaluation.tradeoff import evaluate_design_space, evaluate_protocol
+from repro.protocols.directory import DirectoryProtocol
+from repro.protocols.multicast import MulticastSnoopingProtocol
+from repro.protocols.snooping import BroadcastSnoopingProtocol
+
+from tests.conftest import gets, getx, make_trace
+
+
+def sharing_trace(n=60):
+    records = []
+    for i in range(n):
+        node = i % 2
+        records.append(gets(0x40, node, pc=0x10))
+        records.append(getx(0x40, node, pc=0x14))
+    trace = make_trace(records)
+    for record in trace:
+        object.__setattr__(record, "instructions", 50)
+    return trace
+
+
+class TestEvaluateProtocol:
+    def test_warmup_excluded_from_totals(self, config4):
+        trace = sharing_trace()
+        point = evaluate_protocol(
+            DirectoryProtocol(config4), trace, warmup_fraction=0.5
+        )
+        assert point.misses == len(trace) // 2
+
+    def test_rejects_bad_warmup(self, config4):
+        with pytest.raises(ValueError):
+            evaluate_protocol(
+                DirectoryProtocol(config4), sharing_trace(),
+                warmup_fraction=1.0,
+            )
+
+    def test_label_defaults_to_protocol_name(self, config4):
+        point = evaluate_protocol(DirectoryProtocol(config4),
+                                  sharing_trace())
+        assert point.label == "directory"
+
+
+class TestEvaluateDesignSpace:
+    def test_baselines_plus_predictors(self, config4):
+        points = evaluate_design_space(
+            sharing_trace(),
+            config=config4,
+            predictors=("owner",),
+            predictor_config=PredictorConfig(
+                n_entries=None, index_granularity=64
+            ),
+        )
+        labels = [p.label for p in points]
+        assert labels == ["directory", "broadcast-snooping", "owner"]
+
+    def test_snooping_never_indirects_and_uses_most_bandwidth(
+        self, config4
+    ):
+        points = evaluate_design_space(
+            sharing_trace(), config=config4, predictors=()
+        )
+        directory, snooping = points
+        assert snooping.indirection_pct == 0.0
+        assert (
+            snooping.request_messages_per_miss
+            > directory.request_messages_per_miss
+        )
+        assert directory.indirection_pct > 50.0
+
+
+class TestEvaluateRuntime:
+    def test_normalization_anchors(self, config4):
+        points = evaluate_runtime(
+            sharing_trace(),
+            config=config4,
+            predictors=(),
+        )
+        by_label = {p.label: p for p in points}
+        assert by_label["directory"].normalized_runtime == pytest.approx(100.0)
+        assert by_label["broadcast-snooping"].normalized_traffic_per_miss == (
+            pytest.approx(100.0)
+        )
+
+    def test_make_protocol_dispatch(self, config4):
+        assert isinstance(make_protocol("directory", config4),
+                          DirectoryProtocol)
+        assert isinstance(
+            make_protocol("broadcast-snooping", config4),
+            BroadcastSnoopingProtocol,
+        )
+        multicast = make_protocol("owner", config4)
+        assert isinstance(multicast, MulticastSnoopingProtocol)
+        assert multicast.predictor_name == "owner"
+
+
+class TestCorpus:
+    def test_caches_by_key(self):
+        corpus = TraceCorpus()
+        a = corpus.collect("barnes-hut", n_references=1500)
+        b = corpus.collect("barnes-hut", n_references=1500)
+        assert a is b
+        c = corpus.collect("barnes-hut", n_references=1600)
+        assert c is not a
+        corpus.clear()
+        assert corpus.collect("barnes-hut", n_references=1500) is not a
+
+    def test_trace_shortcut(self):
+        corpus = TraceCorpus()
+        trace = corpus.trace("barnes-hut", n_references=1500)
+        assert trace.name == "barnes-hut"
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_all_renderers_produce_text(self, config4):
+        trace = sharing_trace()
+        result = CollectionResult(
+            trace=trace, instructions={0: 3000, 1: 3000}, references=120
+        )
+        tradeoff_points = evaluate_design_space(
+            trace, config=config4, predictors=()
+        )
+        runtime_points = evaluate_runtime(trace, config=config4,
+                                          predictors=())
+        renders = [
+            render_workload_properties(
+                [workload_properties(result, n_processors=4)]
+            ),
+            render_sharing_histogram([sharing_histogram(trace)]),
+            render_degree_of_sharing([degree_of_sharing(trace)]),
+            render_locality([locality_cdf(trace)]),
+            render_tradeoff(tradeoff_points),
+            render_runtime(runtime_points),
+        ]
+        for text in renders:
+            assert "test" in text
+            assert len(text.splitlines()) >= 3

@@ -1,0 +1,142 @@
+"""Unit tests for the Group predictor (per-processor counters)."""
+
+import pytest
+
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType, MEMORY_NODE
+from repro.predictors.group import GroupPredictor
+
+N = 16
+GETS = AccessType.GETS
+GETX = AccessType.GETX
+
+
+def make(rollover_period=32, train_down=True):
+    return GroupPredictor(
+        N,
+        PredictorConfig(n_entries=None, index_granularity=64),
+        rollover_period=rollover_period,
+        train_down=train_down,
+    )
+
+
+class TestTraining:
+    def test_cold_is_minimal(self):
+        assert make().predict(0x40, 0, GETS).is_empty()
+
+    def test_node_needs_two_trainings_to_appear(self):
+        predictor = make()
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).nodes() == (5,)
+
+    def test_learns_a_group(self):
+        predictor = make()
+        for node in (2, 7, 11):
+            for _ in range(2):
+                predictor.train_external(0x40, 0, node, GETX)
+        # External training never allocates; allocate via a response.
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+        predictor.train_response(0x40, 0, 2, GETS, allocate=True)
+        predictor.train_response(0x40, 0, 2, GETS, allocate=True)
+        for node in (7, 11):
+            for _ in range(2):
+                predictor.train_external(0x40, 0, node, GETX)
+        prediction = predictor.predict(0x40, 0, GETX)
+        assert set(prediction) == {2, 7, 11}
+
+    def test_external_reads_train(self):
+        """Readers must enter the group so upgrades can invalidate them."""
+        predictor = make()
+        predictor.train_response(0x40, 0, 3, GETS, allocate=True)
+        predictor.train_external(0x40, 0, 9, GETS)
+        predictor.train_external(0x40, 0, 9, GETS)
+        assert 9 in predictor.predict(0x40, 0, GETX)
+
+    def test_memory_response_trains_nothing(self):
+        predictor = make()
+        predictor.train_response(0x40, 0, MEMORY_NODE, GETS, allocate=True)
+        predictor.train_response(0x40, 0, MEMORY_NODE, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+
+class TestRollover:
+    def test_rollover_decrements_inactive_nodes(self):
+        predictor = make(rollover_period=4)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).nodes() == (5,)
+        # Train other nodes enough to roll the entry over repeatedly;
+        # node 5 receives no more training and decays out.
+        for _ in range(4):
+            for node in (1, 2):
+                predictor.train_external(0x40, 0, node, GETX)
+        assert 5 not in predictor.predict(0x40, 0, GETS)
+
+    def test_train_down_disabled_keeps_stale_nodes(self):
+        predictor = make(rollover_period=4, train_down=False)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        for _ in range(8):
+            for node in (1, 2):
+                predictor.train_external(0x40, 0, node, GETX)
+        assert 5 in predictor.predict(0x40, 0, GETS)  # sticky ablation
+
+    def test_counters_never_negative(self):
+        predictor = make(rollover_period=2)
+        for _ in range(50):
+            predictor.train_external(0x40, 0, 1, GETX)
+        predictor.train_response(0x40, 0, 1, GETS, allocate=True)
+        prediction = predictor.predict(0x40, 0, GETS)
+        assert set(prediction) <= {1}
+
+
+class TestStructure:
+    def test_entry_bits_matches_table3(self):
+        assert make().entry_bits() == 2 * N + 5
+
+    def test_prediction_is_subset_of_nodes(self):
+        predictor = make()
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        for node in range(N):
+            predictor.train_external(0x40, 0, node, GETX)
+            predictor.train_external(0x40, 0, node, GETX)
+        prediction = predictor.predict(0x40, 0, GETX)
+        assert prediction.count() <= N
+
+
+class TestCounterWidth:
+    def test_one_bit_flips_on_single_event(self):
+        predictor = GroupPredictor(
+            N,
+            PredictorConfig(n_entries=None, index_granularity=64),
+            counter_bits=1,
+        )
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).nodes() == (5,)
+
+    def test_three_bit_needs_more_evidence(self):
+        predictor = GroupPredictor(
+            N,
+            PredictorConfig(n_entries=None, index_granularity=64),
+            counter_bits=3,
+        )
+        for _ in range(3):
+            predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).nodes() == (5,)
+
+    def test_entry_bits_scale_with_width(self):
+        for bits in (1, 2, 3):
+            predictor = GroupPredictor(
+                N, PredictorConfig(), counter_bits=bits
+            )
+            assert predictor.entry_bits() == bits * N + 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GroupPredictor(N, PredictorConfig(), counter_bits=0)
+        with pytest.raises(ValueError):
+            GroupPredictor(N, PredictorConfig(), rollover_period=0)

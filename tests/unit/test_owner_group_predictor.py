@@ -1,0 +1,57 @@
+"""Unit tests for the Owner/Group hybrid predictor."""
+
+import pytest
+
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType
+from repro.predictors.owner_group import OwnerGroupPredictor
+
+N = 16
+GETS = AccessType.GETS
+GETX = AccessType.GETX
+
+
+@pytest.fixture
+def predictor():
+    return OwnerGroupPredictor(
+        N, PredictorConfig(n_entries=None, index_granularity=64)
+    )
+
+
+class TestDispatch:
+    def test_gets_uses_owner_policy(self, predictor):
+        # Train a group of several nodes.
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_external(0x40, 0, 9, GETX)
+        predictor.train_external(0x40, 0, 9, GETX)
+        # GETS: just the (single) predicted owner — the last writer.
+        assert predictor.predict(0x40, 0, GETS).nodes() == (9,)
+
+    def test_getx_uses_group_policy(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_external(0x40, 0, 9, GETX)
+        predictor.train_external(0x40, 0, 9, GETX)
+        # GETX: the whole trained group.
+        assert set(predictor.predict(0x40, 0, GETX)) == {5, 9}
+
+    def test_gets_prediction_never_larger_than_getx(self, predictor):
+        for node in (1, 2, 3):
+            predictor.train_response(0x40, 0, node, GETS, allocate=True)
+            predictor.train_response(0x40, 0, node, GETS, allocate=True)
+        gets_prediction = predictor.predict(0x40, 0, GETS)
+        getx_prediction = predictor.predict(0x40, 0, GETX)
+        assert gets_prediction.count() <= 1
+        assert getx_prediction.is_superset_of(gets_prediction) or (
+            gets_prediction.count() <= 1
+        )
+
+    def test_entry_bits_is_sum_of_parts(self, predictor):
+        assert predictor.entry_bits() == (4 + 1) + (2 * N + 5)
+
+    def test_stats_expose_both_tables(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        stats = predictor.stats()
+        assert stats["owner"]["entries"] == 1
+        assert stats["group"]["entries"] == 1

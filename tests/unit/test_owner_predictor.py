@@ -1,0 +1,89 @@
+"""Unit tests for the Owner predictor (Table 3 semantics)."""
+
+import pytest
+
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType, MEMORY_NODE
+from repro.predictors.owner import OwnerPredictor
+
+N = 16
+GETS = AccessType.GETS
+GETX = AccessType.GETX
+
+
+@pytest.fixture
+def predictor():
+    return OwnerPredictor(N, PredictorConfig(n_entries=None,
+                                             index_granularity=64))
+
+
+class TestPrediction:
+    def test_cold_prediction_is_empty(self, predictor):
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+    def test_predicts_last_responder(self, predictor):
+        predictor.train_response(0x40, 0, responder=5, access=GETS,
+                                 allocate=True)
+        assert predictor.predict(0x40, 0, GETS).nodes() == (5,)
+        assert predictor.predict(0x40, 0, GETX).nodes() == (5,)
+
+    def test_memory_response_clears_valid(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_response(0x40, 0, MEMORY_NODE, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+    def test_external_getx_sets_owner(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_external(0x40, 0, requester=9, access=GETX)
+        assert predictor.predict(0x40, 0, GETS).nodes() == (9,)
+
+    def test_external_gets_is_ignored(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_external(0x40, 0, requester=9, access=GETS)
+        assert predictor.predict(0x40, 0, GETS).nodes() == (5,)
+
+    def test_external_training_does_not_allocate(self, predictor):
+        predictor.train_external(0x40, 0, requester=9, access=GETX)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+        assert predictor.stats()["entries"] == 0
+
+    def test_no_allocation_without_flag(self, predictor):
+        predictor.train_response(0x40, 0, 5, GETS, allocate=False)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+
+class TestPairwiseScenario:
+    def test_pairwise_sharing_predicted_both_ways(self):
+        """Owner's design target: two processors trading one block."""
+        config = PredictorConfig(n_entries=None, index_granularity=64)
+        a, b = OwnerPredictor(N, config), OwnerPredictor(N, config)
+        # A misses, B responds; B later GETXes and A observes.
+        a.train_response(0x40, 0, responder=1, access=GETS, allocate=True)
+        b.train_response(0x40, 0, responder=0, access=GETS, allocate=True)
+        assert a.predict(0x40, 0, GETS).nodes() == (1,)
+        assert b.predict(0x40, 0, GETS).nodes() == (0,)
+
+
+class TestStructure:
+    def test_entry_bits_matches_table3(self):
+        predictor = OwnerPredictor(16, PredictorConfig())
+        assert predictor.entry_bits() == 4 + 1  # log2(16) + valid
+
+    def test_macroblock_indexing_shares_entry(self):
+        predictor = OwnerPredictor(
+            N, PredictorConfig(n_entries=None, index_granularity=1024)
+        )
+        predictor.train_response(0x1000, 0, 5, GETS, allocate=True)
+        # Different block, same 1 KB macroblock.
+        assert predictor.predict(0x13C0, 0, GETS).nodes() == (5,)
+
+    def test_bounded_table_evicts(self):
+        predictor = OwnerPredictor(
+            N,
+            PredictorConfig(n_entries=4, associativity=1,
+                            index_granularity=64),
+        )
+        for i in range(16):
+            predictor.train_response(i * 64, 0, 5, GETS, allocate=True)
+        assert predictor.stats()["evictions"] > 0
+        assert predictor.stats()["entries"] <= 4

@@ -1,0 +1,104 @@
+"""Unit tests for system/predictor configuration."""
+
+import pytest
+
+from repro.common.params import (
+    LatencyModel,
+    PredictorConfig,
+    SystemConfig,
+    TrafficModel,
+)
+
+
+class TestSystemConfig:
+    def test_defaults_match_table4(self):
+        config = SystemConfig()
+        assert config.n_processors == 16
+        assert config.block_size == 64
+        assert config.l2_size == 4 * 1024 * 1024
+        assert config.l2_assoc == 4
+        assert config.memory_latency_ns == 80.0
+        assert config.link_latency_ns == 50.0
+        assert config.link_bandwidth_bytes_per_ns == 10.0
+        assert config.clock_ghz == 2.0
+
+    def test_message_sizes_match_section_5_1(self):
+        config = SystemConfig()
+        assert config.control_message_bytes == 8
+        assert config.data_message_bytes == 72
+
+    def test_derived_geometry(self):
+        config = SystemConfig()
+        assert config.blocks_per_macroblock == 16
+        assert config.l2_sets == 4 * 1024 * 1024 // (64 * 4)
+        assert config.cycle_ns == pytest.approx(0.5)
+
+    def test_with_processors(self):
+        config = SystemConfig().with_processors(64)
+        assert config.n_processors == 64
+        assert config.l2_size == SystemConfig().l2_size
+
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_processors=0)
+
+    def test_rejects_non_pow2_block(self):
+        with pytest.raises(ValueError):
+            SystemConfig(block_size=96)
+
+    def test_rejects_macroblock_smaller_than_block(self):
+        with pytest.raises(ValueError):
+            SystemConfig(block_size=64, macroblock_size=32)
+
+
+class TestLatencyModel:
+    def test_paper_latencies(self):
+        """Section 5.1: 180 ns memory, 112 ns direct c2c, 242 ns 3-hop."""
+        model = LatencyModel.from_config(SystemConfig())
+        assert model.memory_ns == pytest.approx(180.0)
+        assert model.cache_to_cache_direct_ns == pytest.approx(112.0)
+        assert model.cache_to_cache_indirect_ns == pytest.approx(242.0)
+
+    def test_ordering(self):
+        model = LatencyModel.from_config(SystemConfig())
+        assert (
+            model.cache_to_cache_direct_ns
+            < model.memory_ns
+            < model.cache_to_cache_indirect_ns
+        )
+
+
+class TestTrafficModel:
+    def test_from_config(self):
+        traffic = TrafficModel.from_config(SystemConfig())
+        assert traffic.control_bytes == 8
+        assert traffic.data_bytes == 72
+
+
+class TestPredictorConfig:
+    def test_paper_default(self):
+        config = PredictorConfig()
+        assert config.n_entries == 8192
+        assert config.index_granularity == 1024
+        assert not config.use_pc_index
+        assert not config.unbounded
+        assert config.n_sets == 8192 // 4
+
+    def test_unbounded(self):
+        config = PredictorConfig(n_entries=None)
+        assert config.unbounded
+        with pytest.raises(ValueError):
+            _ = config.n_sets
+
+    @pytest.mark.parametrize("bad", [100, -8, 0])
+    def test_rejects_bad_entry_counts(self, bad):
+        with pytest.raises(ValueError):
+            PredictorConfig(n_entries=bad)
+
+    def test_rejects_indivisible_associativity(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(n_entries=64, associativity=3)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(index_granularity=100)

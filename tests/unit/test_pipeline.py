@@ -1,0 +1,115 @@
+"""Unit tests for the trace-collection pipeline."""
+
+import pytest
+
+from repro.cache.pipeline import TraceCollector
+from repro.cache.reference import MemoryReference
+from repro.common.params import SystemConfig
+from repro.common.types import AccessType, MEMORY_NODE
+
+KB = 1024
+
+
+def small_config():
+    return SystemConfig(
+        n_processors=4, l1d_size=1 * KB, l1i_size=1 * KB, l2_size=4 * KB
+    )
+
+
+def read(node, address, instructions=10, pc=0x100):
+    return MemoryReference(node, address, pc, is_write=False,
+                           instructions=instructions)
+
+
+def write(node, address, instructions=10, pc=0x200):
+    return MemoryReference(node, address, pc, is_write=True,
+                           instructions=instructions)
+
+
+class TestMemoryReference:
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            MemoryReference(-1, 0, 0, False)
+        with pytest.raises(ValueError):
+            MemoryReference(0, -1, 0, False)
+        with pytest.raises(ValueError):
+            MemoryReference(0, 0, 0, False, instructions=-1)
+
+
+class TestCollector:
+    def test_cold_miss_then_hit(self):
+        collector = TraceCollector(small_config())
+        assert collector.process(read(0, 0x40))
+        assert not collector.process(read(0, 0x40))
+        assert len(collector.result().trace) == 1
+
+    def test_read_then_write_upgrades(self):
+        collector = TraceCollector(small_config())
+        collector.process(read(0, 0x40))
+        assert collector.process(write(0, 0x40))  # upgrade GETX
+        trace = collector.result().trace
+        assert [r.access for r in trace] == [AccessType.GETS, AccessType.GETX]
+
+    def test_write_hit_when_exclusive(self):
+        collector = TraceCollector(small_config())
+        collector.process(write(0, 0x40))
+        assert not collector.process(write(0, 0x40))
+
+    def test_owner_write_with_sharers_is_upgrade_miss(self):
+        collector = TraceCollector(small_config())
+        collector.process(write(0, 0x40))
+        collector.process(read(1, 0x40))
+        # Node 0 still owns, but node 1 shares: must issue GETX.
+        assert collector.process(write(0, 0x40))
+
+    def test_external_write_invalidates_reader(self):
+        collector = TraceCollector(small_config())
+        collector.process(read(0, 0x40))
+        collector.process(write(1, 0x40))
+        assert collector.process(read(0, 0x40))  # invalidated, misses
+
+    def test_instruction_accounting(self):
+        collector = TraceCollector(small_config())
+        collector.process(read(0, 0x40, instructions=25))
+        collector.process(read(1, 0x80, instructions=5))
+        result = collector.result()
+        assert result.instructions[0] == 25
+        assert result.instructions[1] == 5
+        assert result.total_instructions == 30
+        assert result.references == 2
+
+    def test_instruction_gaps_recorded_per_miss(self):
+        collector = TraceCollector(small_config())
+        collector.process(read(0, 0x40, instructions=10))
+        collector.process(read(0, 0x40, instructions=7))   # hit
+        collector.process(read(0, 0x80, instructions=3))   # miss
+        trace = collector.result().trace
+        assert trace[0].instructions == 10
+        assert trace[1].instructions == 10  # 7 + 3 since last miss
+
+    def test_misses_per_kilo_instruction(self):
+        collector = TraceCollector(small_config())
+        collector.process(read(0, 0x40, instructions=1000))
+        result = collector.result()
+        assert result.misses_per_kilo_instruction == pytest.approx(1.0)
+
+    def test_capacity_eviction_returns_ownership_to_memory(self):
+        config = small_config()
+        collector = TraceCollector(config)
+        # Stream writes far beyond the 4 KB L2 from one node.
+        n_blocks = (config.l2_size // config.block_size) * 3
+        for i in range(n_blocks):
+            collector.process(write(0, i * 64))
+        state = collector.global_state.lookup(0x0)
+        assert state.owner == MEMORY_NODE  # written back on eviction
+
+    def test_rejects_out_of_range_node(self):
+        collector = TraceCollector(small_config())
+        with pytest.raises(ValueError):
+            collector.process(read(9, 0x40))
+
+    def test_run_returns_result(self):
+        collector = TraceCollector(small_config(), name="demo")
+        result = collector.run([read(0, 0x40), write(1, 0x40)])
+        assert result.trace.name == "demo"
+        assert len(result.trace) == 2

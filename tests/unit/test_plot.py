@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII scatter plots."""
+
+import pytest
+
+from repro.evaluation.plot import plot_runtime, plot_tradeoff, scatter_plot
+from repro.evaluation.runtime import RuntimePoint
+from repro.evaluation.tradeoff import TradeoffPoint
+
+
+class TestScatterPlot:
+    def test_empty(self):
+        assert scatter_plot([]) == "(no points)"
+
+    def test_markers_and_legend(self):
+        text = scatter_plot(
+            [(1.0, 1.0, "alpha"), (2.0, 2.0, "beta")],
+            width=32,
+            height=8,
+        )
+        assert "X=alpha" in text
+        assert "O=beta" in text
+        body = text.split("\n")
+        assert any("X" in line for line in body)
+        assert any("O" in line for line in body)
+
+    def test_axis_labels_rendered(self):
+        text = scatter_plot(
+            [(0.0, 0.0, "p")], x_label="xxx", y_label="yyy"
+        )
+        assert "xxx" in text and "yyy" in text
+
+    def test_degenerate_ranges_handled(self):
+        text = scatter_plot([(5.0, 5.0, "a"), (5.0, 5.0, "b")])
+        assert "a" in text  # does not divide by zero
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            scatter_plot([(0, 0, "a")], width=4, height=2)
+
+    def test_shared_label_shares_marker(self):
+        text = scatter_plot(
+            [(1, 1, "same"), (2, 2, "same"), (3, 3, "same")],
+            width=32,
+            height=8,
+        )
+        marker_rows = [
+            line for line in text.splitlines() if "X" in line and "|" in line
+        ]
+        assert len(marker_rows) == 3
+
+
+class TestDomainPlots:
+    def test_plot_tradeoff(self):
+        points = [
+            TradeoffPoint("directory", "w", 70.0, 2.0, 85.0, 210.0, 100),
+            TradeoffPoint("snooping", "w", 0.0, 15.0, 192.0, 140.0, 100),
+        ]
+        text = plot_tradeoff(points)
+        assert "request messages per miss" in text
+        assert "X=directory" in text
+
+    def test_plot_runtime(self):
+        points = [
+            RuntimePoint("directory", "w", 100.0, 45.0, 1e6, 86.0, 70.0),
+            RuntimePoint("snooping", "w", 77.0, 100.0, 8e5, 192.0, 0.0),
+        ]
+        text = plot_runtime(points)
+        assert "normalized traffic" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the predictor table and indexing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import PredictorConfig
+from repro.predictors.base import PredictorTable, indexing_key
+
+
+class TestIndexingKey:
+    def test_block_indexing(self):
+        config = PredictorConfig(index_granularity=64)
+        assert indexing_key(0x1234, 0xF00, config) == 0x1234 // 64
+
+    def test_macroblock_indexing_merges_blocks(self):
+        config = PredictorConfig(index_granularity=1024)
+        key_a = indexing_key(0x1000, 0, config)
+        key_b = indexing_key(0x13FF, 0, config)
+        assert key_a == key_b
+
+    def test_pc_indexing(self):
+        config = PredictorConfig(use_pc_index=True)
+        assert indexing_key(0x1234, 0xF00, config) == 0xF00
+
+
+class TestBoundedTable:
+    def make(self, entries=8, assoc=2):
+        config = PredictorConfig(
+            n_entries=entries, associativity=assoc, index_granularity=64
+        )
+        return PredictorTable(config, dict)
+
+    def test_lookup_missing_returns_none(self):
+        table = self.make()
+        assert table.lookup(5) is None
+
+    def test_allocate_then_lookup(self):
+        table = self.make()
+        entry = table.lookup_allocate(5)
+        entry["x"] = 1
+        assert table.lookup(5) is entry
+        assert table.n_allocations == 1
+
+    def test_capacity_bounded_with_lru(self):
+        table = self.make(entries=8, assoc=2)  # 4 sets of 2
+        # Keys 0, 4, 8 map to set 0.
+        table.lookup_allocate(0)
+        table.lookup_allocate(4)
+        table.lookup(0)  # refresh 0
+        table.lookup_allocate(8)  # evicts 4
+        assert table.lookup(4) is None
+        assert table.lookup(0) is not None
+        assert table.n_evictions == 1
+
+    def test_occupancy(self):
+        table = self.make()
+        for key in range(5):
+            table.lookup_allocate(key)
+        assert table.occupancy() == 5
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 100), max_size=300))
+    def test_occupancy_never_exceeds_entries(self, keys):
+        table = self.make(entries=16, assoc=4)
+        for key in keys:
+            table.lookup_allocate(key)
+        assert table.occupancy() <= 16
+
+
+class TestUnboundedTable:
+    def test_never_evicts(self):
+        config = PredictorConfig(n_entries=None, index_granularity=64)
+        table = PredictorTable(config, dict)
+        for key in range(10_000):
+            table.lookup_allocate(key)
+        assert table.occupancy() == 10_000
+        assert table.n_evictions == 0

@@ -1,0 +1,123 @@
+"""Property-based cross-protocol invariants on random traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.protocols.directory import DirectoryProtocol
+from repro.protocols.multicast import MulticastSnoopingProtocol
+from repro.protocols.snooping import BroadcastSnoopingProtocol
+
+from tests.conftest import gets, getx, make_trace
+
+N = 8
+CONFIG = SystemConfig(n_processors=N)
+UNBOUNDED = PredictorConfig(n_entries=None, index_granularity=64)
+
+random_traces = st.lists(
+    st.tuples(
+        st.integers(0, N - 1),   # requester
+        st.integers(0, 15),      # block id
+        st.booleans(),           # is_write
+        st.integers(0, 3),       # pc site
+    ),
+    min_size=1,
+    max_size=120,
+).map(
+    lambda ops: make_trace(
+        [
+            getx(block * 64, node, pc=0x100 + pc * 4)
+            if is_write
+            else gets(block * 64, node, pc=0x100 + pc * 4)
+            for node, block, is_write, pc in ops
+        ],
+        n_processors=N,
+    )
+)
+
+
+class TestSnoopingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_traces)
+    def test_constant_fanout_and_zero_indirection(self, trace):
+        protocol = BroadcastSnoopingProtocol(CONFIG)
+        totals = protocol.run(trace)
+        assert totals.indirections == 0
+        assert totals.request_messages == (N - 1) * len(trace)
+        assert totals.data_messages == len(trace)
+
+
+class TestAccountingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_traces)
+    def test_traffic_bytes_decompose(self, trace):
+        protocol = DirectoryProtocol(CONFIG)
+        totals = protocol.run(trace)
+        control = (
+            totals.request_messages
+            + totals.forward_messages
+            + totals.retry_messages
+        )
+        assert totals.traffic_bytes == control * 8 + totals.data_messages * 72
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_traces)
+    def test_percentages_bounded(self, trace):
+        protocol = MulticastSnoopingProtocol(CONFIG, "group", UNBOUNDED)
+        totals = protocol.run(trace)
+        assert 0.0 <= totals.indirection_pct <= 100.0
+        assert totals.request_messages_per_miss >= 0.0
+        assert totals.misses == len(trace)
+
+
+class TestCrossProtocolInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(random_traces)
+    def test_multicast_minimal_never_indirects_more_than_directory(
+        self, trace
+    ):
+        """The home node's cache rides free in multicast snooping, so
+        multicast with the minimal predictor can only beat the
+        directory-metric indirection count, never exceed it."""
+        directory = DirectoryProtocol(CONFIG)
+        multicast = MulticastSnoopingProtocol(CONFIG, "minimal", UNBOUNDED)
+        directory_totals = directory.run(trace)
+        multicast_totals = multicast.run(trace)
+        assert (
+            multicast_totals.indirections <= directory_totals.indirections
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_traces)
+    def test_oracle_never_retries_and_uses_least_bandwidth(self, trace):
+        oracle = MulticastSnoopingProtocol(CONFIG, "oracle", UNBOUNDED)
+        broadcast = MulticastSnoopingProtocol(CONFIG, "broadcast",
+                                              UNBOUNDED)
+        oracle_totals = oracle.run(trace)
+        broadcast_totals = broadcast.run(trace)
+        assert oracle_totals.indirections == 0
+        assert oracle_totals.retries == 0
+        assert (
+            oracle_totals.request_messages
+            <= broadcast_totals.request_messages
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_traces)
+    def test_all_protocols_agree_on_final_state(self, trace):
+        protocols = [
+            BroadcastSnoopingProtocol(CONFIG),
+            DirectoryProtocol(CONFIG),
+            MulticastSnoopingProtocol(CONFIG, "owner", UNBOUNDED),
+        ]
+        for protocol in protocols:
+            protocol.run(trace)
+        blocks = {record.block(64) for record in trace}
+        reference = protocols[0].state
+        for protocol in protocols[1:]:
+            for block in blocks:
+                assert protocol.state.lookup(block).owner == (
+                    reference.lookup(block).owner
+                )
+                assert protocol.state.lookup(block).sharers == (
+                    reference.lookup(block).sharers
+                )

@@ -1,0 +1,54 @@
+"""Unit tests for the broadcast snooping protocol model."""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.protocols.base import LatencyClass
+from repro.protocols.snooping import BroadcastSnoopingProtocol
+
+from tests.conftest import gets, getx, make_trace
+
+
+@pytest.fixture
+def protocol(config4):
+    return BroadcastSnoopingProtocol(config4)
+
+
+class TestSnooping:
+    def test_no_indirections_ever(self, protocol):
+        trace = make_trace(
+            [getx(0x40, 0), gets(0x40, 1), getx(0x40, 2), gets(0x80, 3)]
+        )
+        totals = protocol.run(trace)
+        assert totals.indirections == 0
+        assert totals.indirection_pct == 0.0
+
+    def test_request_fanout_is_all_others(self, protocol, config4):
+        protocol.handle(gets(0x40, 0))
+        assert (
+            protocol.totals.request_messages == config4.n_processors - 1
+        )
+
+    def test_memory_vs_c2c_latency(self, protocol):
+        cold = protocol.handle(gets(0x40, 0))
+        assert cold.latency_class is LatencyClass.MEMORY
+        protocol.handle(getx(0x80, 1))
+        c2c = protocol.handle(gets(0x80, 2))
+        assert c2c.latency_class is LatencyClass.CACHE_TO_CACHE_DIRECT
+
+    def test_traffic_bytes(self, protocol, config4):
+        outcome = protocol.handle(gets(0x40, 0))
+        expected = (config4.n_processors - 1) * 8 + 72
+        assert outcome.traffic_bytes(protocol.traffic) == expected
+
+    def test_sixteen_node_fanout(self):
+        protocol = BroadcastSnoopingProtocol(SystemConfig())
+        outcome = protocol.handle(gets(0x40, 0))
+        assert outcome.request_messages == 15
+
+    def test_reset_totals(self, protocol):
+        protocol.handle(gets(0x40, 0))
+        protocol.reset_totals()
+        assert protocol.totals.misses == 0
+        # Coherence state survives the reset (warmup protocol).
+        assert protocol.state.lookup(0x40).sharers == {0}

@@ -1,0 +1,71 @@
+"""Unit tests for the static and oracle predictors plus the registry."""
+
+import pytest
+
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType
+from repro.coherence.state import GlobalCoherenceState
+from repro.predictors import PREDICTOR_NAMES, create_predictor
+from repro.predictors.registry import PAPER_POLICIES
+from repro.predictors.static import (
+    BroadcastPredictor,
+    MinimalPredictor,
+    OraclePredictor,
+)
+
+from tests.conftest import gets, getx
+
+N = 16
+GETS = AccessType.GETS
+GETX = AccessType.GETX
+CONFIG = PredictorConfig(n_entries=None, index_granularity=64)
+
+
+class TestStatic:
+    def test_minimal_always_empty(self):
+        predictor = MinimalPredictor(N, CONFIG)
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+    def test_broadcast_always_full(self):
+        predictor = BroadcastPredictor(N, CONFIG)
+        assert predictor.predict(0x40, 0, GETX).is_broadcast()
+
+
+class TestOracle:
+    def test_requires_binding(self):
+        predictor = OraclePredictor(N, CONFIG)
+        with pytest.raises(RuntimeError):
+            predictor.predict(0x40, 0, GETS)
+
+    def test_predicts_exact_required_set(self):
+        state = GlobalCoherenceState(N)
+        predictor = OraclePredictor(N, CONFIG)
+        predictor.bind(state, node=0)
+        state.apply(getx(0x40, 5, pc=0))
+        state.apply(gets(0x40, 9, pc=0))
+        assert predictor.predict(0x40, 0, GETS).nodes() == (5,)
+        assert set(predictor.predict(0x40, 0, GETX)) == {5, 9}
+
+    def test_oracle_excludes_self(self):
+        state = GlobalCoherenceState(N)
+        predictor = OraclePredictor(N, CONFIG)
+        predictor.bind(state, node=5)
+        state.apply(getx(0x40, 5, pc=0))
+        assert predictor.predict(0x40, 0, GETX).is_empty()
+
+
+class TestRegistry:
+    def test_paper_policies_registered(self):
+        for name in PAPER_POLICIES:
+            assert name in PREDICTOR_NAMES
+
+    @pytest.mark.parametrize("name", PREDICTOR_NAMES)
+    def test_create_each(self, name):
+        predictor = create_predictor(name, N, CONFIG)
+        assert predictor.policy_name == name
+        assert predictor.n_nodes == N
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            create_predictor("nope", N, CONFIG)

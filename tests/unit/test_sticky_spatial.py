@@ -1,0 +1,84 @@
+"""Unit tests for the Sticky-Spatial(1) prior-work baseline."""
+
+import pytest
+
+from repro.common.destset import DestinationSet
+from repro.common.params import PredictorConfig
+from repro.common.types import AccessType
+from repro.predictors.sticky_spatial import StickySpatialPredictor
+
+N = 16
+GETS = AccessType.GETS
+
+
+def make(n_entries=64):
+    config = PredictorConfig(
+        n_entries=n_entries,
+        associativity=1,
+        index_granularity=64,
+    )
+    return StickySpatialPredictor(N, config)
+
+
+def truth(*nodes):
+    return DestinationSet.of(N, *nodes)
+
+
+class TestTraining:
+    def test_cold_predicts_empty(self):
+        assert make().predict(0x40, 0, GETS).is_empty()
+
+    def test_trains_up_from_truth(self):
+        predictor = make()
+        predictor.train_truth(0x40, 0, truth(3, 7))
+        assert set(predictor.predict(0x40, 0, GETS)) == {3, 7}
+
+    def test_sticky_union_only(self):
+        predictor = make()
+        predictor.train_truth(0x40, 0, truth(3))
+        predictor.train_truth(0x40, 0, truth(7))
+        assert set(predictor.predict(0x40, 0, GETS)) == {3, 7}
+
+    def test_response_and_external_training_are_noops(self):
+        predictor = make()
+        predictor.train_response(0x40, 0, 5, GETS, allocate=True)
+        predictor.train_external(0x40, 0, 5, AccessType.GETX)
+        assert predictor.predict(0x40, 0, GETS).is_empty()
+
+
+class TestSpatialAggregation:
+    def test_neighbours_contribute(self):
+        predictor = make()
+        predictor.train_truth(0x40, 0, truth(3))   # block 1
+        predictor.train_truth(0xC0, 0, truth(7))   # block 3
+        # Block 2 aggregates neighbours 1 and 3.
+        assert set(predictor.predict(0x80, 0, GETS)) == {3, 7}
+
+    def test_far_blocks_do_not_contribute(self):
+        predictor = make()
+        predictor.train_truth(0x40, 0, truth(3))
+        assert predictor.predict(0x1400, 0, GETS).is_empty()
+
+
+class TestAliasing:
+    def test_prediction_ignores_tag(self):
+        predictor = make(n_entries=64)
+        predictor.train_truth(0x40, 0, truth(3))  # block 1
+        aliased = 0x40 + 64 * 64  # same index, different tag
+        assert 3 in predictor.predict(aliased, 0, GETS)
+
+    def test_replacement_resets_mask(self):
+        predictor = make(n_entries=64)
+        predictor.train_truth(0x40, 0, truth(3))
+        aliased = 0x40 + 64 * 64
+        predictor.train_truth(aliased, 0, truth(9))
+        # The entry was replaced, not unioned (tags differ).
+        assert set(predictor.predict(0x40, 0, GETS)) == {9}
+        assert predictor.stats()["replacements"] == 1
+
+    def test_unbounded_has_no_aliasing(self):
+        config = PredictorConfig(n_entries=None, index_granularity=64)
+        predictor = StickySpatialPredictor(N, config)
+        predictor.train_truth(0x40, 0, truth(3))
+        far_alias = 0x40 + 64 * 8192
+        assert predictor.predict(far_alias, 0, GETS).is_empty()

@@ -1,0 +1,119 @@
+"""Unit tests for destination-set sufficiency (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.destset import DestinationSet
+from repro.common.types import AccessType, MEMORY_NODE, home_node
+from repro.coherence.state import BlockState
+from repro.coherence.sufficiency import is_sufficient, minimal_set, required_set
+
+N = 16
+ADDRESS = 0x1000
+HOME = home_node(ADDRESS, N, 64)
+
+
+class TestMinimalSet:
+    def test_contains_requester_and_home(self):
+        minimal = minimal_set(3, ADDRESS, N)
+        assert minimal.contains(3)
+        assert minimal.contains(HOME)
+
+    def test_size_is_one_when_requester_is_home(self):
+        minimal = minimal_set(HOME, ADDRESS, N)
+        assert minimal.count() == 1
+
+
+class TestRequiredSet:
+    def test_memory_owner_read_needs_nobody(self):
+        block = BlockState()
+        assert required_set(block, 0, AccessType.GETS, N).is_empty()
+
+    def test_processor_owner_read_needs_owner(self):
+        block = BlockState(owner=5)
+        assert required_set(block, 0, AccessType.GETS, N).nodes() == (5,)
+
+    def test_own_block_read_needs_nobody(self):
+        block = BlockState(owner=5)
+        assert required_set(block, 5, AccessType.GETS, N).is_empty()
+
+    def test_write_needs_owner_and_sharers(self):
+        block = BlockState(owner=5, sharers=frozenset({2, 9}))
+        needed = required_set(block, 0, AccessType.GETX, N)
+        assert set(needed) == {2, 5, 9}
+
+    def test_read_ignores_sharers(self):
+        block = BlockState(owner=5, sharers=frozenset({2, 9}))
+        assert required_set(block, 0, AccessType.GETS, N).nodes() == (5,)
+
+    def test_write_excludes_requester_from_sharers(self):
+        block = BlockState(owner=MEMORY_NODE, sharers=frozenset({0, 2}))
+        assert required_set(block, 0, AccessType.GETX, N).nodes() == (2,)
+
+
+class TestIsSufficient:
+    def test_must_include_requester(self):
+        destination = DestinationSet.of(N, HOME)
+        assert not is_sufficient(
+            destination, BlockState(), 3, AccessType.GETS, ADDRESS
+        )
+
+    def test_must_include_home(self):
+        destination = DestinationSet.of(N, 3)
+        assert not is_sufficient(
+            destination, BlockState(), 3, AccessType.GETS, ADDRESS
+        )
+
+    def test_minimal_sufficient_for_memory_owned_read(self):
+        minimal = minimal_set(3, ADDRESS, N)
+        assert is_sufficient(
+            minimal, BlockState(), 3, AccessType.GETS, ADDRESS
+        )
+
+    def test_minimal_insufficient_when_cache_owned(self):
+        minimal = minimal_set(3, ADDRESS, N)
+        block = BlockState(owner=9)
+        assert not is_sufficient(
+            minimal, block, 3, AccessType.GETS, ADDRESS
+        )
+
+    def test_adding_owner_makes_read_sufficient(self):
+        destination = minimal_set(3, ADDRESS, N).add(9)
+        block = BlockState(owner=9)
+        assert is_sufficient(destination, block, 3, AccessType.GETS, ADDRESS)
+
+    def test_write_needs_every_sharer(self):
+        block = BlockState(owner=9, sharers=frozenset({1, 2}))
+        partial = minimal_set(3, ADDRESS, N).add(9).add(1)
+        assert not is_sufficient(partial, block, 3, AccessType.GETX, ADDRESS)
+        full = partial.add(2)
+        assert is_sufficient(full, block, 3, AccessType.GETX, ADDRESS)
+
+    def test_broadcast_always_sufficient(self):
+        block = BlockState(owner=9, sharers=frozenset({1, 2, 7}))
+        assert is_sufficient(
+            DestinationSet.broadcast(N), block, 3, AccessType.GETX, ADDRESS
+        )
+
+    @settings(max_examples=80)
+    @given(
+        owner=st.one_of(st.just(MEMORY_NODE), st.integers(0, N - 1)),
+        sharer_bits=st.integers(0, (1 << N) - 1),
+        requester=st.integers(0, N - 1),
+        access=st.sampled_from([AccessType.GETS, AccessType.GETX]),
+    )
+    def test_minimal_plus_required_is_always_sufficient(
+        self, owner, sharer_bits, requester, access
+    ):
+        sharers = frozenset(
+            node
+            for node in range(N)
+            if sharer_bits >> node & 1 and node != owner
+        )
+        block = BlockState(owner=owner, sharers=sharers)
+        destination = minimal_set(requester, ADDRESS, N) | required_set(
+            block, requester, access, N
+        )
+        assert is_sufficient(
+            destination, block, requester, access, ADDRESS
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for the interconnect, processor models, and simulator."""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.protocols.directory import DirectoryProtocol
+from repro.protocols.snooping import BroadcastSnoopingProtocol
+from repro.timing.interconnect import CrossbarInterconnect
+from repro.timing.processor import (
+    DetailedProcessorModel,
+    SimpleProcessorModel,
+)
+from repro.timing.system import TimingSimulator
+
+from tests.conftest import gets, getx, make_trace
+
+
+class TestInterconnect:
+    def test_idle_link_only_serializes(self, config4):
+        crossbar = CrossbarInterconnect(config4)
+        delay = crossbar.acquire(0, ready_ns=100.0, n_bytes=100)
+        assert delay == pytest.approx(10.0)  # 100 B / 10 B-per-ns
+
+    def test_busy_link_queues(self, config4):
+        crossbar = CrossbarInterconnect(config4)
+        crossbar.acquire(0, 0.0, 1000)  # busy until 100 ns
+        delay = crossbar.acquire(0, 50.0, 100)
+        assert delay == pytest.approx(50.0 + 10.0)
+        assert crossbar.total_queue_ns == pytest.approx(50.0)
+
+    def test_links_are_independent(self, config4):
+        crossbar = CrossbarInterconnect(config4)
+        crossbar.acquire(0, 0.0, 10_000)
+        delay = crossbar.acquire(1, 0.0, 100)
+        assert delay == pytest.approx(10.0)
+
+    def test_broadcast_loads_all_links(self, config4):
+        crossbar = CrossbarInterconnect(config4)
+        crossbar.load_broadcast(0.0, 80)
+        for node in range(config4.n_processors):
+            assert crossbar.link_free_at(node) == pytest.approx(8.0)
+
+    def test_bytes_accounted(self, config4):
+        crossbar = CrossbarInterconnect(config4)
+        crossbar.acquire(0, 0.0, 100)
+        crossbar.load_broadcast(0.0, 10)
+        assert crossbar.bytes_carried == 100 + 10 * config4.n_processors
+
+
+class TestProcessorModels:
+    def test_simple_blocks_on_miss(self):
+        cpu = SimpleProcessorModel()
+        cpu.compute(400)  # 100 ns at 4 instr/ns
+        assert cpu.issue_miss() == pytest.approx(100.0)
+        cpu.complete_miss(300.0)
+        assert cpu.now_ns == pytest.approx(300.0)
+        assert cpu.finish_time() == pytest.approx(300.0)
+
+    def test_detailed_overlaps_misses(self):
+        cpu = DetailedProcessorModel(max_outstanding=2)
+        first = cpu.issue_miss()
+        cpu.complete_miss(first + 100.0)
+        second = cpu.issue_miss()
+        cpu.complete_miss(second + 100.0)
+        # Two in flight: the third must wait for the first to drain.
+        third = cpu.issue_miss()
+        assert third == pytest.approx(100.0)
+
+    def test_detailed_finish_includes_in_flight(self):
+        cpu = DetailedProcessorModel(max_outstanding=4)
+        cpu.complete_miss(500.0)
+        assert cpu.finish_time() == pytest.approx(500.0)
+
+    def test_detailed_reduces_runtime_vs_simple(self):
+        def run(cpu):
+            for _ in range(10):
+                cpu.compute(40)
+                issue = cpu.issue_miss()
+                cpu.complete_miss(issue + 200.0)
+            return cpu.finish_time()
+
+        simple_time = run(SimpleProcessorModel())
+        detailed_time = run(DetailedProcessorModel(max_outstanding=4))
+        assert detailed_time < simple_time
+
+    def test_rejects_bad_mlp(self):
+        with pytest.raises(ValueError):
+            DetailedProcessorModel(max_outstanding=0)
+
+
+class TestTimingSimulator:
+    def make_trace(self):
+        records = []
+        for i in range(40):
+            node = i % 4
+            records.append(getx(0x40, node, pc=0x10))
+        for record in records:
+            object.__setattr__(record, "instructions", 100)
+        return make_trace(records)
+
+    def test_runtime_positive_and_miss_counted(self, config4):
+        simulator = TimingSimulator(config4, DirectoryProtocol(config4))
+        result = simulator.run(self.make_trace(), warmup_fraction=0.25)
+        assert result.runtime_ns > 0
+        assert result.misses == 30  # 75% of 40
+
+    def test_snooping_faster_than_directory_on_sharing(self, config4):
+        trace = self.make_trace()
+        directory = TimingSimulator(
+            config4, DirectoryProtocol(config4)
+        ).run(trace)
+        snooping = TimingSimulator(
+            config4, BroadcastSnoopingProtocol(config4)
+        ).run(trace)
+        assert snooping.runtime_ns < directory.runtime_ns
+
+    def test_detailed_model_not_slower(self, config4):
+        trace = self.make_trace()
+        simple = TimingSimulator(
+            config4, DirectoryProtocol(config4), processor_model="simple"
+        ).run(trace)
+        detailed = TimingSimulator(
+            config4, DirectoryProtocol(config4), processor_model="detailed"
+        ).run(trace)
+        assert detailed.runtime_ns <= simple.runtime_ns + 1e-6
+
+    def test_unknown_processor_model_rejected(self, config4):
+        with pytest.raises(ValueError):
+            TimingSimulator(
+                config4, DirectoryProtocol(config4),
+                processor_model="quantum",
+            )
+
+    def test_traffic_per_miss_reported(self, config4):
+        simulator = TimingSimulator(
+            config4, BroadcastSnoopingProtocol(config4)
+        )
+        result = simulator.run(self.make_trace())
+        assert result.traffic_bytes_per_miss == pytest.approx(
+            (config4.n_processors - 1) * 8 + 72
+        )

