@@ -3,12 +3,14 @@
 Regenerates: for each workload, the (request messages per miss,
 percent indirections) point of the directory and snooping baselines
 and the four predictor policies, using the paper's standout predictor
-configuration (8,192 entries, 1,024-byte macroblock indexing).
+configuration (8,192 entries, 1,024-byte macroblock indexing) — as a
+single declarative :class:`ExperimentSpec` run through the unified
+experiment runner.
 """
 
 from repro.common.params import PredictorConfig
 from repro.evaluation.report import render_tradeoff
-from repro.evaluation.tradeoff import evaluate_design_space
+from repro.experiment import ExperimentSpec, Runner
 from repro.workloads import WORKLOAD_NAMES
 
 from benchmarks.conftest import run_once
@@ -18,18 +20,18 @@ POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
 
 
 def test_fig5(benchmark, corpus, n_references, save_result):
-    def experiment():
-        points = []
-        for name in WORKLOAD_NAMES:
-            trace = corpus.trace(name, n_references)
-            points.extend(
-                evaluate_design_space(
-                    trace, predictors=POLICIES, predictor_config=STANDOUT
-                )
-            )
-        return points
+    spec = ExperimentSpec(
+        name="fig5_predictor_tradeoff",
+        kind="tradeoff",
+        workloads=WORKLOAD_NAMES,
+        n_references=n_references,
+        policies=POLICIES,
+        predictor_config=STANDOUT,
+    )
+    runner = Runner(corpus=corpus)
 
-    points = run_once(benchmark, experiment)
+    results = run_once(benchmark, lambda: runner.run(spec))
+    points = results.tradeoff_points()
     save_result("fig5_predictor_tradeoff", render_tradeoff(points))
 
     by_key = {(p.workload, p.label): p for p in points}

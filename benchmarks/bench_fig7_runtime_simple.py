@@ -3,11 +3,12 @@ workloads.
 
 Regenerates: normalized runtime (directory = 100) versus normalized
 interconnect traffic per miss (snooping = 100) for the baselines and
-the four predictor policies.
+the four predictor policies, driven by one declarative
+:class:`ExperimentSpec`.
 """
 
 from repro.evaluation.report import render_runtime
-from repro.evaluation.runtime import evaluate_runtime
+from repro.experiment import ExperimentSpec, Runner
 from repro.workloads import WORKLOAD_NAMES
 
 from benchmarks.conftest import run_once
@@ -16,18 +17,18 @@ POLICIES = ("owner", "broadcast-if-shared", "group", "owner-group")
 
 
 def test_fig7(benchmark, corpus, n_references, save_result):
-    def experiment():
-        points = []
-        for name in WORKLOAD_NAMES:
-            trace = corpus.trace(name, n_references)
-            points.extend(
-                evaluate_runtime(
-                    trace, predictors=POLICIES, processor_model="simple"
-                )
-            )
-        return points
+    spec = ExperimentSpec(
+        name="fig7_runtime_simple",
+        kind="runtime",
+        workloads=WORKLOAD_NAMES,
+        n_references=n_references,
+        policies=POLICIES,
+        processor_model="simple",
+    )
+    runner = Runner(corpus=corpus)
 
-    points = run_once(benchmark, experiment)
+    results = run_once(benchmark, lambda: runner.run(spec))
+    points = results.runtime_points()
     save_result("fig7_runtime_simple", render_runtime(points))
 
     by_key = {(p.workload, p.label): p for p in points}

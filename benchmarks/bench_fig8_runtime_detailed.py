@@ -2,11 +2,12 @@
 
 Regenerates: the Figure 7 metrics for Apache, OLTP, and SPECjbb under
 the detailed (multiple-outstanding-miss) processor model — the three
-workloads the paper re-ran on its dynamically scheduled core model.
+workloads the paper re-ran on its dynamically scheduled core model —
+driven by one declarative :class:`ExperimentSpec`.
 """
 
 from repro.evaluation.report import render_runtime
-from repro.evaluation.runtime import evaluate_runtime
+from repro.experiment import ExperimentSpec, Runner
 
 from benchmarks.conftest import run_once
 
@@ -15,21 +16,19 @@ WORKLOADS = ("apache", "oltp", "specjbb")
 
 
 def test_fig8(benchmark, corpus, n_references, save_result):
-    def experiment():
-        points = []
-        for name in WORKLOADS:
-            trace = corpus.trace(name, n_references)
-            points.extend(
-                evaluate_runtime(
-                    trace,
-                    predictors=POLICIES,
-                    processor_model="detailed",
-                    max_outstanding=4,
-                )
-            )
-        return points
+    spec = ExperimentSpec(
+        name="fig8_runtime_detailed",
+        kind="runtime",
+        workloads=WORKLOADS,
+        n_references=n_references,
+        policies=POLICIES,
+        processor_model="detailed",
+        max_outstanding=4,
+    )
+    runner = Runner(corpus=corpus)
 
-    points = run_once(benchmark, experiment)
+    results = run_once(benchmark, lambda: runner.run(spec))
+    points = results.runtime_points()
     save_result("fig8_runtime_detailed", render_runtime(points))
 
     by_key = {(p.workload, p.label): p for p in points}

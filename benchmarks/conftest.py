@@ -3,7 +3,9 @@
 Each ``bench_*`` file regenerates one of the paper's tables or figures
 and prints the rows/series the paper reports (also persisted under
 ``benchmarks/results/``).  Benchmarks share a session-scoped trace
-corpus so workload traces are collected once.
+corpus backed by the persistent cache under
+``benchmarks/.trace-cache`` so workload traces are collected once —
+and reused across benchmark *runs*, not just within one session.
 
 Scale: ``REPRO_BENCH_REFS`` (default 160,000 references per workload)
 controls trace length; raise it for tighter numbers at the cost of
@@ -17,16 +19,18 @@ import pathlib
 
 import pytest
 
-from repro.evaluation.corpus import TraceCorpus
+from repro.experiment import PersistentTraceCorpus
 
 N_REFERENCES = int(os.environ.get("REPRO_BENCH_REFS", "160000"))
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+CACHE_DIR = pathlib.Path(__file__).parent / ".trace-cache"
+
 
 @pytest.fixture(scope="session")
-def corpus() -> TraceCorpus:
-    return TraceCorpus()
+def corpus() -> PersistentTraceCorpus:
+    return PersistentTraceCorpus(cache_dir=CACHE_DIR)
 
 
 @pytest.fixture(scope="session")

@@ -1,32 +1,39 @@
 #!/usr/bin/env python
 """Quickstart: the latency/bandwidth tradeoff in one page.
 
-Generates a (small) OLTP coherence trace, evaluates the two baseline
-protocols and the paper's four destination-set predictors on it, and
-prints each configuration's position on the latency/bandwidth plane —
-one panel of the paper's Figure 5.
+Declares a small OLTP experiment with :class:`ExperimentSpec`, runs it
+through the unified experiment runner (baseline protocols plus the
+paper's four destination-set predictors), and prints each
+configuration's position on the latency/bandwidth plane — one panel of
+the paper's Figure 5.
+
+The same spec can be saved as JSON and re-run in parallel from the
+command line:  ``repro sweep spec.json --jobs 4``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import PredictorConfig, default_corpus, evaluate_design_space
-from repro.evaluation.report import render_tradeoff
+from repro.experiment import ExperimentSpec, run_experiment
 
 N_REFERENCES = 60_000  # ~35k misses; raise for tighter numbers
 
 
 def main() -> None:
-    print("Collecting an OLTP coherence-request trace ...")
-    trace = default_corpus().trace("oltp", N_REFERENCES)
-    print(f"  {len(trace)} L2 misses from {N_REFERENCES} references\n")
-
-    print("Evaluating protocols (8192-entry, 1024B-macroblock predictors):")
-    points = evaluate_design_space(
-        trace,
-        predictors=("owner", "broadcast-if-shared", "group", "owner-group"),
-        predictor_config=PredictorConfig(),  # the paper's standout config
+    spec = ExperimentSpec(
+        name="quickstart",
+        kind="tradeoff",
+        workloads=("oltp",),
+        n_references=N_REFERENCES,
+        # The paper's four policies under the standout predictor
+        # configuration (8192 entries, 1024 B macroblocks) — the
+        # spec's defaults.
     )
-    print(render_tradeoff(points))
+    print("Spec (save this as JSON and `repro sweep` it):")
+    print(spec.to_json())
+
+    print("\nEvaluating protocols ...")
+    results = run_experiment(spec)
+    print(results.table())
     print(
         "\nReading the table: snooping never indirects but broadcasts to"
         "\nall 15 other nodes; the directory uses ~2 request messages per"

@@ -5,12 +5,18 @@ Wood, *Using Destination-Set Prediction to Improve the
 Latency/Bandwidth Tradeoff in Shared-Memory Multiprocessors*
 (ISCA 2003).
 
-Quick start::
+Quick start — declare a study and run it (in parallel, with the
+persistent trace cache)::
 
-    from repro import (
-        SystemConfig, PredictorConfig, default_corpus,
-        evaluate_design_space,
-    )
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(workloads=("oltp", "apache"), kind="tradeoff")
+    results = run_experiment(spec, jobs=4)
+    print(results.table())
+
+or drive one evaluation by hand::
+
+    from repro import default_corpus, evaluate_design_space
 
     trace = default_corpus().trace("oltp")
     for point in evaluate_design_space(trace):
@@ -28,6 +34,8 @@ Subpackages:
 - :mod:`repro.timing` — execution-driven timing simulation.
 - :mod:`repro.analysis` — Section 2 sharing-behaviour analysis.
 - :mod:`repro.evaluation` — Figure/Table reproduction harnesses.
+- :mod:`repro.experiment` — declarative sweeps, parallel execution,
+  persistent trace cache (the ``repro sweep`` engine).
 """
 
 from repro.common import (
@@ -45,6 +53,15 @@ from repro.evaluation import (
     evaluate_protocol,
 )
 from repro.evaluation.runtime import evaluate_runtime
+from repro.experiment import (
+    ExperimentSpec,
+    PersistentTraceCorpus,
+    ResultRecord,
+    ResultSet,
+    Runner,
+    TraceCache,
+    run_experiment,
+)
 from repro.predictors import create_predictor
 from repro.protocols import (
     BroadcastSnoopingProtocol,
@@ -54,18 +71,24 @@ from repro.protocols import (
 from repro.trace import Trace, TraceRecord
 from repro.workloads import WORKLOAD_NAMES, create_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessType",
     "BroadcastSnoopingProtocol",
     "DestinationSet",
     "DirectoryProtocol",
+    "ExperimentSpec",
     "LatencyModel",
     "MulticastSnoopingProtocol",
+    "PersistentTraceCorpus",
     "PredictorConfig",
+    "ResultRecord",
+    "ResultSet",
+    "Runner",
     "SystemConfig",
     "Trace",
+    "TraceCache",
     "TraceCorpus",
     "TraceRecord",
     "TrafficModel",
@@ -77,4 +100,5 @@ __all__ = [
     "evaluate_design_space",
     "evaluate_protocol",
     "evaluate_runtime",
+    "run_experiment",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
 Commands:
 
@@ -10,20 +10,26 @@ Commands:
   predictors, as a table and an ASCII scatter plot.
 - ``runtime``   — the Figure 7/8 runtime/traffic plane.
 - ``accuracy``  — per-policy destination-set coverage/precision.
+- ``sweep``     — run a declarative :class:`ExperimentSpec` JSON file
+  across workloads × seeds × policies, optionally in parallel.
+
+``tradeoff``, ``runtime``, and ``accuracy`` are thin builders over the
+same :mod:`repro.experiment` API that ``sweep`` exposes directly; all
+of them share the persistent on-disk trace cache (disable with
+``--no-cache``, relocate with ``--cache-dir`` or ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.analysis.accuracy import prediction_accuracy
 from repro.analysis.locality import locality_cdf
 from repro.analysis.properties import workload_properties
 from repro.analysis.sharing import degree_of_sharing, sharing_histogram
 from repro.common.params import PredictorConfig
-from repro.evaluation.corpus import default_corpus
 from repro.evaluation.plot import plot_runtime, plot_tradeoff
 from repro.evaluation.report import (
     format_table,
@@ -34,8 +40,13 @@ from repro.evaluation.report import (
     render_tradeoff,
     render_workload_properties,
 )
-from repro.evaluation.runtime import evaluate_runtime
-from repro.evaluation.tradeoff import evaluate_design_space
+from repro.experiment import (
+    ExperimentSpec,
+    ResultSet,
+    Runner,
+    default_cache_dir,
+    make_corpus,
+)
 from repro.predictors.registry import PAPER_POLICIES
 from repro.trace.io import read_trace, write_trace
 from repro.workloads import WORKLOAD_NAMES, create_workload
@@ -62,18 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
         "collect", help="generate a workload trace and save it"
     )
     _add_workload_arguments(collect)
+    _add_cache_arguments(collect)
     collect.add_argument("--out", required=True, help="output trace file")
 
     analyze = commands.add_parser(
         "analyze", help="Section 2 analysis of a workload or trace file"
     )
     _add_workload_arguments(analyze, allow_trace_file=True)
+    _add_cache_arguments(analyze)
 
     tradeoff = commands.add_parser(
         "tradeoff", help="Figure 5/6 latency-bandwidth plane"
     )
     _add_workload_arguments(tradeoff, allow_trace_file=True)
     _add_predictor_arguments(tradeoff)
+    _add_cache_arguments(tradeoff)
     tradeoff.add_argument(
         "--plot", action="store_true", help="also render an ASCII scatter"
     )
@@ -83,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(runtime, allow_trace_file=True)
     _add_predictor_arguments(runtime)
+    _add_cache_arguments(runtime)
     runtime.add_argument(
         "--model",
         choices=("simple", "detailed"),
@@ -98,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(accuracy, allow_trace_file=True)
     _add_predictor_arguments(accuracy)
+    _add_cache_arguments(accuracy)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a declarative experiment spec (JSON) as a sweep",
+    )
+    sweep.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    _add_execution_arguments(sweep)
+    sweep.add_argument(
+        "--out", help="write the ResultSet as JSON to this file"
+    )
+    sweep.add_argument(
+        "--csv", help="also write the tidy table as CSV to this file"
+    )
     return parser
 
 
@@ -145,6 +174,39 @@ def _add_predictor_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for independent cells (default 1)",
+    )
+    _add_cache_arguments(parser)
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persistent trace-cache directory "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro/traces)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk trace cache for this run",
+    )
+
+
 def _predictor_config(args: argparse.Namespace) -> PredictorConfig:
     return PredictorConfig(
         n_entries=args.entries if args.entries else None,
@@ -153,16 +215,45 @@ def _predictor_config(args: argparse.Namespace) -> PredictorConfig:
     )
 
 
-def _load_trace(args: argparse.Namespace):
-    if args.workload.endswith(".trace"):
-        return read_trace(args.workload)
-    if args.workload not in WORKLOAD_NAMES:
+def _cache_dir(args: argparse.Namespace) -> Optional[str]:
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    return str(default_cache_dir())
+
+
+def _check_workload_name(name: str) -> None:
+    if name not in WORKLOAD_NAMES:
         known = ", ".join(WORKLOAD_NAMES)
         raise SystemExit(
-            f"unknown workload {args.workload!r}; known: {known} "
+            f"unknown workload {name!r}; known: {known} "
             "(or pass a .trace file)"
         )
-    return default_corpus().trace(args.workload, args.refs, args.seed)
+
+
+def _build_spec(args: argparse.Namespace, kind: str) -> ExperimentSpec:
+    """A single-workload spec from the classic command-line flags."""
+    return ExperimentSpec(
+        workloads=(args.workload,),
+        kind=kind,
+        n_references=args.refs,
+        seeds=(args.seed,),
+        policies=tuple(args.predictors),
+        predictor_config=_predictor_config(args),
+        processor_model=getattr(args, "model", "simple"),
+    )
+
+
+def _run_spec(args: argparse.Namespace, spec: ExperimentSpec) -> ResultSet:
+    runner = Runner(
+        jobs=getattr(args, "jobs", 1), cache_dir=_cache_dir(args)
+    )
+    return runner.run(spec)
+
+
+def _print_cache_stats(results: ResultSet) -> None:
+    print(f"trace cache: {results.cache_stats}")
 
 
 # ----------------------------------------------------------------------
@@ -190,8 +281,9 @@ def _cmd_workloads(args: argparse.Namespace) -> None:
 
 
 def _cmd_collect(args: argparse.Namespace) -> None:
-    model = create_workload(args.workload, seed=args.seed)
-    result = model.collect(args.refs)
+    _check_workload_name(args.workload)
+    corpus = make_corpus(cache_dir=_cache_dir(args))
+    result = corpus.collect(args.workload, args.refs, args.seed)
     write_trace(result.trace, args.out)
     print(
         f"wrote {len(result.trace)} misses "
@@ -206,9 +298,9 @@ def _cmd_analyze(args: argparse.Namespace) -> None:
         print("== Figure 2: instantaneous sharing ==")
         print(render_sharing_histogram([sharing_histogram(trace)]))
     else:
-        result = default_corpus().collect(
-            args.workload, args.refs, args.seed
-        )
+        _check_workload_name(args.workload)
+        corpus = make_corpus(cache_dir=_cache_dir(args))
+        result = corpus.collect(args.workload, args.refs, args.seed)
         trace = result.trace
         print("== Table 2: workload properties ==")
         print(render_workload_properties([workload_properties(result)]))
@@ -225,12 +317,19 @@ def _cmd_analyze(args: argparse.Namespace) -> None:
 
 
 def _cmd_tradeoff(args: argparse.Namespace) -> None:
-    trace = _load_trace(args)
-    points = evaluate_design_space(
-        trace,
-        predictors=tuple(args.predictors),
-        predictor_config=_predictor_config(args),
-    )
+    if args.workload.endswith(".trace"):
+        from repro.evaluation.tradeoff import evaluate_design_space
+
+        trace = read_trace(args.workload)
+        points = evaluate_design_space(
+            trace,
+            predictors=tuple(args.predictors),
+            predictor_config=_predictor_config(args),
+        )
+    else:
+        _check_workload_name(args.workload)
+        results = _run_spec(args, _build_spec(args, "tradeoff"))
+        points = results.tradeoff_points()
     print(render_tradeoff(points))
     if args.plot:
         print()
@@ -238,39 +337,96 @@ def _cmd_tradeoff(args: argparse.Namespace) -> None:
 
 
 def _cmd_runtime(args: argparse.Namespace) -> None:
-    trace = _load_trace(args)
-    points = evaluate_runtime(
-        trace,
-        predictors=tuple(args.predictors),
-        predictor_config=_predictor_config(args),
-        processor_model=args.model,
-    )
+    if args.workload.endswith(".trace"):
+        from repro.evaluation.runtime import evaluate_runtime
+
+        trace = read_trace(args.workload)
+        points = evaluate_runtime(
+            trace,
+            predictors=tuple(args.predictors),
+            predictor_config=_predictor_config(args),
+            processor_model=args.model,
+        )
+    else:
+        _check_workload_name(args.workload)
+        results = _run_spec(args, _build_spec(args, "runtime"))
+        points = results.runtime_points()
     print(render_runtime(points))
     if args.plot:
         print()
         print(plot_runtime(points))
 
 
+def _accuracy_rows(results: ResultSet) -> List[tuple]:
+    return [
+        (
+            record.label,
+            f"{record['coverage_pct']:.1f}%",
+            f"{record['precision_pct']:.1f}%",
+            int(record["predictions"]),
+        )
+        for record in results
+    ]
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> None:
-    trace = _load_trace(args)
-    rows = []
-    for policy in args.predictors:
-        report = prediction_accuracy(
-            trace, policy, predictor_config=_predictor_config(args)
-        )
-        rows.append(
-            (
-                report.policy,
-                f"{report.coverage_pct:.1f}%",
-                f"{report.precision_pct:.1f}%",
-                report.predictions,
+    if args.workload.endswith(".trace"):
+        from repro.analysis.accuracy import prediction_accuracy
+
+        trace = read_trace(args.workload)
+        rows = []
+        for policy in args.predictors:
+            report = prediction_accuracy(
+                trace, policy, predictor_config=_predictor_config(args)
             )
-        )
+            rows.append(
+                (
+                    report.policy,
+                    f"{report.coverage_pct:.1f}%",
+                    f"{report.precision_pct:.1f}%",
+                    report.predictions,
+                )
+            )
+    else:
+        _check_workload_name(args.workload)
+        results = _run_spec(args, _build_spec(args, "accuracy"))
+        rows = _accuracy_rows(results)
     print(
         format_table(
             ("policy", "coverage", "precision", "predictions"), rows
         )
     )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec file: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{args.spec}: invalid JSON ({exc})")
+    try:
+        spec = ExperimentSpec.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"{args.spec}: invalid spec ({exc})")
+
+    label = spec.name or spec.digest()
+    print(
+        f"sweep {label}: kind={spec.kind} "
+        f"workloads={len(spec.workloads)} seeds={len(spec.seeds)} "
+        f"policies={len(spec.policies)} jobs={args.jobs} "
+        f"({spec.n_jobs} cells)"
+    )
+    results = _run_spec(args, spec)
+    print(results.table())
+    _print_cache_stats(results)
+    if args.out:
+        results.to_json(args.out)
+        print(f"wrote {args.out}")
+    if args.csv:
+        results.to_csv(args.csv)
+        print(f"wrote {args.csv}")
 
 
 _COMMANDS = {
@@ -280,6 +436,7 @@ _COMMANDS = {
     "tradeoff": _cmd_tradeoff,
     "runtime": _cmd_runtime,
     "accuracy": _cmd_accuracy,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -40,9 +40,15 @@ class TraceCorpus:
         """Trace plus counters for ``workload`` (cached)."""
         key = (workload, n_references, seed)
         if key not in self._cache:
-            model = create_workload(workload, config=self.config, seed=seed)
-            self._cache[key] = model.collect(n_references)
+            self._cache[key] = self._generate(workload, n_references, seed)
         return self._cache[key]
+
+    def _generate(
+        self, workload: str, n_references: int, seed: int
+    ) -> CollectionResult:
+        """Produce a fresh collection (subclasses may layer storage)."""
+        model = create_workload(workload, config=self.config, seed=seed)
+        return model.collect(n_references)
 
     def trace(
         self,

@@ -1,0 +1,61 @@
+"""Unified experiment API: declarative sweeps over the design space.
+
+The paper's figures and tables are all cross-products of workloads ×
+protocols × predictor configurations.  This package makes that
+cross-product a first-class value:
+
+- :class:`ExperimentSpec` — a frozen, JSON-serializable declaration of
+  a study (workloads, trace sizes/seeds, policies, config overrides,
+  metric kind).
+- :class:`Runner` — expands a spec into independent jobs and executes
+  them serially or across worker processes; ``jobs=1`` and ``jobs=N``
+  produce identical results.
+- :class:`TraceCache` / :class:`PersistentTraceCorpus` — on-disk trace
+  storage keyed by workload/refs/seed/config hash, so repeated sweeps
+  skip trace regeneration across processes and invocations.
+- :class:`ResultSet` — structured results with tidy-table access,
+  JSON/CSV export, and round-trip loading.
+
+Quick start::
+
+    from repro.experiment import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(
+        workloads=("oltp", "apache"), kind="tradeoff",
+        n_references=100_000,
+    )
+    results = run_experiment(spec, jobs=4, cache_dir=".trace-cache")
+    print(results.table())
+    results.to_json("results.json")
+"""
+
+from repro.experiment.cache import (
+    CacheStats,
+    PersistentTraceCorpus,
+    TraceCache,
+    default_cache_dir,
+    make_corpus,
+)
+from repro.experiment.results import ResultRecord, ResultSet
+from repro.experiment.runner import Runner, execute_job, run_experiment
+from repro.experiment.spec import (
+    EXPERIMENT_KINDS,
+    ExperimentSpec,
+    Job,
+)
+
+__all__ = [
+    "CacheStats",
+    "EXPERIMENT_KINDS",
+    "ExperimentSpec",
+    "Job",
+    "PersistentTraceCorpus",
+    "ResultRecord",
+    "ResultSet",
+    "Runner",
+    "TraceCache",
+    "default_cache_dir",
+    "execute_job",
+    "make_corpus",
+    "run_experiment",
+]

@@ -1,0 +1,232 @@
+"""Persistent on-disk trace cache.
+
+The paper collects each workload trace once and reuses it for every
+protocol/predictor experiment.  :class:`TraceCache` extends that reuse
+across processes and runs: a collected trace is written to disk keyed
+by a hash of everything that determines its content — workload name,
+reference count, seed, the full :class:`SystemConfig`, and a format
+version salted with the package version.  Any configuration change
+produces a different key, so stale traces are never replayed.
+
+:class:`PersistentTraceCorpus` layers the disk cache under the
+in-memory :class:`~repro.evaluation.corpus.TraceCorpus`, so a sweep's
+worker processes (and repeated invocations of ``repro sweep``) skip
+trace regeneration entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Optional, Union
+
+from repro.cache.pipeline import CollectionResult
+from repro.common.params import SystemConfig
+from repro.evaluation.corpus import TraceCorpus
+from repro.trace.io import read_trace, write_trace
+
+#: Bump when the on-disk layout or trace semantics change.
+CACHE_FORMAT = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The trace-cache directory (``$REPRO_CACHE_DIR`` or ~/.cache)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total load attempts."""
+        return self.hits + self.misses
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another instance's counters into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __str__(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es)"
+
+
+class TraceCache:
+    """Content-addressed trace storage under one directory.
+
+    Each entry is a ``<key>.trace`` file in the standard text format
+    plus a ``<key>.json`` sidecar holding the collection counters and
+    the human-readable key fields (for inspection and debugging).
+    Writes go through a temporary file and :func:`os.replace`, so
+    concurrent workers storing the same key race benignly.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = pathlib.Path(root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(
+        workload: str,
+        n_references: int,
+        seed: int,
+        config: SystemConfig,
+    ) -> str:
+        """Deterministic digest of everything that shapes the trace."""
+        from repro import __version__
+
+        payload = json.dumps(
+            {
+                "format": CACHE_FORMAT,
+                "version": __version__,
+                "workload": workload,
+                "n_references": n_references,
+                "seed": seed,
+                "system": dataclasses.asdict(config),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:24]
+
+    def _paths(self, key: str) -> tuple:
+        return self.root / f"{key}.trace", self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[CollectionResult]:
+        """The stored collection for ``key``, or None (counts stats)."""
+        trace_path, meta_path = self._paths(key)
+        try:
+            meta = json.loads(meta_path.read_text(encoding="ascii"))
+            trace = read_trace(trace_path)
+        except (OSError, ValueError, KeyError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return CollectionResult(
+            trace=trace,
+            instructions={
+                int(node): count
+                for node, count in meta["instructions"].items()
+            },
+            references=meta["references"],
+        )
+
+    def store(
+        self,
+        key: str,
+        result: CollectionResult,
+        describe: Optional[dict] = None,
+    ) -> None:
+        """Persist ``result`` under ``key`` (atomically)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        trace_path, meta_path = self._paths(key)
+        meta = {
+            "instructions": {
+                str(node): count
+                for node, count in result.instructions.items()
+            },
+            "references": result.references,
+            "describe": describe or {},
+        }
+        suffix = f".tmp{os.getpid()}"
+        tmp_trace = trace_path.with_name(trace_path.name + suffix)
+        tmp_meta = meta_path.with_name(meta_path.name + suffix)
+        try:
+            write_trace(result.trace, tmp_trace)
+            tmp_meta.write_text(
+                json.dumps(meta, sort_keys=True), encoding="ascii"
+            )
+            # Trace first: a reader needs both files, and load() opens
+            # the sidecar before the trace.
+            os.replace(tmp_trace, trace_path)
+            os.replace(tmp_meta, meta_path)
+        finally:
+            for leftover in (tmp_trace, tmp_meta):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.suffix in (".trace", ".json"):
+                    path.unlink()
+                    removed += 1
+        return removed
+
+
+class PersistentTraceCorpus(TraceCorpus):
+    """A :class:`TraceCorpus` backed by an on-disk :class:`TraceCache`.
+
+    In-memory memoization still applies within a process; on a memory
+    miss the disk cache is consulted before the (expensive) workload
+    model regenerates the trace.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        cache_dir: Optional[PathLike] = None,
+    ):
+        super().__init__(config)
+        self.disk = TraceCache(
+            cache_dir if cache_dir is not None else default_cache_dir()
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Disk-level hit/miss counters for this corpus."""
+        return self.disk.stats
+
+    def _generate(
+        self, workload: str, n_references: int, seed: int
+    ) -> CollectionResult:
+        key = self.disk.key(workload, n_references, seed, self.config)
+        cached = self.disk.load(key)
+        if cached is not None:
+            return cached
+        result = super()._generate(workload, n_references, seed)
+        self.disk.store(
+            key,
+            result,
+            describe={
+                "workload": workload,
+                "n_references": n_references,
+                "seed": seed,
+            },
+        )
+        return result
+
+
+def make_corpus(
+    config: Optional[SystemConfig] = None,
+    cache_dir: Optional[PathLike] = None,
+) -> TraceCorpus:
+    """A corpus with (``cache_dir`` set) or without disk persistence."""
+    if cache_dir is None:
+        return TraceCorpus(config)
+    return PersistentTraceCorpus(config, cache_dir)

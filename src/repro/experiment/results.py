@@ -1,0 +1,238 @@
+"""Structured sweep results.
+
+A :class:`ResultSet` holds one record per evaluated configuration —
+(workload, seed, label) plus a flat metrics mapping — together with
+the spec that produced it and the trace-cache statistics of the run.
+It renders as a tidy table, exports to JSON/CSV, round-trips through
+JSON, and converts back to the evaluation layer's point dataclasses
+for the existing ASCII plots.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.evaluation.report import format_table
+from repro.evaluation.runtime import RuntimePoint
+from repro.evaluation.tradeoff import TradeoffPoint
+from repro.experiment.cache import CacheStats
+from repro.experiment.spec import ExperimentSpec
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Serialization format version for saved result files.
+RESULTS_FORMAT = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultRecord:
+    """One evaluated configuration's metrics."""
+
+    workload: str
+    seed: int
+    label: str
+    metrics: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping's canonical form so records compare and
+        # serialize deterministically.
+        object.__setattr__(self, "metrics", dict(self.metrics))
+
+    def __getitem__(self, metric: str) -> float:
+        return self.metrics[metric]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "label": self.label,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultRecord":
+        return cls(
+            workload=data["workload"],
+            seed=data["seed"],
+            label=data["label"],
+            metrics=data["metrics"],
+        )
+
+
+class ResultSet:
+    """The outcome of running one :class:`ExperimentSpec`."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        records: Sequence[ResultRecord],
+        cache_stats: Optional[CacheStats] = None,
+    ):
+        self.spec = spec
+        self.records: List[ResultRecord] = list(records)
+        self.cache_stats = (
+            cache_stats if cache_stats is not None else CacheStats()
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        """Equality of results: same spec, same records.
+
+        Cache statistics are deliberately excluded — a warm-cache rerun
+        of the same spec produces an *equal* result set.
+        """
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.spec == other.spec and self.records == other.records
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultSet(kind={self.spec.kind!r}, "
+            f"records={len(self.records)}, cache={self.cache_stats})"
+        )
+
+    # ------------------------------------------------------------------
+    def labels(self) -> List[str]:
+        """Distinct configuration labels, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.label)
+        return list(seen)
+
+    def for_workload(self, workload: str) -> List[ResultRecord]:
+        """Records for one workload (all seeds/labels)."""
+        return [r for r in self.records if r.workload == workload]
+
+    def metric_names(self) -> List[str]:
+        """Union of metric keys across records, in first-seen order."""
+        names: Dict[str, None] = {}
+        for record in self.records:
+            for key in record.metrics:
+                names.setdefault(key)
+        return list(names)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Tidy-table rows: one flat dict per record."""
+        return [
+            {
+                "workload": r.workload,
+                "seed": r.seed,
+                "label": r.label,
+                **r.metrics,
+            }
+            for r in self.records
+        ]
+
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """An aligned plain-text table of all records."""
+        metrics = self.metric_names()
+        headers = ["workload", "seed", "config", *metrics]
+        body = []
+        for record in self.records:
+            row = [record.workload, record.seed, record.label]
+            for name in metrics:
+                value = record.metrics.get(name, "")
+                if isinstance(value, float):
+                    value = f"{value:.2f}"
+                row.append(value)
+            body.append(row)
+        return format_table(headers, body)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": RESULTS_FORMAT,
+            "spec": self.spec.to_dict(),
+            "records": [r.to_dict() for r in self.records],
+            "cache": self.cache_stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultSet":
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            records=[
+                ResultRecord.from_dict(r) for r in data["records"]
+            ],
+            cache_stats=CacheStats(**data.get("cache", {})),
+        )
+
+    def to_json(self, path: Optional[PathLike] = None, indent: int = 2) -> str:
+        """JSON text of this result set; also written to ``path`` if given."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="ascii") as handle:
+                handle.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, PathLike]) -> "ResultSet":
+        """Load a result set from JSON text or a saved file path."""
+        if isinstance(source, str) and source.lstrip().startswith("{"):
+            return cls.from_dict(json.loads(source))
+        with open(source, "r", encoding="ascii") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_csv(self, path: PathLike) -> None:
+        """Write the tidy table as CSV (one row per record)."""
+        metrics = self.metric_names()
+        with open(path, "w", encoding="ascii", newline="") as handle:
+            writer = csv.DictWriter(
+                handle,
+                fieldnames=["workload", "seed", "label", *metrics],
+                restval="",
+            )
+            writer.writeheader()
+            for row in self.rows():
+                writer.writerow(row)
+
+    # ------------------------------------------------------------------
+    def tradeoff_points(self) -> List[TradeoffPoint]:
+        """Records as :class:`TradeoffPoint` (``kind="tradeoff"`` only)."""
+        points = []
+        for r in self.records:
+            m = r.metrics
+            points.append(
+                TradeoffPoint(
+                    label=r.label,
+                    workload=r.workload,
+                    indirection_pct=m["indirection_pct"],
+                    request_messages_per_miss=m["request_messages_per_miss"],
+                    traffic_bytes_per_miss=m["traffic_bytes_per_miss"],
+                    average_latency_ns=m["average_latency_ns"],
+                    misses=int(m["misses"]),
+                    retries=int(m["retries"]),
+                )
+            )
+        return points
+
+    def runtime_points(self) -> List[RuntimePoint]:
+        """Records as :class:`RuntimePoint` (``kind="runtime"`` only)."""
+        points = []
+        for r in self.records:
+            m = r.metrics
+            points.append(
+                RuntimePoint(
+                    label=r.label,
+                    workload=r.workload,
+                    normalized_runtime=m["normalized_runtime"],
+                    normalized_traffic_per_miss=(
+                        m["normalized_traffic_per_miss"]
+                    ),
+                    runtime_ns=m["runtime_ns"],
+                    traffic_bytes_per_miss=m["traffic_bytes_per_miss"],
+                    indirection_pct=m["indirection_pct"],
+                )
+            )
+        return points

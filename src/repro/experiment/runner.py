@@ -1,0 +1,241 @@
+"""Spec execution: serial or process-parallel fan-out.
+
+:class:`Runner` expands an :class:`ExperimentSpec` into independent
+jobs (one per workload × seed cell) and executes them either in
+process (``jobs=1`` — bit-identical to the historical hand-rolled
+loops) or across a :class:`concurrent.futures.ProcessPoolExecutor`.
+Both paths run the same :func:`execute_job` function, and results are
+reassembled in canonical job order, so a parallel run produces a
+:class:`ResultSet` equal to the serial one.
+
+Workers share traces through the persistent on-disk cache when a
+``cache_dir`` is configured; without one, each worker regenerates the
+traces it needs (still deterministic, just slower).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.accuracy import prediction_accuracy
+from repro.evaluation.corpus import TraceCorpus
+from repro.evaluation.runtime import evaluate_runtime
+from repro.evaluation.tradeoff import evaluate_design_space
+from repro.experiment.cache import (
+    CacheStats,
+    PersistentTraceCorpus,
+    make_corpus,
+)
+from repro.experiment.results import ResultRecord, ResultSet
+from repro.experiment.spec import ExperimentSpec, Job
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def execute_job(
+    spec: ExperimentSpec, job: Job, corpus: TraceCorpus
+) -> List[ResultRecord]:
+    """Evaluate one (workload, seed) cell of ``spec``.
+
+    This is the single execution path shared by the serial runner and
+    the process-pool workers; determinism of the whole sweep reduces
+    to determinism of this function.
+    """
+    trace = corpus.trace(job.workload, spec.n_references, job.seed)
+    records: List[ResultRecord] = []
+    if spec.kind == "tradeoff":
+        points = evaluate_design_space(
+            trace,
+            config=spec.system_config,
+            predictors=spec.policies,
+            predictor_config=spec.predictor_config,
+            include_baselines=spec.include_baselines,
+            warmup_fraction=spec.warmup_fraction,
+        )
+        for point in points:
+            records.append(
+                ResultRecord(
+                    workload=job.workload,
+                    seed=job.seed,
+                    label=point.label,
+                    metrics={
+                        "indirection_pct": point.indirection_pct,
+                        "request_messages_per_miss": (
+                            point.request_messages_per_miss
+                        ),
+                        "traffic_bytes_per_miss": (
+                            point.traffic_bytes_per_miss
+                        ),
+                        "average_latency_ns": point.average_latency_ns,
+                        "misses": point.misses,
+                        "retries": point.retries,
+                    },
+                )
+            )
+    elif spec.kind == "runtime":
+        points = evaluate_runtime(
+            trace,
+            config=spec.system_config,
+            predictors=spec.policies,
+            predictor_config=spec.predictor_config,
+            processor_model=spec.processor_model,
+            max_outstanding=spec.max_outstanding,
+            warmup_fraction=spec.warmup_fraction,
+        )
+        for point in points:
+            records.append(
+                ResultRecord(
+                    workload=job.workload,
+                    seed=job.seed,
+                    label=point.label,
+                    metrics={
+                        "normalized_runtime": point.normalized_runtime,
+                        "normalized_traffic_per_miss": (
+                            point.normalized_traffic_per_miss
+                        ),
+                        "runtime_ns": point.runtime_ns,
+                        "traffic_bytes_per_miss": (
+                            point.traffic_bytes_per_miss
+                        ),
+                        "indirection_pct": point.indirection_pct,
+                    },
+                )
+            )
+    else:  # accuracy
+        for policy in spec.policies:
+            report = prediction_accuracy(
+                trace,
+                policy,
+                config=spec.system_config,
+                predictor_config=spec.predictor_config,
+                warmup_fraction=spec.warmup_fraction,
+            )
+            records.append(
+                ResultRecord(
+                    workload=job.workload,
+                    seed=job.seed,
+                    label=policy,
+                    metrics={
+                        "coverage_pct": report.coverage_pct,
+                        "precision_pct": report.precision_pct,
+                        "predictions": report.predictions,
+                        **{
+                            f"{outcome.value}_pct": report.outcome_pct(
+                                outcome
+                            )
+                            for outcome in report.outcomes
+                        },
+                    },
+                )
+            )
+    return records
+
+
+def _run_job_worker(
+    spec_dict: dict, index: int, cache_dir: Optional[str]
+) -> Tuple[int, List[dict], Dict[str, int]]:
+    """Process-pool entry point (module-level, hence picklable)."""
+    spec = ExperimentSpec.from_dict(spec_dict)
+    corpus = make_corpus(spec.system_config, cache_dir)
+    records = execute_job(spec, spec.expand()[index], corpus)
+    stats = (
+        corpus.cache_stats.to_dict()
+        if isinstance(corpus, PersistentTraceCorpus)
+        else {"hits": 0, "misses": 0}
+    )
+    return index, [r.to_dict() for r in records], stats
+
+
+class Runner:
+    """Executes :class:`ExperimentSpec` instances.
+
+    ``jobs=1`` runs everything in the calling process; ``jobs>1`` fans
+    the spec's cells out over worker processes.  Pass ``cache_dir`` to
+    persist (and reuse) collected traces on disk, or a pre-built
+    ``corpus`` to share in-memory traces with other serial work.  An
+    injected corpus is a single-process object, so it requires
+    ``jobs=1``; multi-process runs share traces through ``cache_dir``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[PathLike] = None,
+        corpus: Optional[TraceCorpus] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = (
+            os.fspath(cache_dir) if cache_dir is not None else None
+        )
+        self.corpus = corpus
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> ResultSet:
+        """Execute ``spec`` and return its :class:`ResultSet`."""
+        jobs = spec.expand()
+        if self.jobs == 1 or len(jobs) <= 1:
+            return self._run_serial(spec, jobs)
+        if self.corpus is not None:
+            raise ValueError(
+                "an injected corpus cannot be shared across worker "
+                "processes; use cache_dir (or jobs=1) instead"
+            )
+        return self._run_parallel(spec, jobs)
+
+    # ------------------------------------------------------------------
+    def _make_corpus(self, spec: ExperimentSpec) -> TraceCorpus:
+        if self.corpus is not None:
+            return self.corpus
+        return make_corpus(spec.system_config, self.cache_dir)
+
+    def _run_serial(
+        self, spec: ExperimentSpec, jobs: Tuple[Job, ...]
+    ) -> ResultSet:
+        corpus = self._make_corpus(spec)
+        records: List[ResultRecord] = []
+        for job in jobs:
+            records.extend(execute_job(spec, job, corpus))
+        stats = CacheStats()
+        if isinstance(corpus, PersistentTraceCorpus):
+            stats.merge(corpus.cache_stats)
+        return ResultSet(spec, records, stats)
+
+    def _run_parallel(
+        self, spec: ExperimentSpec, jobs: Tuple[Job, ...]
+    ) -> ResultSet:
+        spec_dict = spec.to_dict()
+        by_index: Dict[int, List[ResultRecord]] = {}
+        stats = CacheStats()
+        max_workers = min(self.jobs, len(jobs))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_job_worker, spec_dict, job.index, self.cache_dir
+                )
+                for job in jobs
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                index, record_dicts, worker_stats = future.result()
+                by_index[index] = [
+                    ResultRecord.from_dict(r) for r in record_dicts
+                ]
+                stats.merge(CacheStats(**worker_stats))
+        records: List[ResultRecord] = []
+        for job in jobs:  # reassemble in canonical order
+            records.extend(by_index[job.index])
+        return ResultSet(spec, records, stats)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+) -> ResultSet:
+    """One-call convenience wrapper around :class:`Runner`."""
+    return Runner(jobs=jobs, cache_dir=cache_dir).run(spec)

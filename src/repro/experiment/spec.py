@@ -1,0 +1,177 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is a frozen, JSON-serializable declaration
+of a study: which workloads (and trace sizes/seeds), which protocols
+and predictor policies, which configuration overrides, and which
+metric kind to produce.  Every figure and table in the paper is a
+cross-product of these axes; the spec makes that cross-product a
+value that can be saved, diffed, and re-run.
+
+Specs expand into independent :class:`Job` cells — one per
+(workload, seed) pair — which the :mod:`repro.experiment.runner`
+executes serially or across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.predictors.registry import PAPER_POLICIES, PREDICTOR_NAMES
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: The metric kinds a spec can request, mapping to the paper's planes:
+#: ``tradeoff`` — Figures 5/6 (indirections vs. request messages),
+#: ``runtime`` — Figures 7/8 (normalized runtime vs. traffic), and
+#: ``accuracy`` — per-policy destination-set coverage/precision.
+EXPERIMENT_KINDS = ("tradeoff", "runtime", "accuracy")
+
+#: Default trace length (references per workload) for sweeps.
+DEFAULT_REFERENCES = 100_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One independent cell of a spec's cross-product."""
+
+    index: int
+    workload: str
+    seed: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """Frozen declaration of one study over the design space.
+
+    The cross-product of ``workloads`` × ``seeds`` becomes the job
+    list; every job evaluates all ``policies`` (plus the directory and
+    snooping baselines when ``include_baselines``) on its trace.
+    """
+
+    workloads: Tuple[str, ...]
+    kind: str = "tradeoff"
+    name: str = ""
+    n_references: int = DEFAULT_REFERENCES
+    seeds: Tuple[int, ...] = (42,)
+    policies: Tuple[str, ...] = PAPER_POLICIES
+    include_baselines: bool = True
+    processor_model: str = "simple"
+    max_outstanding: int = 4
+    warmup_fraction: float = 0.25
+    predictor_config: PredictorConfig = PredictorConfig()
+    system_config: SystemConfig = SystemConfig()
+
+    def __post_init__(self) -> None:
+        # Normalize sequence fields so list-built specs compare equal
+        # to tuple-built ones and hash/serialize canonically.
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(self, "policies", tuple(self.policies))
+        if self.kind not in EXPERIMENT_KINDS:
+            known = ", ".join(EXPERIMENT_KINDS)
+            raise ValueError(f"unknown kind {self.kind!r}; known: {known}")
+        if not self.workloads:
+            raise ValueError("spec needs at least one workload")
+        for workload in self.workloads:
+            if workload not in WORKLOAD_NAMES:
+                known = ", ".join(WORKLOAD_NAMES)
+                raise ValueError(
+                    f"unknown workload {workload!r}; known: {known}"
+                )
+        if not self.seeds:
+            raise ValueError("spec needs at least one seed")
+        for policy in self.policies:
+            if policy not in PREDICTOR_NAMES:
+                known = ", ".join(PREDICTOR_NAMES)
+                raise ValueError(
+                    f"unknown policy {policy!r}; known: {known}"
+                )
+        if self.n_references <= 0:
+            raise ValueError("n_references must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.processor_model not in ("simple", "detailed"):
+            raise ValueError("processor_model must be simple or detailed")
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+
+    # ------------------------------------------------------------------
+    def expand(self) -> Tuple[Job, ...]:
+        """The independent jobs this spec describes, in canonical order."""
+        jobs = []
+        for workload in self.workloads:
+            for seed in self.seeds:
+                jobs.append(Job(len(jobs), workload, seed))
+        return tuple(jobs)
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of independent jobs in the expansion."""
+        return len(self.workloads) * len(self.seeds)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dictionary describing this spec."""
+        data = dataclasses.asdict(self)
+        data["workloads"] = list(self.workloads)
+        data["seeds"] = list(self.seeds)
+        data["policies"] = list(self.policies)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a (possibly partial) dictionary.
+
+        The nested ``predictor_config`` and ``system_config`` mappings
+        may name only the fields they override; the remainder keep the
+        paper's defaults.  Unknown keys are an error, so typos in spec
+        files fail loudly instead of silently sweeping the default.
+        """
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            if key not in fields:
+                known = ", ".join(sorted(fields))
+                raise ValueError(f"unknown spec field {key!r}; known: {known}")
+            if key == "predictor_config":
+                value = _config_from_dict(PredictorConfig, value)
+            elif key == "system_config":
+                value = _config_from_dict(SystemConfig, value)
+            elif key in ("workloads", "seeds", "policies"):
+                value = tuple(value)
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical JSON text for this spec."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from JSON text (inverse of :meth:`to_json`)."""
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable short hash of the spec's canonical JSON form."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+
+def _config_from_dict(cls, value):
+    """Rebuild a config dataclass from a (partial) mapping."""
+    if isinstance(value, cls):
+        return value
+    if value is None:
+        return cls()
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(value) - fields
+    if unknown:
+        known = ", ".join(sorted(fields))
+        raise ValueError(
+            f"unknown {cls.__name__} field(s) "
+            f"{', '.join(sorted(map(repr, unknown)))}; known: {known}"
+        )
+    return cls(**value)

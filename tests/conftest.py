@@ -13,6 +13,16 @@ KB = 1024
 MB = 1024 * KB
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_trace_cache(tmp_path, monkeypatch):
+    """Point the persistent trace cache at a per-test directory.
+
+    CLI commands default to the user-level cache location; tests must
+    neither read from nor write to it.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "trace-cache"))
+
+
 @pytest.fixture
 def config16() -> SystemConfig:
     """The paper's 16-node Table 4 system."""

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -84,3 +86,82 @@ class TestCommands:
         ) == 0
         output = capsys.readouterr().out
         assert "norm-runtime" in output
+
+    def test_collect_unknown_workload_friendly_error(self, tmp_path):
+        out = str(tmp_path / "x.trace")
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["collect", "nope", "--refs", "1000", "--out", out])
+
+    def test_collect_hits_trace_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["collect", "barnes-hut", "--refs", "2000",
+                "--cache-dir", cache]
+        assert main([*args, "--out", str(tmp_path / "a.trace")]) == 0
+        first = capsys.readouterr().out
+        assert main([*args, "--out", str(tmp_path / "b.trace")]) == 0
+        second = capsys.readouterr().out
+        # The second collection replays the cached trace.
+        assert first.split("to ")[0] == second.split("to ")[0]
+        assert (tmp_path / "a.trace").read_text() == (
+            tmp_path / "b.trace"
+        ).read_text()
+
+
+class TestSweep:
+    def _write_spec(self, tmp_path, **overrides):
+        spec = {
+            "name": "mini",
+            "kind": "tradeoff",
+            "workloads": ["barnes-hut", "ocean"],
+            "n_references": 2000,
+            "policies": ["owner"],
+        }
+        spec.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_sweep_runs_and_reports_cache(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache = str(tmp_path / "cache")
+        out = tmp_path / "results.json"
+        assert main(
+            ["sweep", spec, "--jobs", "2", "--cache-dir", cache,
+             "--out", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "sweep mini" in output
+        assert "trace cache: 0 hit(s), 2 miss(es)" in output
+        assert out.exists()
+
+        # Second invocation reuses the on-disk traces.
+        assert main(
+            ["sweep", spec, "--jobs", "2", "--cache-dir", cache]
+        ) == 0
+        assert "trace cache: 2 hit(s), 0 miss(es)" in (
+            capsys.readouterr().out
+        )
+
+    def test_sweep_csv_and_json_outputs(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, workloads=["ocean"])
+        out = tmp_path / "r.json"
+        csv_out = tmp_path / "r.csv"
+        assert main(
+            ["sweep", spec, "--no-cache", "--out", str(out),
+             "--csv", str(csv_out)]
+        ) == 0
+        from repro.experiment import ResultSet
+
+        results = ResultSet.from_json(out)
+        assert len(results) == 3  # baselines + owner
+        assert csv_out.read_text().startswith("workload,seed,label,")
+
+    def test_sweep_rejects_bad_spec(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read spec"):
+            main(["sweep", str(tmp_path / "missing.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(SystemExit, match="invalid JSON"):
+            main(["sweep", str(bad)])
+        with pytest.raises(SystemExit, match="invalid spec"):
+            main(["sweep", self._write_spec(tmp_path, kind="nope")])

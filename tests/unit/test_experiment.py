@@ -1,0 +1,314 @@
+"""Unit tests for the unified experiment API."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.experiment import (
+    ExperimentSpec,
+    PersistentTraceCorpus,
+    ResultRecord,
+    ResultSet,
+    Runner,
+    TraceCache,
+    run_experiment,
+)
+
+#: Small-but-nonempty settings shared by the runner tests.
+SMALL = dict(n_references=2000, policies=("owner",))
+
+
+class TestExperimentSpec:
+    def test_json_round_trip(self):
+        spec = ExperimentSpec(
+            name="rt",
+            kind="runtime",
+            workloads=("oltp", "apache"),
+            n_references=5000,
+            seeds=(1, 2),
+            policies=("owner", "group"),
+            predictor_config=PredictorConfig(n_entries=None),
+            system_config=SystemConfig(n_processors=8),
+            processor_model="detailed",
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.predictor_config.unbounded
+        assert restored.system_config.n_processors == 8
+
+    def test_from_dict_partial_configs(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "workloads": ["ocean"],
+                "predictor_config": {"n_entries": None},
+                "system_config": {"n_processors": 4},
+            }
+        )
+        assert spec.predictor_config.unbounded
+        # Unnamed fields keep their defaults.
+        assert spec.predictor_config.index_granularity == 1024
+        assert spec.system_config.n_processors == 4
+        assert spec.kind == "tradeoff"
+
+    def test_sequences_normalized_to_tuples(self):
+        spec = ExperimentSpec(
+            workloads=["ocean"], seeds=[1], policies=["owner"]
+        )
+        assert spec.workloads == ("ocean",)
+        assert spec.seeds == (1,)
+        assert spec == ExperimentSpec(
+            workloads=("ocean",), seeds=(1,), policies=("owner",)
+        )
+
+    def test_expand_cross_product(self):
+        spec = ExperimentSpec(
+            workloads=("ocean", "oltp"), seeds=(1, 2, 3)
+        )
+        jobs = spec.expand()
+        assert spec.n_jobs == len(jobs) == 6
+        assert [j.index for j in jobs] == list(range(6))
+        assert {(j.workload, j.seed) for j in jobs} == {
+            (w, s) for w in ("ocean", "oltp") for s in (1, 2, 3)
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(workloads=("nope",)), "unknown workload"),
+            (dict(workloads=()), "at least one workload"),
+            (dict(workloads=("ocean",), kind="nope"), "unknown kind"),
+            (
+                dict(workloads=("ocean",), policies=("nope",)),
+                "unknown policy",
+            ),
+            (
+                dict(workloads=("ocean",), n_references=0),
+                "n_references",
+            ),
+            (
+                dict(workloads=("ocean",), warmup_fraction=1.0),
+                "warmup_fraction",
+            ),
+            (
+                dict(workloads=("ocean",), max_outstanding=0),
+                "max_outstanding",
+            ),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ExperimentSpec(**kwargs)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            ExperimentSpec.from_dict(
+                {"workloads": ["ocean"], "worklods": ["oltp"]}
+            )
+        with pytest.raises(ValueError, match="unknown PredictorConfig"):
+            ExperimentSpec.from_dict(
+                {
+                    "workloads": ["ocean"],
+                    "predictor_config": {"entries": 64},
+                }
+            )
+
+    def test_digest_stable_and_sensitive(self):
+        a = ExperimentSpec(workloads=("ocean",))
+        b = ExperimentSpec(workloads=("ocean",))
+        c = ExperimentSpec(workloads=("oltp",))
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+
+class TestTraceCache:
+    def test_store_load_round_trip(self, tmp_path):
+        corpus = PersistentTraceCorpus(cache_dir=tmp_path)
+        first = corpus.collect("ocean", 2000, seed=7)
+        assert corpus.cache_stats.misses == 1
+        assert corpus.cache_stats.hits == 0
+
+        # A fresh corpus (fresh process stand-in) hits the disk.
+        warm = PersistentTraceCorpus(cache_dir=tmp_path)
+        second = warm.collect("ocean", 2000, seed=7)
+        assert warm.cache_stats.hits == 1
+        assert warm.cache_stats.misses == 0
+        assert list(second.trace) == list(first.trace)
+        assert second.trace.name == first.trace.name
+        assert second.trace.n_processors == first.trace.n_processors
+        assert second.instructions == first.instructions
+        assert second.references == first.references
+
+    def test_memory_layer_shields_disk(self, tmp_path):
+        corpus = PersistentTraceCorpus(cache_dir=tmp_path)
+        corpus.collect("ocean", 2000)
+        corpus.collect("ocean", 2000)
+        # Second call is an in-memory hit: no extra disk lookups.
+        assert corpus.cache_stats.lookups == 1
+
+    def test_config_change_invalidates(self, tmp_path):
+        PersistentTraceCorpus(cache_dir=tmp_path).collect("ocean", 2000)
+        small = PersistentTraceCorpus(
+            config=SystemConfig(n_processors=4), cache_dir=tmp_path
+        )
+        small.collect("ocean", 2000)
+        # Different system config => different key => regeneration.
+        assert small.cache_stats.misses == 1
+        assert small.cache_stats.hits == 0
+
+    def test_refs_and_seed_are_part_of_key(self, tmp_path):
+        config = SystemConfig()
+        key = TraceCache.key("ocean", 2000, 42, config)
+        assert key != TraceCache.key("ocean", 2001, 42, config)
+        assert key != TraceCache.key("ocean", 2000, 43, config)
+        assert key != TraceCache.key("oltp", 2000, 42, config)
+        assert key == TraceCache.key("ocean", 2000, 42, SystemConfig())
+
+    def test_corrupt_entry_regenerates(self, tmp_path):
+        corpus = PersistentTraceCorpus(cache_dir=tmp_path)
+        corpus.collect("ocean", 2000)
+        for path in tmp_path.iterdir():
+            path.write_text("garbage")
+        rebuilt = PersistentTraceCorpus(cache_dir=tmp_path)
+        result = rebuilt.collect("ocean", 2000)
+        assert rebuilt.cache_stats.misses == 1
+        assert len(result.trace) > 0
+
+    def test_clear(self, tmp_path):
+        corpus = PersistentTraceCorpus(cache_dir=tmp_path)
+        corpus.collect("ocean", 2000)
+        assert corpus.disk.clear() == 2  # .trace + .json
+        assert corpus.disk.load(
+            TraceCache.key("ocean", 2000, 42, corpus.config)
+        ) is None
+
+
+class TestRunner:
+    def test_parallel_matches_serial(self, tmp_path):
+        spec = ExperimentSpec(
+            workloads=("ocean", "barnes-hut"), kind="tradeoff", **SMALL
+        )
+        serial = Runner(jobs=1, cache_dir=tmp_path / "c1").run(spec)
+        parallel = Runner(jobs=2, cache_dir=tmp_path / "c2").run(spec)
+        assert serial == parallel
+        assert [r.to_dict() for r in serial] == [
+            r.to_dict() for r in parallel
+        ]
+
+    def test_parallel_reuses_disk_cache(self, tmp_path):
+        spec = ExperimentSpec(
+            workloads=("ocean", "barnes-hut"), kind="tradeoff", **SMALL
+        )
+        cold = Runner(jobs=2, cache_dir=tmp_path).run(spec)
+        assert cold.cache_stats.misses == 2
+        warm = Runner(jobs=2, cache_dir=tmp_path).run(spec)
+        assert warm.cache_stats.hits == 2
+        assert warm.cache_stats.misses == 0
+        assert warm == cold
+
+    def test_without_cache_dir_stays_in_memory(self, tmp_path):
+        spec = ExperimentSpec(workloads=("ocean",), **SMALL)
+        results = Runner(jobs=1).run(spec)
+        assert results.cache_stats.lookups == 0
+        assert len(results) == 3  # two baselines + owner
+
+    def test_runtime_kind_includes_baselines(self):
+        spec = ExperimentSpec(
+            workloads=("ocean",), kind="runtime", **SMALL
+        )
+        results = run_experiment(spec)
+        assert results.labels() == [
+            "directory", "broadcast-snooping", "owner",
+        ]
+        directory = results.records[0]
+        assert directory["normalized_runtime"] == pytest.approx(100.0)
+
+    def test_accuracy_kind(self):
+        spec = ExperimentSpec(
+            workloads=("ocean",), kind="accuracy", **SMALL
+        )
+        results = run_experiment(spec)
+        assert results.labels() == ["owner"]
+        record = results.records[0]
+        assert 0.0 <= record["coverage_pct"] <= 100.0
+        assert record["predictions"] > 0
+
+    def test_shared_corpus_injection(self, config16):
+        corpus_spec = ExperimentSpec(workloads=("ocean",), **SMALL)
+        corpus = PersistentTraceCorpus(config16, cache_dir=None)
+        # cache_dir=None would normally mean "no disk"; explicit corpus
+        # wins over the runner's own construction.
+        runner = Runner(corpus=corpus)
+        runner.run(corpus_spec)
+        assert corpus.cache_stats.lookups == 1
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            Runner(jobs=0)
+
+    def test_rejects_injected_corpus_with_multiple_workers(self):
+        spec = ExperimentSpec(
+            workloads=("ocean", "barnes-hut"), **SMALL
+        )
+        runner = Runner(jobs=2, corpus=PersistentTraceCorpus())
+        with pytest.raises(ValueError, match="injected corpus"):
+            runner.run(spec)
+
+    def test_max_outstanding_round_trips_and_changes_results(self):
+        base = ExperimentSpec(
+            workloads=("ocean",), kind="runtime", **SMALL
+        )
+        wide = dataclasses.replace(base, max_outstanding=8)
+        assert ExperimentSpec.from_json(wide.to_json()) == wide
+        assert wide.digest() != base.digest()
+
+
+class TestResultSet:
+    @pytest.fixture
+    def results(self):
+        spec = ExperimentSpec(workloads=("ocean",), **SMALL)
+        return run_experiment(spec)
+
+    def test_json_round_trip(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        results.to_json(path)
+        restored = ResultSet.from_json(path)
+        assert restored == results
+        # Text form round-trips too.
+        assert ResultSet.from_json(results.to_json()) == results
+
+    def test_csv_export(self, results, tmp_path):
+        path = tmp_path / "results.csv"
+        results.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("workload,seed,label,")
+        assert len(lines) == 1 + len(results)
+        assert lines[1].startswith("ocean,42,directory,")
+
+    def test_rows_and_table(self, results):
+        rows = results.rows()
+        assert rows[0]["workload"] == "ocean"
+        assert "indirection_pct" in rows[0]
+        text = results.table()
+        assert "broadcast-snooping" in text
+        assert "indirection_pct" in text
+
+    def test_tradeoff_points_conversion(self, results):
+        points = results.tradeoff_points()
+        assert [p.label for p in points] == results.labels()
+        assert all(isinstance(p.misses, int) for p in points)
+
+    def test_equality_ignores_cache_stats(self, results):
+        clone = ResultSet.from_dict(results.to_dict())
+        clone.cache_stats.hits += 5
+        assert clone == results
+
+    def test_record_metrics_access(self):
+        record = ResultRecord(
+            workload="ocean", seed=1, label="owner",
+            metrics={"x": 1.0},
+        )
+        assert record["x"] == 1.0
+        assert record.to_dict()["metrics"] == {"x": 1.0}
+        assert ResultRecord.from_dict(record.to_dict()) == record
