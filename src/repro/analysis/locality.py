@@ -10,10 +10,9 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.coherence.state import GlobalCoherenceState
-from repro.trace.record import TraceRecord
 from repro.trace.trace import Trace
 
 
@@ -55,20 +54,6 @@ class LocalityCdf:
         return len(self.counts)
 
 
-def _cache_to_cache_records(
-    trace: Trace, warmup_fraction: float
-) -> List[TraceRecord]:
-    """The post-warmup misses another cache must service or observe."""
-    state = GlobalCoherenceState(trace.n_processors)
-    n_warmup = int(len(trace) * warmup_fraction)
-    records = []
-    for index, record in enumerate(trace):
-        outcome = state.apply(record)
-        if index >= n_warmup and not outcome.required.is_empty():
-            records.append(record)
-    return records
-
-
 def locality_cdf(
     trace: Trace,
     kind: str = "block",
@@ -81,21 +66,34 @@ def locality_cdf(
     ``kind`` selects the entity: ``"block"`` (4a), ``"macroblock"``
     (4b), or ``"pc"`` (4c).
     """
-    keyers: Dict[str, Callable[[TraceRecord], int]] = {
-        "block": lambda r: r.block(block_size),
-        "macroblock": lambda r: r.macroblock(macroblock_size),
-        "pc": lambda r: r.pc,
-    }
-    try:
-        keyer = keyers[kind]
-    except KeyError:
+    if kind == "block":
+        keys = trace.block_keys(block_size)
+    elif kind == "macroblock":
+        keys = trace.block_keys(macroblock_size)
+    elif kind == "pc":
+        keys = trace.pcs
+    else:
         raise ValueError(
-            f"kind must be one of {sorted(keyers)}, got {kind!r}"
+            "kind must be one of ['block', 'macroblock', 'pc'], "
+            f"got {kind!r}"
         )
-    counter = collections.Counter(
-        keyer(record)
-        for record in _cache_to_cache_records(trace, warmup_fraction)
-    )
+    # Replay the global MOSI state to find the post-warmup misses
+    # another cache must service or observe, counting per hot entity.
+    state = GlobalCoherenceState(trace.n_processors)
+    apply_fast = state.apply_fast
+    n_warmup = int(len(trace) * warmup_fraction)
+    counter: Dict[int, int] = collections.Counter()
+    index = 0
+    for block, requester, code, key in zip(
+        trace.block_keys(state.block_size),
+        trace.requesters,
+        trace.accesses,
+        keys,
+    ):
+        required = apply_fast(block, requester, code)[3]
+        index += 1
+        if index > n_warmup and required:
+            counter[key] += 1
     counts = tuple(sorted(counter.values(), reverse=True))
     return LocalityCdf(
         workload=trace.name,

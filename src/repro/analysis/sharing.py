@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Dict, List
+from typing import Dict
 
+from repro.common.destset import popcount
 from repro.coherence.state import GlobalCoherenceState
 from repro.trace.trace import Trace
 
@@ -51,20 +52,28 @@ def sharing_histogram(
 ) -> SharingHistogram:
     """Compute the Figure 2 histogram for one trace."""
     state = GlobalCoherenceState(trace.n_processors)
+    apply_fast = state.apply_fast
     n_warmup = int(len(trace) * warmup_fraction)
     reads = collections.Counter()
     writes = collections.Counter()
     measured = 0
-    for index, record in enumerate(trace):
-        outcome = state.apply(record)
-        if index < n_warmup:
+    top_bin = SHARING_BINS[-1]
+    index = 0
+    for block, requester, code in zip(
+        trace.block_keys(state.block_size),
+        trace.requesters,
+        trace.accesses,
+    ):
+        required = apply_fast(block, requester, code)[3]
+        index += 1
+        if index <= n_warmup:
             continue
         measured += 1
-        bin_index = min(outcome.required.count(), SHARING_BINS[-1])
-        if record.is_read:
-            reads[bin_index] += 1
-        else:
+        bin_index = min(popcount(required), top_bin)
+        if code:
             writes[bin_index] += 1
+        else:
+            reads[bin_index] += 1
     denominator = max(1, measured)
     return SharingHistogram(
         workload=trace.name,
@@ -111,10 +120,10 @@ def degree_of_sharing(
     """Compute the Figure 3 histograms for one trace."""
     touchers: Dict[int, set] = collections.defaultdict(set)
     miss_counts: Dict[int, int] = collections.Counter()
-    for record in trace:
-        block = record.block(block_size)
-        touchers[block].add(record.requester)
-        miss_counts[block] += 1
+    blocks = trace.block_keys(block_size)
+    for block, requester in zip(blocks, trace.requesters):
+        touchers[block].add(requester)
+    miss_counts.update(blocks)
 
     n_procs = trace.n_processors
     block_histogram = collections.Counter()

@@ -11,11 +11,9 @@ import dataclasses
 from typing import Dict, Iterable, List
 
 from repro.common.params import SystemConfig
-from repro.common.types import AccessType
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.reference import MemoryReference
 from repro.coherence.state import GlobalCoherenceState
-from repro.trace.record import TraceRecord
 from repro.trace.trace import Trace
 
 
@@ -91,14 +89,14 @@ class TraceCollector:
         self._references += 1
 
         hierarchy = self._hierarchies[node]
-        state = self._global.lookup(reference.address)
+        owner, sharers = self._global.lookup_fast(reference.address)
         if reference.is_write:
             # Stores need *exclusive* ownership (M state): a write by
             # the owner while sharers hold S copies is an upgrade that
             # must issue a GETX and invalidate them.
-            permitted = state.owner == node and not state.sharers
+            permitted = owner == node and not sharers
         else:
-            permitted = state.is_cached(node)
+            permitted = owner == node or sharers >> node & 1
 
         if permitted and hierarchy.access(reference.address):
             return False
@@ -122,26 +120,27 @@ class TraceCollector:
 
     # ------------------------------------------------------------------
     def _record_miss(self, reference: MemoryReference) -> None:
-        access = AccessType.GETX if reference.is_write else AccessType.GETS
+        is_write = reference.is_write
         block = reference.address & ~(self._config.block_size - 1)
         node = reference.node
         executed = self._instructions[node]
         gap = executed - self._instructions_at_last_miss[node]
         self._instructions_at_last_miss[node] = executed
-        record = TraceRecord(
-            address=block,
-            pc=reference.pc,
-            requester=node,
-            access=access,
-            instructions=gap,
+        # Generator-side fast path: fields are produced by validated
+        # machinery, so the trace columns are appended directly instead
+        # of round-tripping through a checked TraceRecord.
+        required = self._global.apply_fast(block, node, is_write)[3]
+        self._trace.append_fields(
+            block, reference.pc, node, 1 if is_write else 0, gap
         )
-        outcome = self._global.apply(record)
-        self._trace.append(record)
 
-        if access is AccessType.GETX:
+        if is_write and required:
             # Invalidate remote copies (owner and sharers lose them).
-            for other in outcome.required:
-                self._hierarchies[other].invalidate(block)
+            hierarchies = self._hierarchies
+            while required:
+                low = required & -required
+                hierarchies[low.bit_length() - 1].invalidate(block)
+                required ^= low
 
-        for victim in self._hierarchies[reference.node].fill(block):
-            self._global.evict(reference.node, victim)
+        for victim in self._hierarchies[node].fill(block):
+            self._global.evict(node, victim)

@@ -12,6 +12,9 @@ Commands:
 - ``accuracy``  — per-policy destination-set coverage/precision.
 - ``sweep``     — run a declarative :class:`ExperimentSpec` JSON file
   across workloads × seeds × policies, optionally in parallel.
+- ``bench``     — core-simulation throughput microbenchmarks
+  (records/sec), with optional regression checking against a saved
+  ``BENCH_baseline.json``.
 
 ``tradeoff``, ``runtime``, and ``accuracy`` are thin builders over the
 same :mod:`repro.experiment` API that ``sweep`` exposes directly; all
@@ -127,6 +130,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--csv", help="also write the tidy table as CSV to this file"
     )
+
+    bench = commands.add_parser(
+        "bench",
+        help="simulation-core throughput microbenchmarks (records/sec)",
+    )
+    bench.add_argument(
+        "--workload", default=None,
+        help="workload to benchmark on (default oltp; --quick overrides)",
+    )
+    bench.add_argument(
+        "--refs", type=_positive_int, default=None,
+        help="references to simulate (default 60000; --quick overrides)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=42, help="workload seed (default 42)"
+    )
+    bench.add_argument(
+        "--repeats", type=_positive_int, default=2,
+        help="timing repetitions per benchmark, best-of (default 2)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small CI configuration (barnes-hut, 8000 references)",
+    )
+    bench.add_argument(
+        "--out", help="write the BENCH report as JSON to this file"
+    )
+    bench.add_argument(
+        "--check",
+        help="compare against a saved BENCH baseline JSON and fail "
+        "on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional throughput drop for --check "
+        "(default 0.30)",
+    )
+    _add_cache_arguments(bench)
     return parser
 
 
@@ -252,8 +293,9 @@ def _run_spec(args: argparse.Namespace, spec: ExperimentSpec) -> ResultSet:
     return runner.run(spec)
 
 
-def _print_cache_stats(results: ResultSet) -> None:
+def _print_run_stats(results: ResultSet) -> None:
     print(f"trace cache: {results.cache_stats}")
+    print(f"throughput: {results.perf}")
 
 
 # ----------------------------------------------------------------------
@@ -420,13 +462,58 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     )
     results = _run_spec(args, spec)
     print(results.table())
-    _print_cache_stats(results)
+    _print_run_stats(results)
     if args.out:
         results.to_json(args.out)
         print(f"wrote {args.out}")
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {args.csv}")
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.evaluation import bench
+
+    if args.quick:
+        workload = args.workload or bench.QUICK_WORKLOAD
+        default_refs = bench.QUICK_REFERENCES
+    else:
+        workload = args.workload or bench.DEFAULT_WORKLOAD
+        default_refs = bench.DEFAULT_REFERENCES
+    n_references = args.refs if args.refs is not None else default_refs
+    _check_workload_name(workload)
+
+    corpus = make_corpus(cache_dir=_cache_dir(args))
+    trace = corpus.trace(workload, n_references, args.seed)
+    print(
+        f"bench: {workload} seed={args.seed} "
+        f"({len(trace)} trace records, repeats={args.repeats})"
+    )
+    report = bench.run_suite(
+        trace, workload, n_references, args.seed, repeats=args.repeats
+    )
+    print(bench.render_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        try:
+            baseline = bench.load_report(args.check)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline: {exc}")
+        failures = bench.check_against_baseline(
+            report, baseline, args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}")
+            raise SystemExit(1)
+        print(
+            f"perf check vs {args.check}: ok "
+            f"(tolerance {args.tolerance:.0%})"
+        )
 
 
 _COMMANDS = {
@@ -437,6 +524,7 @@ _COMMANDS = {
     "runtime": _cmd_runtime,
     "accuracy": _cmd_accuracy,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
 }
 
 

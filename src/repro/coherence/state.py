@@ -8,12 +8,18 @@ set of **sharers** holding read-only S copies.
 :class:`GlobalCoherenceState` is the omniscient view a directory would
 have if it were perfect, and is what the multicast-snooping home node
 consults to decide whether a destination set was sufficient.
+
+Storage is allocation-light: each tracked block maps to an
+``(owner, sharers_bitmask)`` tuple, and the hot-path entry point
+:meth:`GlobalCoherenceState.apply_fast` works entirely in scalars.
+The record-oriented :meth:`apply`/:meth:`lookup` API is preserved on
+top of it for analyses, tests, and hand-written consumers.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Tuple
 
 from repro.common.destset import DestinationSet
 from repro.common.types import (
@@ -23,6 +29,15 @@ from repro.common.types import (
     NodeId,
 )
 from repro.trace.record import TraceRecord
+
+
+def _bits_to_frozenset(bits: int) -> frozenset:
+    nodes = []
+    while bits:
+        low = bits & -bits
+        nodes.append(low.bit_length() - 1)
+        bits ^= low
+    return frozenset(nodes)
 
 
 @dataclasses.dataclass
@@ -91,6 +106,8 @@ class GlobalCoherenceState:
     totally-ordered request stream.
     """
 
+    __slots__ = ("_n", "_block_size", "_blocks")
+
     def __init__(self, n_processors: int, block_size: int = 64):
         if n_processors <= 0:
             raise ValueError("n_processors must be positive")
@@ -98,7 +115,9 @@ class GlobalCoherenceState:
             raise ValueError("block_size must be a positive power of two")
         self._n = n_processors
         self._block_size = block_size
-        self._blocks: Dict[Address, BlockState] = {}
+        #: block address -> (owner, sharers bitmask); owner is
+        #: MEMORY_NODE (-1) when memory owns the block.
+        self._blocks: Dict[Address, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -111,47 +130,74 @@ class GlobalCoherenceState:
 
     def lookup(self, address: Address) -> BlockState:
         """Current state of the block containing ``address``."""
-        return self._blocks.get(
-            self._align(address), BlockState()
-        )
+        entry = self._blocks.get(self._align(address))
+        if entry is None:
+            return BlockState()
+        return BlockState(entry[0], _bits_to_frozenset(entry[1]))
+
+    def lookup_fast(self, address: Address) -> Tuple[int, int]:
+        """``(owner, sharers_bitmask)`` of the block (hot path)."""
+        entry = self._blocks.get(self._align(address))
+        return entry if entry is not None else (MEMORY_NODE, 0)
 
     def n_tracked_blocks(self) -> int:
         """Number of blocks with non-default state."""
         return len(self._blocks)
 
     # ------------------------------------------------------------------
+    def apply_fast(
+        self, block: Address, requester: NodeId, is_getx: int
+    ) -> Tuple[int, int, int, int]:
+        """Order one request on ``block`` and update state, in scalars.
+
+        ``block`` must already be block-aligned and ``requester``
+        already validated.  Returns ``(owner_before,
+        sharers_before_bits, responder, required_bits)`` — the owner is
+        ``MEMORY_NODE`` (-1) when memory owned the block, and the
+        responder likewise when memory supplies the data.
+        """
+        blocks = self._blocks
+        entry = blocks.get(block)
+        if entry is None:
+            owner, sharers = MEMORY_NODE, 0
+        else:
+            owner, sharers = entry
+
+        if owner >= 0 and owner != requester:
+            required = 1 << owner
+            responder = owner
+        else:
+            required = 0
+            responder = MEMORY_NODE
+        if is_getx:
+            required |= sharers & ~(1 << requester)
+            blocks[block] = (requester, 0)
+        elif owner != requester:
+            # MOSI: a processor owner keeps ownership (M -> O) and the
+            # requester joins the sharers; a memory owner stays owner.
+            blocks[block] = (owner, sharers | 1 << requester)
+        # (GETS by the current owner — e.g. a refetch after an upgrade
+        # race — leaves the state unchanged.)
+        return owner, sharers, responder, required
+
     def apply(self, record: TraceRecord) -> CoherenceOutcome:
         """Order ``record``, update state, and report the outcome."""
         if not 0 <= record.requester < self._n:
             raise ValueError(
                 f"requester {record.requester} outside [0, {self._n})"
             )
-        block = self._align(record.address)
-        state = self._blocks.get(block, BlockState())
-        requester = record.requester
-
-        required_nodes = set()
-        if state.owner != MEMORY_NODE and state.owner != requester:
-            required_nodes.add(state.owner)
-        if record.access is AccessType.GETX:
-            required_nodes |= state.sharers - {requester}
-
-        responder = self._responder(state, requester)
-
-        if record.access is AccessType.GETS:
-            new_state = self._apply_gets(state, requester)
-        else:
-            new_state = BlockState(owner=requester, sharers=frozenset())
-        self._blocks[block] = new_state
-
-        required = DestinationSet.from_nodes(self._n, required_nodes)
+        owner, sharers, responder, required = self.apply_fast(
+            self._align(record.address),
+            record.requester,
+            record.access is AccessType.GETX,
+        )
         return CoherenceOutcome(
             record=record,
-            owner_before=state.owner,
-            sharers_before=state.sharers,
+            owner_before=owner,
+            sharers_before=_bits_to_frozenset(sharers),
             responder=responder,
-            required=required,
-            directory_indirection=not required.is_empty(),
+            required=DestinationSet._from_bits(self._n, required),
+            directory_indirection=required != 0,
         )
 
     def evict(self, node: NodeId, address: Address) -> None:
@@ -161,34 +207,15 @@ class GlobalCoherenceState:
         the memory module); sharer evictions silently drop the copy.
         """
         block = self._align(address)
-        state = self._blocks.get(block)
-        if state is None:
+        entry = self._blocks.get(block)
+        if entry is None:
             return
-        if state.owner == node:
-            self._blocks[block] = BlockState(
-                owner=MEMORY_NODE, sharers=state.sharers
-            )
-        elif node in state.sharers:
-            self._blocks[block] = BlockState(
-                owner=state.owner, sharers=state.sharers - {node}
-            )
+        owner, sharers = entry
+        if owner == node:
+            self._blocks[block] = (MEMORY_NODE, sharers)
+        elif sharers >> node & 1:
+            self._blocks[block] = (owner, sharers & ~(1 << node))
 
     # ------------------------------------------------------------------
-    def _apply_gets(self, state: BlockState, requester: NodeId) -> BlockState:
-        if state.owner == requester:
-            # Refetch by the owner (e.g. after an upgrade race); no change.
-            return state
-        # MOSI: a processor owner keeps ownership (M -> O) and the
-        # requester joins the sharers; a memory owner stays the owner.
-        return BlockState(
-            owner=state.owner, sharers=state.sharers | {requester}
-        )
-
-    @staticmethod
-    def _responder(state: BlockState, requester: NodeId) -> NodeId:
-        if state.owner == MEMORY_NODE or state.owner == requester:
-            return MEMORY_NODE
-        return state.owner
-
     def _align(self, address: Address) -> Address:
         return address & ~(self._block_size - 1)

@@ -1,0 +1,315 @@
+"""Core-simulation performance microbenchmarks (``repro bench``).
+
+Measures the throughput of the hot paths the columnar trace engine
+optimizes — protocol replay, the full Figure 5 tradeoff sweep, the
+timing simulator, and the trace analyses — in *trace records per
+second*.  Trace generation is excluded (traces come from the shared
+corpus/cache), so the numbers isolate the simulation core.
+
+Two artifacts build on this module:
+
+- ``repro bench --out BENCH.json`` writes the suite results; the
+  committed ``BENCH.json`` documents the engine's measured speedup
+  over the pre-columnar baseline (see :data:`PRE_COLUMNAR_BASELINE`).
+- ``repro bench --check BENCH_baseline.json`` compares a fresh run
+  against a committed reference and fails on regression; CI runs this
+  on a small workload.  Comparisons use *calibrated* throughput —
+  records/sec divided by a machine-speed score measured on the spot —
+  so a slower CI runner does not read as an engine regression.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.sharing import degree_of_sharing, sharing_histogram
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.evaluation.runtime import make_protocol
+from repro.evaluation.tradeoff import (
+    evaluate_design_space,
+    evaluate_protocol,
+)
+from repro.timing.system import TimingSimulator
+from repro.trace.stats import compute_trace_stats
+from repro.trace.trace import Trace
+
+#: Bump when the BENCH.json layout changes.
+BENCH_FORMAT = 1
+
+#: Pre-columnar engine throughput on the reference configuration
+#: (``oltp``, 60,000 references, seed 42 — the Figure 5 predictor
+#: tradeoff sweep), measured on the development machine at the commit
+#: preceding the columnar engine, interleaved with the new engine
+#: (best of 3 after warm-up) so both saw identical load.
+#: ``repro bench`` reports the current engine's speedup against this
+#: when run at the same configuration.
+PRE_COLUMNAR_BASELINE = {
+    "workload": "oltp",
+    "n_references": 60_000,
+    "seed": 42,
+    "fig5_tradeoff_records_per_sec": 52_900.0,
+}
+
+#: Default benchmark configuration (matches the baseline above).
+DEFAULT_WORKLOAD = "oltp"
+DEFAULT_REFERENCES = 60_000
+DEFAULT_SEED = 42
+
+#: Quick configuration for CI smoke runs.
+QUICK_WORKLOAD = "barnes-hut"
+QUICK_REFERENCES = 8_000
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchResult:
+    """One microbenchmark's measured throughput."""
+
+    name: str
+    records: int
+    seconds: float
+    calibration_score: float
+
+    @property
+    def records_per_sec(self) -> float:
+        return self.records / self.seconds if self.seconds else 0.0
+
+    @property
+    def calibrated(self) -> float:
+        """Throughput normalized by the machine-speed score.
+
+        Dimensionless: comparable across machines of different speeds,
+        which is what the CI regression check needs.
+        """
+        if not self.calibration_score:
+            return 0.0
+        return self.records_per_sec / self.calibration_score
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "records": self.records,
+            "seconds": round(self.seconds, 6),
+            "records_per_sec": round(self.records_per_sec, 1),
+            "calibrated": round(self.calibrated, 4),
+        }
+
+
+def calibration_score(loops: int = 200_000) -> float:
+    """A machine-speed score in pure-Python kilo-operations per second.
+
+    Runs a fixed dict/int workload resembling the simulator's inner
+    loops.  Dividing a benchmark's records/sec by this score yields a
+    machine-independent throughput used for CI regression checks.
+    """
+    best = float("inf")
+    for _ in range(3):
+        table: Dict[int, int] = {}
+        started = time.perf_counter()
+        acc = 0
+        for i in range(loops):
+            key = (i * 2654435761) & 0xFFFF
+            value = table.get(key)
+            if value is None:
+                table[key] = i
+            else:
+                table[key] = value + 1
+            acc += (key >> 3) & 7
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return loops / best / 1000.0
+
+
+#: Minimum wall-clock per timing sample; sub-millisecond benchmarks
+#: are looped until a sample is at least this long, so the regression
+#: gate measures throughput rather than timer/scheduler noise.
+MIN_SAMPLE_SECONDS = 0.05
+
+def _time_best(function: Callable[[], int], repeats: int) -> Tuple[int, float]:
+    """Best-of-``repeats`` per-call seconds for ``function``.
+
+    One untimed warm-up call primes per-trace caches (e.g. the block
+    key columns) so they are not charged to the first sample; fast
+    functions are auto-ranged to several calls per sample.
+    """
+    records = function()  # warm-up
+    inner = 1
+    while True:
+        started = time.perf_counter()
+        for _ in range(inner):
+            function()
+        elapsed = time.perf_counter() - started
+        if elapsed >= MIN_SAMPLE_SECONDS or inner >= 1024:
+            break
+        scale = MIN_SAMPLE_SECONDS / max(elapsed, 1e-9)
+        inner = min(1024, max(inner * 2, int(inner * scale) + 1))
+    best = elapsed / inner
+    for _ in range(repeats - 1):
+        started = time.perf_counter()
+        for _ in range(inner):
+            function()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed / inner)
+    return records, best
+
+
+def _benchmarks(
+    trace: Trace,
+    config: SystemConfig,
+    predictor_config: PredictorConfig,
+) -> "List[Tuple[str, Callable[[], int]]]":
+    """The suite: name -> callable returning records processed."""
+
+    def fig5_tradeoff() -> int:
+        points = evaluate_design_space(
+            trace, config=config, predictor_config=predictor_config
+        )
+        return len(trace) * len(points)
+
+    def protocol(label: str) -> int:
+        instance = make_protocol(label, config, predictor_config)
+        evaluate_protocol(instance, trace, label=label)
+        return len(trace)
+
+    def timing_runtime() -> int:
+        instance = make_protocol("group", config, predictor_config)
+        simulator = TimingSimulator(config, instance)
+        simulator.run(trace)
+        return len(trace)
+
+    def analysis_sharing() -> int:
+        sharing_histogram(trace)
+        degree_of_sharing(trace, config.block_size)
+        return 2 * len(trace)
+
+    def trace_stats() -> int:
+        compute_trace_stats(
+            trace, config.block_size, config.macroblock_size
+        )
+        return len(trace)
+
+    return [
+        ("fig5_tradeoff", fig5_tradeoff),
+        ("protocol_directory", lambda: protocol("directory")),
+        ("protocol_snooping", lambda: protocol("broadcast-snooping")),
+        ("protocol_multicast_group", lambda: protocol("group")),
+        ("timing_runtime", timing_runtime),
+        ("analysis_sharing", analysis_sharing),
+        ("trace_stats", trace_stats),
+    ]
+
+
+def run_suite(
+    trace: Trace,
+    workload: str,
+    n_references: int,
+    seed: int,
+    config: Optional[SystemConfig] = None,
+    predictor_config: Optional[PredictorConfig] = None,
+    repeats: int = 2,
+) -> dict:
+    """Run every microbenchmark over ``trace``; return the BENCH dict."""
+    config = config if config is not None else SystemConfig()
+    predictor_config = (
+        predictor_config if predictor_config is not None
+        else PredictorConfig()
+    )
+    score = calibration_score()
+    results: List[BenchResult] = []
+    for name, function in _benchmarks(trace, config, predictor_config):
+        records, seconds = _time_best(function, repeats)
+        results.append(BenchResult(name, records, seconds, score))
+
+    report = {
+        "format": BENCH_FORMAT,
+        "workload": workload,
+        "n_references": n_references,
+        "seed": seed,
+        "trace_records": len(trace),
+        "python": platform.python_version(),
+        "calibration_kops": round(score, 1),
+        "benchmarks": [r.to_dict() for r in results],
+    }
+
+    baseline = PRE_COLUMNAR_BASELINE
+    if (
+        workload == baseline["workload"]
+        and n_references == baseline["n_references"]
+        and seed == baseline["seed"]
+    ):
+        fig5 = next(r for r in results if r.name == "fig5_tradeoff")
+        reference = baseline["fig5_tradeoff_records_per_sec"]
+        report["pre_columnar_baseline"] = {
+            "fig5_tradeoff_records_per_sec": reference,
+            "fig5_tradeoff_speedup": round(
+                fig5.records_per_sec / reference, 2
+            ),
+        }
+    return report
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, tolerance: float = 0.30
+) -> List[str]:
+    """Regression check of ``report`` against a saved baseline report.
+
+    Compares the *calibrated* throughput of benchmarks present in both
+    reports; returns a list of human-readable failures (empty when the
+    run passes).  ``tolerance`` is the allowed fractional drop.
+    """
+    failures = []
+    current = {b["name"]: b for b in report.get("benchmarks", ())}
+    for entry in baseline.get("benchmarks", ()):
+        name = entry["name"]
+        reference = entry.get("calibrated", 0.0)
+        observed = current.get(name, {}).get("calibrated")
+        if observed is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        if not reference:
+            continue
+        floor = (1.0 - tolerance) * reference
+        if observed < floor:
+            drop = 100.0 * (1.0 - observed / reference)
+            failures.append(
+                f"{name}: calibrated throughput {observed:.3f} is "
+                f"{drop:.0f}% below baseline {reference:.3f} "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def load_report(path) -> dict:
+    """Load a BENCH.json report from disk."""
+    with open(path, "r", encoding="ascii") as handle:
+        return json.load(handle)
+
+
+def render_report(report: dict) -> str:
+    """A human-readable table of one BENCH report."""
+    lines = [
+        f"workload={report['workload']} "
+        f"refs={report['n_references']} seed={report['seed']} "
+        f"trace={report['trace_records']} records  "
+        f"(calibration {report['calibration_kops']:.0f} kops/s, "
+        f"python {report['python']})",
+        f"{'benchmark':28s} {'records':>10s} {'seconds':>9s} "
+        f"{'records/sec':>12s} {'calibrated':>10s}",
+    ]
+    for entry in report["benchmarks"]:
+        lines.append(
+            f"{entry['name']:28s} {entry['records']:>10,d} "
+            f"{entry['seconds']:>9.3f} {entry['records_per_sec']:>12,.0f} "
+            f"{entry['calibrated']:>10.3f}"
+        )
+    baseline = report.get("pre_columnar_baseline")
+    if baseline:
+        lines.append(
+            "fig5 tradeoff speedup vs pre-columnar engine "
+            f"({baseline['fig5_tradeoff_records_per_sec']:,.0f} "
+            f"records/sec): {baseline['fig5_tradeoff_speedup']:.2f}x"
+        )
+    return "\n".join(lines)

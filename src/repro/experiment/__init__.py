@@ -36,7 +36,7 @@ from repro.experiment.cache import (
     default_cache_dir,
     make_corpus,
 )
-from repro.experiment.results import ResultRecord, ResultSet
+from repro.experiment.results import PerfStats, ResultRecord, ResultSet
 from repro.experiment.runner import Runner, execute_job, run_experiment
 from repro.experiment.spec import (
     EXPERIMENT_KINDS,
@@ -49,6 +49,7 @@ __all__ = [
     "EXPERIMENT_KINDS",
     "ExperimentSpec",
     "Job",
+    "PerfStats",
     "PersistentTraceCorpus",
     "ResultRecord",
     "ResultSet",

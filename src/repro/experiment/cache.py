@@ -118,7 +118,9 @@ class TraceCache:
         trace_path, meta_path = self._paths(key)
         try:
             meta = json.loads(meta_path.read_text(encoding="ascii"))
-            trace = read_trace(trace_path)
+            # Cache entries were written by write_trace; skip per-record
+            # validation on this trusted load path.
+            trace = read_trace(trace_path, trusted=True)
         except (OSError, ValueError, KeyError):
             self.stats.misses += 1
             return None

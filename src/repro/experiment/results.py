@@ -28,6 +28,33 @@ PathLike = Union[str, "os.PathLike[str]"]
 RESULTS_FORMAT = 1
 
 
+@dataclasses.dataclass
+class PerfStats:
+    """Observed throughput of one sweep execution.
+
+    Deliberately *excluded* from serialization and equality: two runs
+    of the same spec produce equal result sets regardless of how fast
+    they ran (or whether the trace cache was warm).
+    """
+
+    records_processed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def records_per_sec(self) -> float:
+        """Trace records replayed per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.records_processed / self.wall_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.records_processed:,} records in "
+            f"{self.wall_seconds:.2f}s "
+            f"({self.records_per_sec:,.0f} records/sec)"
+        )
+
+
 @dataclasses.dataclass(frozen=True)
 class ResultRecord:
     """One evaluated configuration's metrics."""
@@ -71,12 +98,16 @@ class ResultSet:
         spec: ExperimentSpec,
         records: Sequence[ResultRecord],
         cache_stats: Optional[CacheStats] = None,
+        perf: Optional[PerfStats] = None,
     ):
         self.spec = spec
         self.records: List[ResultRecord] = list(records)
         self.cache_stats = (
             cache_stats if cache_stats is not None else CacheStats()
         )
+        #: Throughput of the run that produced this set (not serialized;
+        #: see :class:`PerfStats`).
+        self.perf = perf if perf is not None else PerfStats()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

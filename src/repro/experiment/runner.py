@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.accuracy import prediction_accuracy
@@ -28,20 +29,33 @@ from repro.experiment.cache import (
     PersistentTraceCorpus,
     make_corpus,
 )
-from repro.experiment.results import ResultRecord, ResultSet
+from repro.experiment.results import PerfStats, ResultRecord, ResultSet
 from repro.experiment.spec import ExperimentSpec, Job
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 
+def job_records_processed(spec: ExperimentSpec, trace_length: int) -> int:
+    """Trace records replayed by one job (length × configurations).
+
+    Each evaluated configuration replays the full trace (warmup plus
+    measurement), so sweep throughput counts every replayed record.
+    """
+    n_configs = len(spec.policies)
+    if spec.kind in ("tradeoff", "runtime") and spec.include_baselines:
+        n_configs += 2
+    return trace_length * n_configs
+
+
 def execute_job(
     spec: ExperimentSpec, job: Job, corpus: TraceCorpus
-) -> List[ResultRecord]:
+) -> "Tuple[List[ResultRecord], int]":
     """Evaluate one (workload, seed) cell of ``spec``.
 
     This is the single execution path shared by the serial runner and
     the process-pool workers; determinism of the whole sweep reduces
-    to determinism of this function.
+    to determinism of this function.  Returns the cell's result records
+    plus the number of trace records it replayed.
     """
     trace = corpus.trace(job.workload, spec.n_references, job.seed)
     records: List[ResultRecord] = []
@@ -130,22 +144,22 @@ def execute_job(
                     },
                 )
             )
-    return records
+    return records, job_records_processed(spec, len(trace))
 
 
 def _run_job_worker(
     spec_dict: dict, index: int, cache_dir: Optional[str]
-) -> Tuple[int, List[dict], Dict[str, int]]:
+) -> Tuple[int, List[dict], Dict[str, int], int]:
     """Process-pool entry point (module-level, hence picklable)."""
     spec = ExperimentSpec.from_dict(spec_dict)
     corpus = make_corpus(spec.system_config, cache_dir)
-    records = execute_job(spec, spec.expand()[index], corpus)
+    records, processed = execute_job(spec, spec.expand()[index], corpus)
     stats = (
         corpus.cache_stats.to_dict()
         if isinstance(corpus, PersistentTraceCorpus)
         else {"hits": 0, "misses": 0}
     )
-    return index, [r.to_dict() for r in records], stats
+    return index, [r.to_dict() for r in records], stats, processed
 
 
 class Runner:
@@ -197,12 +211,19 @@ class Runner:
     ) -> ResultSet:
         corpus = self._make_corpus(spec)
         records: List[ResultRecord] = []
+        processed = 0
+        started = time.perf_counter()
         for job in jobs:
-            records.extend(execute_job(spec, job, corpus))
+            job_records, job_processed = execute_job(spec, job, corpus)
+            records.extend(job_records)
+            processed += job_processed
+        elapsed = time.perf_counter() - started
         stats = CacheStats()
         if isinstance(corpus, PersistentTraceCorpus):
             stats.merge(corpus.cache_stats)
-        return ResultSet(spec, records, stats)
+        return ResultSet(
+            spec, records, stats, PerfStats(processed, elapsed)
+        )
 
     def _run_parallel(
         self, spec: ExperimentSpec, jobs: Tuple[Job, ...]
@@ -210,6 +231,8 @@ class Runner:
         spec_dict = spec.to_dict()
         by_index: Dict[int, List[ResultRecord]] = {}
         stats = CacheStats()
+        processed = 0
+        started = time.perf_counter()
         max_workers = min(self.jobs, len(jobs))
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers
@@ -221,15 +244,21 @@ class Runner:
                 for job in jobs
             ]
             for future in concurrent.futures.as_completed(futures):
-                index, record_dicts, worker_stats = future.result()
+                index, record_dicts, worker_stats, job_processed = (
+                    future.result()
+                )
                 by_index[index] = [
                     ResultRecord.from_dict(r) for r in record_dicts
                 ]
                 stats.merge(CacheStats(**worker_stats))
+                processed += job_processed
+        elapsed = time.perf_counter() - started
         records: List[ResultRecord] = []
         for job in jobs:  # reassemble in canonical order
             records.extend(by_index[job.index])
-        return ResultSet(spec, records, stats)
+        return ResultSet(
+            spec, records, stats, PerfStats(processed, elapsed)
+        )
 
 
 def run_experiment(

@@ -12,13 +12,19 @@ Allocation policy (Section 3.1): "the predictor allocates an entry only
 if the minimal destination set proves insufficient to directly locate
 the requested block" — the ``allocate`` flag on
 :meth:`DestinationSetPredictor.train_response` carries that signal.
+
+Hot-path layout: the table stores all entries in a single flat dict
+keyed by the full index key (which encodes ``(set, tag)``: the set is
+``key % n_sets``), with LRU state carried intrusively as per-entry
+access stamps instead of per-set ``OrderedDict`` ordering.  Eviction
+picks the minimum stamp within the victim's set, which reproduces
+exactly the per-set LRU order of the previous representation.
 """
 
 from __future__ import annotations
 
 import abc
-from collections import OrderedDict
-from typing import Callable, Generic, Optional, TypeVar
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
 
 from repro.common.destset import DestinationSet
 from repro.common.params import PredictorConfig
@@ -44,19 +50,41 @@ class PredictorTable(Generic[EntryT]):
     paper's "unbounded size" sensitivity points.
     """
 
+    __slots__ = (
+        "_config",
+        "_entry_factory",
+        "_entries",
+        "_stamps",
+        "_set_keys",
+        "_tick",
+        "_bounded",
+        "_n_sets",
+        "_assoc",
+        "n_allocations",
+        "n_evictions",
+    )
+
     def __init__(
         self, config: PredictorConfig, entry_factory: Callable[[], EntryT]
     ):
         self._config = config
         self._entry_factory = entry_factory
-        if config.unbounded:
-            self._store: OrderedDict = OrderedDict()
-            self._sets = None
+        #: key -> entry, for bounded and unbounded tables alike.
+        self._entries: Dict[int, EntryT] = {}
+        self._bounded = not config.unbounded
+        if self._bounded:
+            self._n_sets = config.n_sets
+            self._assoc = config.associativity
+            #: key -> last-access stamp (the intrusive LRU state).
+            self._stamps: Dict[int, int] = {}
+            #: set index -> resident keys (only touched sets allocate).
+            self._set_keys: Dict[int, List[int]] = {}
         else:
-            self._sets = [
-                OrderedDict() for _ in range(config.n_sets)
-            ]
-            self._store = None
+            self._n_sets = 0
+            self._assoc = 0
+            self._stamps = {}
+            self._set_keys = {}
+        self._tick = 0
         self.n_allocations = 0
         self.n_evictions = 0
 
@@ -71,41 +99,44 @@ class PredictorTable(Generic[EntryT]):
 
     def lookup(self, key: int) -> Optional[EntryT]:
         """Return the entry for ``key`` or None; refreshes LRU."""
-        table = self._table_for(key)
-        entry = table.get(key)
-        if entry is not None:
-            table.move_to_end(key)
+        entry = self._entries.get(key)
+        if entry is not None and self._bounded:
+            self._stamps[key] = self._tick
+            self._tick += 1
         return entry
 
     def lookup_allocate(self, key: int) -> EntryT:
         """Return the entry for ``key``, allocating (evicting) if absent."""
-        table = self._table_for(key)
-        entry = table.get(key)
+        entries = self._entries
+        entry = entries.get(key)
         if entry is not None:
-            table.move_to_end(key)
+            if self._bounded:
+                self._stamps[key] = self._tick
+                self._tick += 1
             return entry
-        if (
-            self._sets is not None
-            and len(table) >= self._config.associativity
-        ):
-            table.popitem(last=False)
-            self.n_evictions += 1
+        if self._bounded:
+            set_index = key % self._n_sets
+            bucket = self._set_keys.get(set_index)
+            if bucket is None:
+                bucket = self._set_keys[set_index] = []
+            elif len(bucket) >= self._assoc:
+                stamps = self._stamps
+                victim = min(bucket, key=stamps.__getitem__)
+                bucket.remove(victim)
+                del entries[victim]
+                del stamps[victim]
+                self.n_evictions += 1
+            bucket.append(key)
+            self._stamps[key] = self._tick
+            self._tick += 1
         entry = self._entry_factory()
-        table[key] = entry
+        entries[key] = entry
         self.n_allocations += 1
         return entry
 
     def occupancy(self) -> int:
         """Number of live entries."""
-        if self._store is not None:
-            return len(self._store)
-        return sum(len(s) for s in self._sets)
-
-    # ------------------------------------------------------------------
-    def _table_for(self, key: int) -> OrderedDict:
-        if self._store is not None:
-            return self._store
-        return self._sets[key % self._config.n_sets]
+        return len(self._entries)
 
 
 class DestinationSetPredictor(abc.ABC):
@@ -114,6 +145,17 @@ class DestinationSetPredictor(abc.ABC):
     The returned prediction contains only the *extra* processors the
     predictor nominates; the protocol always unions in the minimal
     destination set (requester + home), as in the paper.
+
+    Protocol hot loops call the ``*_key`` variants with the table index
+    key precomputed once per request (every per-node predictor of one
+    protocol shares the same :class:`PredictorConfig`, hence the same
+    key).  The default implementations delegate to the classic
+    entry points, so predictors with non-standard indexing (e.g.
+    StickySpatial) or no table at all need not override them.  Table
+    predictors implement the ``*_key`` variants as the primary code
+    path and the classic methods as thin key-computing wrappers;
+    subclasses overriding behaviour should override the ``*_key``
+    variants.
     """
 
     #: Short name used in reports and the registry.
@@ -158,6 +200,38 @@ class DestinationSetPredictor(abc.ABC):
         access: AccessType,
     ) -> None:
         """Train on an external coherence request delivered to this node."""
+
+    # ------------------------------------------------------------------
+    # Hot-path variants with the index key precomputed by the caller.
+    # ------------------------------------------------------------------
+    def predict_key(
+        self, key: int, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        """:meth:`predict` with the table key already computed."""
+        return self.predict(address, pc, access)
+
+    def train_response_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        """:meth:`train_response` with the table key already computed."""
+        self.train_response(address, pc, responder, access, allocate)
+
+    def train_external_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        """:meth:`train_external` with the table key already computed."""
+        self.train_external(address, pc, requester, access)
 
     # ------------------------------------------------------------------
     def train_truth(

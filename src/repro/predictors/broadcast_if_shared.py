@@ -8,9 +8,6 @@ processors and decremented on responses from memory.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional
-
 from repro.common.destset import DestinationSet
 from repro.common.params import PredictorConfig
 from repro.common.types import AccessType, Address, MEMORY_NODE, NodeId
@@ -19,11 +16,13 @@ from repro.predictors.base import DestinationSetPredictor, PredictorTable
 _COUNTER_MAX = 3  # 2-bit saturating counter
 
 
-@dataclasses.dataclass
 class _CounterEntry:
     """One 2-bit saturating counter."""
 
-    counter: int = 0
+    __slots__ = ("counter",)
+
+    def __init__(self) -> None:
+        self.counter = 0
 
     def increment(self) -> None:
         if self.counter < _COUNTER_MAX:
@@ -44,15 +43,66 @@ class BroadcastIfSharedPredictor(DestinationSetPredictor):
         self._table: PredictorTable[_CounterEntry] = PredictorTable(
             config, _CounterEntry
         )
+        self._empty = DestinationSet.empty(n_nodes)
+        self._broadcast = DestinationSet.broadcast(n_nodes)
+
+    # ------------------------------------------------------------------
+    def predict_key(
+        self, key: int, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        entry = self._table.lookup(key)
+        if entry is not None and entry.counter > 1:
+            return self._broadcast
+        return self._empty
+
+    def train_response_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        table = self._table
+        entry = (
+            table.lookup_allocate(key) if allocate else table.lookup(key)
+        )
+        if entry is None:
+            return
+        if responder == MEMORY_NODE and not allocate:
+            # Memory satisfied the minimal set: block looks unshared.
+            if entry.counter > 0:
+                entry.counter -= 1
+        else:
+            # Another cache responded, or the transaction needed other
+            # processors even though memory supplied/acked the data
+            # (e.g. an upgrade invalidating sharers): block is shared.
+            if entry.counter < _COUNTER_MAX:
+                entry.counter += 1
+
+    def train_external_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        # "incremented on requests and responses from other
+        # processors" (Section 3.3) — any external request signals
+        # sharing, reads included.
+        entry = self._table.lookup(key)
+        if entry is not None and entry.counter < _COUNTER_MAX:
+            entry.counter += 1
 
     # ------------------------------------------------------------------
     def predict(
         self, address: Address, pc: Address, access: AccessType
     ) -> DestinationSet:
-        entry = self._table.lookup(self._table.key_for(address, pc))
-        if entry is not None and entry.counter > 1:
-            return DestinationSet.broadcast(self.n_nodes)
-        return DestinationSet.empty(self.n_nodes)
+        return self.predict_key(
+            self._table.key_for(address, pc), address, pc, access
+        )
 
     def train_response(
         self,
@@ -62,17 +112,10 @@ class BroadcastIfSharedPredictor(DestinationSetPredictor):
         access: AccessType,
         allocate: bool,
     ) -> None:
-        entry = self._entry(address, pc, allocate)
-        if entry is None:
-            return
-        if responder == MEMORY_NODE and not allocate:
-            # Memory satisfied the minimal set: block looks unshared.
-            entry.decrement()
-        else:
-            # Another cache responded, or the transaction needed other
-            # processors even though memory supplied/acked the data
-            # (e.g. an upgrade invalidating sharers): block is shared.
-            entry.increment()
+        self.train_response_key(
+            self._table.key_for(address, pc),
+            address, pc, responder, access, allocate,
+        )
 
     def train_external(
         self,
@@ -81,13 +124,10 @@ class BroadcastIfSharedPredictor(DestinationSetPredictor):
         requester: NodeId,
         access: AccessType,
     ) -> None:
-        # "incremented on requests and responses from other
-        # processors" (Section 3.3) — any external request signals
-        # sharing, reads included.
-        entry = self._entry(address, pc, allocate=False)
-        if entry is None:
-            return
-        entry.increment()
+        self.train_external_key(
+            self._table.key_for(address, pc),
+            address, pc, requester, access,
+        )
 
     # ------------------------------------------------------------------
     def entry_bits(self) -> int:
@@ -99,11 +139,3 @@ class BroadcastIfSharedPredictor(DestinationSetPredictor):
             "allocations": self._table.n_allocations,
             "evictions": self._table.n_evictions,
         }
-
-    def _entry(
-        self, address: Address, pc: Address, allocate: bool
-    ) -> Optional[_CounterEntry]:
-        key = self._table.key_for(address, pc)
-        if allocate:
-            return self._table.lookup_allocate(key)
-        return self._table.lookup(key)

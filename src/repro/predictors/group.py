@@ -6,11 +6,15 @@ rollover counter.  Training increments the counter of the responding
 or requesting processor; when the rollover counter wraps, every
 per-processor counter is decremented — the explicit "train down"
 mechanism that removes processors that stopped touching the block.
+
+Each entry also carries its predicted bitmask, maintained
+incrementally as counters cross the threshold, so predictions are O(1)
+instead of scanning all per-processor counters on every request.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.common.destset import DestinationSet
 from repro.common.params import PredictorConfig
@@ -22,13 +26,18 @@ _ROLLOVER_PERIOD = 32  # 5-bit rollover counter
 
 
 class _GroupEntry:
-    """N 2-bit counters plus a 5-bit rollover counter."""
+    """N 2-bit counters plus a 5-bit rollover counter.
 
-    __slots__ = ("counters", "rollover")
+    ``bits`` caches the predicted set (nodes whose counter exceeds the
+    threshold) and is kept in sync by the predictor's training code.
+    """
+
+    __slots__ = ("counters", "rollover", "bits")
 
     def __init__(self, n_nodes: int):
         self.counters: List[int] = [0] * n_nodes
         self.rollover = 0
+        self.bits = 0
 
     def predicted_nodes(self) -> List[NodeId]:
         """Processors whose counters exceed the threshold."""
@@ -67,24 +76,60 @@ class GroupPredictor(DestinationSetPredictor):
         self._table: PredictorTable[_GroupEntry] = PredictorTable(
             config, self._make_entry
         )
+        self._empty = DestinationSet.empty(n_nodes)
 
     def _make_entry(self) -> _GroupEntry:
         return _GroupEntry(self.n_nodes)
 
     # ------------------------------------------------------------------
+    def predict_key(
+        self, key: int, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        entry = self._table.lookup(key)
+        if entry is None:
+            return self._empty
+        return DestinationSet._from_bits(self.n_nodes, entry.bits)
+
+    def train_response_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        table = self._table
+        entry = (
+            table.lookup_allocate(key) if allocate else table.lookup(key)
+        )
+        if entry is None:
+            return
+        if responder != MEMORY_NODE:
+            self._train(entry, responder)
+
+    def train_external_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        # "On each request or response, the predictor increments the
+        # corresponding counter" (Section 3.3) — external reads train
+        # too, which is what lets Group learn a producer's readers and
+        # predict the sharers its next upgrade must invalidate.
+        entry = self._table.lookup(key)
+        if entry is not None:
+            self._train(entry, requester)
+
+    # ------------------------------------------------------------------
     def predict(
         self, address: Address, pc: Address, access: AccessType
     ) -> DestinationSet:
-        entry = self._table.lookup(self._table.key_for(address, pc))
-        if entry is None:
-            return DestinationSet.empty(self.n_nodes)
-        return DestinationSet.from_nodes(
-            self.n_nodes,
-            (
-                node
-                for node, count in enumerate(entry.counters)
-                if count > self._threshold
-            ),
+        return self.predict_key(
+            self._table.key_for(address, pc), address, pc, access
         )
 
     def train_response(
@@ -95,11 +140,10 @@ class GroupPredictor(DestinationSetPredictor):
         access: AccessType,
         allocate: bool,
     ) -> None:
-        entry = self._entry(address, pc, allocate)
-        if entry is None:
-            return
-        if responder != MEMORY_NODE:
-            self._train(entry, responder)
+        self.train_response_key(
+            self._table.key_for(address, pc),
+            address, pc, responder, access, allocate,
+        )
 
     def train_external(
         self,
@@ -108,14 +152,10 @@ class GroupPredictor(DestinationSetPredictor):
         requester: NodeId,
         access: AccessType,
     ) -> None:
-        # "On each request or response, the predictor increments the
-        # corresponding counter" (Section 3.3) — external reads train
-        # too, which is what lets Group learn a producer's readers and
-        # predict the sharers its next upgrade must invalidate.
-        entry = self._entry(address, pc, allocate=False)
-        if entry is None:
-            return
-        self._train(entry, requester)
+        self.train_external_key(
+            self._table.key_for(address, pc),
+            address, pc, requester, access,
+        )
 
     # ------------------------------------------------------------------
     def entry_bits(self) -> int:
@@ -129,21 +169,23 @@ class GroupPredictor(DestinationSetPredictor):
         }
 
     def _train(self, entry: _GroupEntry, node: NodeId) -> None:
-        if entry.counters[node] < self._counter_max:
-            entry.counters[node] += 1
+        counters = entry.counters
+        count = counters[node]
+        if count < self._counter_max:
+            counters[node] = count + 1
+            if count == self._threshold:
+                entry.bits |= 1 << node
         if not self._train_down:
             return  # Stickiness ablation: never decay.
         entry.rollover += 1
         if entry.rollover >= self._rollover_period:
             entry.rollover = 0
-            entry.counters = [
-                count - 1 if count > 0 else 0 for count in entry.counters
-            ]
-
-    def _entry(
-        self, address: Address, pc: Address, allocate: bool
-    ) -> Optional[_GroupEntry]:
-        key = self._table.key_for(address, pc)
-        if allocate:
-            return self._table.lookup_allocate(key)
-        return self._table.lookup(key)
+            bits = 0
+            threshold = self._threshold
+            for index, value in enumerate(counters):
+                if value > 0:
+                    value -= 1
+                    counters[index] = value
+                if value > threshold:
+                    bits |= 1 << index
+            entry.bits = bits

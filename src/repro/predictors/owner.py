@@ -8,21 +8,20 @@ extra control message per request, independent of system size.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional
-
 from repro.common.destset import DestinationSet
 from repro.common.params import PredictorConfig
 from repro.common.types import AccessType, Address, MEMORY_NODE, NodeId
 from repro.predictors.base import DestinationSetPredictor, PredictorTable
 
 
-@dataclasses.dataclass
 class _OwnerEntry:
     """Owner id plus a valid bit (entry size ~ log2(N) + 1 bits)."""
 
-    owner: NodeId = 0
-    valid: bool = False
+    __slots__ = ("owner", "valid")
+
+    def __init__(self) -> None:
+        self.owner: NodeId = 0
+        self.valid = False
 
 
 class OwnerPredictor(DestinationSetPredictor):
@@ -35,25 +34,33 @@ class OwnerPredictor(DestinationSetPredictor):
         self._table: PredictorTable[_OwnerEntry] = PredictorTable(
             config, _OwnerEntry
         )
+        self._empty = DestinationSet.empty(n_nodes)
+        self._singletons = tuple(
+            DestinationSet.of(n_nodes, node) for node in range(n_nodes)
+        )
 
     # ------------------------------------------------------------------
-    def predict(
-        self, address: Address, pc: Address, access: AccessType
+    def predict_key(
+        self, key: int, address: Address, pc: Address, access: AccessType
     ) -> DestinationSet:
-        entry = self._table.lookup(self._table.key_for(address, pc))
+        entry = self._table.lookup(key)
         if entry is not None and entry.valid:
-            return DestinationSet.of(self.n_nodes, entry.owner)
-        return DestinationSet.empty(self.n_nodes)
+            return self._singletons[entry.owner]
+        return self._empty
 
-    def train_response(
+    def train_response_key(
         self,
+        key: int,
         address: Address,
         pc: Address,
         responder: NodeId,
         access: AccessType,
         allocate: bool,
     ) -> None:
-        entry = self._entry(address, pc, allocate)
+        table = self._table
+        entry = (
+            table.lookup_allocate(key) if allocate else table.lookup(key)
+        )
         if entry is None:
             return
         if responder == MEMORY_NODE:
@@ -63,8 +70,9 @@ class OwnerPredictor(DestinationSetPredictor):
             entry.owner = responder
             entry.valid = True
 
-    def train_external(
+    def train_external_key(
         self,
+        key: int,
         address: Address,
         pc: Address,
         requester: NodeId,
@@ -72,11 +80,44 @@ class OwnerPredictor(DestinationSetPredictor):
     ) -> None:
         if access is not AccessType.GETX:
             return  # Table 3: requests for shared are ignored.
-        entry = self._entry(address, pc, allocate=False)
+        entry = self._table.lookup(key)
         if entry is None:
             return
         entry.owner = requester
         entry.valid = True
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        return self.predict_key(
+            self._table.key_for(address, pc), address, pc, access
+        )
+
+    def train_response(
+        self,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        self.train_response_key(
+            self._table.key_for(address, pc),
+            address, pc, responder, access, allocate,
+        )
+
+    def train_external(
+        self,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        self.train_external_key(
+            self._table.key_for(address, pc),
+            address, pc, requester, access,
+        )
 
     # ------------------------------------------------------------------
     def entry_bits(self) -> int:
@@ -88,11 +129,3 @@ class OwnerPredictor(DestinationSetPredictor):
             "allocations": self._table.n_allocations,
             "evictions": self._table.n_evictions,
         }
-
-    def _entry(
-        self, address: Address, pc: Address, allocate: bool
-    ) -> Optional[_OwnerEntry]:
-        key = self._table.key_for(address, pc)
-        if allocate:
-            return self._table.lookup_allocate(key)
-        return self._table.lookup(key)

@@ -28,6 +28,41 @@ class OwnerGroupPredictor(DestinationSetPredictor):
         self._group = GroupPredictor(n_nodes, config)
 
     # ------------------------------------------------------------------
+    def predict_key(
+        self, key: int, address: Address, pc: Address, access: AccessType
+    ) -> DestinationSet:
+        if access is AccessType.GETS:
+            return self._owner.predict_key(key, address, pc, access)
+        return self._group.predict_key(key, address, pc, access)
+
+    def train_response_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        responder: NodeId,
+        access: AccessType,
+        allocate: bool,
+    ) -> None:
+        self._owner.train_response_key(
+            key, address, pc, responder, access, allocate
+        )
+        self._group.train_response_key(
+            key, address, pc, responder, access, allocate
+        )
+
+    def train_external_key(
+        self,
+        key: int,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+    ) -> None:
+        self._owner.train_external_key(key, address, pc, requester, access)
+        self._group.train_external_key(key, address, pc, requester, access)
+
+    # ------------------------------------------------------------------
     def predict(
         self, address: Address, pc: Address, access: AccessType
     ) -> DestinationSet:

@@ -19,7 +19,6 @@ from repro.common.destset import DestinationSet
 from repro.common.params import PredictorConfig
 from repro.common.types import AccessType, Address, NodeId
 from repro.coherence.state import GlobalCoherenceState
-from repro.coherence.sufficiency import required_set
 from repro.predictors.base import DestinationSetPredictor
 
 
@@ -101,5 +100,10 @@ class OraclePredictor(_StaticPredictor):
                 "OraclePredictor.predict before bind(); the evaluator "
                 "must attach the global coherence state"
             )
-        block = self._state.lookup(address)
-        return required_set(block, self.node, access, self.n_nodes)
+        owner, sharers = self._state.lookup_fast(address)
+        bits = 0
+        if owner >= 0 and owner != self.node:
+            bits = 1 << owner
+        if access is AccessType.GETX:
+            bits |= sharers & ~(1 << self.node)
+        return DestinationSet._from_bits(self.n_nodes, bits)

@@ -1,4 +1,21 @@
-"""Protocol interface and shared accounting types."""
+"""Protocol interface and shared accounting types.
+
+Protocols expose two execution paths over one transaction model:
+
+- :meth:`CoherenceProtocol.handle` processes a single
+  :class:`TraceRecord` and returns a full :class:`RequestOutcome` —
+  the record-oriented API for analyses, tests, and custom consumers.
+- :meth:`CoherenceProtocol.run` over a columnar :class:`Trace`
+  dispatches to an allocation-free loop that indexes the trace's
+  columns directly and calls the protocol's ``_handle_fast`` scalar
+  kernel per request, folding accounting into local variables.
+
+The fast loop is only taken when the concrete class pairs its
+``_handle`` with a ``_handle_fast`` implementation; subclasses that
+override ``_handle`` alone (e.g. instrumentation wrappers) fall back
+to the record-oriented path automatically, so behaviour never
+silently diverges.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +26,7 @@ import enum
 from repro.common.params import LatencyModel, SystemConfig, TrafficModel
 from repro.coherence.state import CoherenceOutcome, GlobalCoherenceState
 from repro.trace.record import TraceRecord
+from repro.trace.trace import Trace
 
 
 class LatencyClass(enum.Enum):
@@ -100,6 +118,35 @@ class TrafficTotals:
         self.latency_ns_sum += outcome.latency_class.latency_ns(latency)
         self.retries += outcome.retries
 
+    def add_batch(
+        self,
+        misses: int,
+        indirections: int,
+        request_messages: int,
+        forward_messages: int,
+        retry_messages: int,
+        data_messages: int,
+        traffic_bytes: int,
+        latency_ns_sum: float,
+        retries: int,
+    ) -> None:
+        """Fold a columnar batch into the totals.
+
+        All arguments are deltas except ``latency_ns_sum``, which is
+        the batch accumulator *seeded from the current value* and
+        assigned back — this preserves the exact sequential float
+        summation order of per-record :meth:`add` calls.
+        """
+        self.misses += misses
+        self.indirections += indirections
+        self.request_messages += request_messages
+        self.forward_messages += forward_messages
+        self.retry_messages += retry_messages
+        self.data_messages += data_messages
+        self.traffic_bytes += traffic_bytes
+        self.latency_ns_sum = latency_ns_sum
+        self.retries += retries
+
     # ------------------------------------------------------------------
     @property
     def indirection_pct(self) -> float:
@@ -141,6 +188,27 @@ class CoherenceProtocol(abc.ABC):
             config.n_processors, config.block_size
         )
         self.totals = TrafficTotals()
+        # Resolved latency constants for the scalar kernels.
+        self._lat_memory = self.latency.memory_ns
+        self._lat_direct = self.latency.cache_to_cache_direct_ns
+        self._lat_indirect = self.latency.cache_to_cache_indirect_ns
+        self._block_shift = config.block_size.bit_length() - 1
+        self._fast_ok = self._probe_fast_path()
+
+    def _probe_fast_path(self) -> bool:
+        """True if this instance's ``_handle`` has a paired fast kernel.
+
+        Walks the MRO: the fast path is sound only if no subclass
+        overrides ``_handle`` below the class that provides
+        ``_handle_fast`` (otherwise the override's behaviour would be
+        skipped by the columnar loop).
+        """
+        for klass in type(self).__mro__:
+            if "_handle_fast" in klass.__dict__:
+                return True
+            if "_handle" in klass.__dict__:
+                return False
+        return False
 
     # ------------------------------------------------------------------
     def handle(self, record: TraceRecord) -> RequestOutcome:
@@ -150,10 +218,63 @@ class CoherenceProtocol(abc.ABC):
         return outcome
 
     def run(self, records) -> TrafficTotals:
-        """Process a whole trace; returns the accumulated totals."""
+        """Process a whole trace; returns the accumulated totals.
+
+        A columnar :class:`Trace` is replayed through the
+        allocation-free scalar kernel when available; any other
+        iterable of records takes the object path.
+        """
+        if self._fast_ok and isinstance(records, Trace):
+            self._run_columns(records)
+            return self.totals
         for record in records:
             self.handle(record)
         return self.totals
+
+    def _prepare_fast_run(self) -> None:
+        """Hook run before each columnar replay.
+
+        Protocols that cache derived hot-path state (e.g. bound
+        training methods per predictor) refresh it here, so swapping
+        components between runs stays safe.
+        """
+
+    def _run_columns(self, trace: Trace) -> None:
+        """Replay ``trace`` via ``_handle_fast``, accumulating locally."""
+        self._prepare_fast_run()
+        handle_fast = self._handle_fast
+        control = self.traffic.control_bytes
+        data_size = self.traffic.data_bytes
+        totals = self.totals
+        misses = indirections = 0
+        request_messages = forward_messages = retry_messages = 0
+        data_messages = traffic_bytes = retries = 0
+        latency_sum = totals.latency_ns_sum
+        blocks = trace.block_keys(self.config.block_size)
+        for address, pc, requester, code, block in zip(
+            trace.addresses,
+            trace.pcs,
+            trace.requesters,
+            trace.accesses,
+            blocks,
+        ):
+            req, fwd, ret, data, indirect, latency_ns, n_retries = (
+                handle_fast(address, pc, requester, code, block)
+            )
+            misses += 1
+            indirections += indirect
+            request_messages += req
+            forward_messages += fwd
+            retry_messages += ret
+            data_messages += data
+            traffic_bytes += (req + fwd + ret) * control + data * data_size
+            latency_sum += latency_ns
+            retries += n_retries
+        totals.add_batch(
+            misses, indirections, request_messages, forward_messages,
+            retry_messages, data_messages, traffic_bytes, latency_sum,
+            retries,
+        )
 
     def reset_totals(self) -> None:
         """Clear accounting (e.g. after predictor/cache warmup)."""
@@ -163,3 +284,10 @@ class CoherenceProtocol(abc.ABC):
     @abc.abstractmethod
     def _handle(self, record: TraceRecord) -> RequestOutcome:
         """Protocol-specific transaction handling."""
+
+    # Concrete protocols pair ``_handle`` with a ``_handle_fast(address,
+    # pc, requester, access_code, block)`` scalar kernel returning
+    # ``(request_messages, forward_messages, retry_messages,
+    # data_messages, indirection, latency_ns, retries)``.  The kernel
+    # must update coherence/predictor state exactly as ``_handle`` does;
+    # accounting is folded in by the caller.

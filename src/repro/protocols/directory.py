@@ -13,6 +13,7 @@ cache pay the 3-hop indirection latency.
 
 from __future__ import annotations
 
+from repro.common.destset import popcount
 from repro.common.types import MEMORY_NODE, home_node
 from repro.protocols.base import (
     CoherenceProtocol,
@@ -54,4 +55,23 @@ class DirectoryProtocol(CoherenceProtocol):
             data_messages=1,
             indirection=coherence.directory_indirection,
             latency_class=latency_class,
+        )
+
+    def _handle_fast(self, address, pc, requester, code, block):
+        responder, required = self.state.apply_fast(
+            block, requester, code
+        )[2:]
+        home = (block >> self._block_shift) % self.config.n_processors
+        latency_ns = (
+            self._lat_memory if responder == MEMORY_NODE
+            else self._lat_indirect
+        )
+        return (
+            0 if home == requester else 1,
+            popcount(required),
+            0,
+            1,
+            1 if required else 0,
+            latency_ns,
+            0,
         )

@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
-from repro.common.destset import DestinationSet
+from repro.common.destset import DestinationSet, full_mask, popcount
 from repro.common.params import PredictorConfig, SystemConfig
 from repro.common.types import MEMORY_NODE, home_node
 from repro.coherence.sufficiency import is_sufficient, minimal_set
@@ -38,6 +38,7 @@ from repro.protocols.base import (
     RequestOutcome,
 )
 from repro.trace.record import TraceRecord
+from repro.trace.trace import ACCESS_BY_CODE
 
 _MAX_RETRIES = 3  # third retry resorts to broadcast (Section 4.1)
 
@@ -65,14 +66,45 @@ class MulticastSnoopingProtocol(CoherenceProtocol):
         )
         self.race_probability = race_probability
         self._race_rng = random.Random(seed)
-        self.predictors: List[DestinationSetPredictor] = []
+        instances: List[DestinationSetPredictor] = []
         for node in range(config.n_processors):
             instance = create_predictor(
                 predictor, config.n_processors, self.predictor_config
             )
             if isinstance(instance, OraclePredictor):
                 instance.bind(self.state, node)
-            self.predictors.append(instance)
+            instances.append(instance)
+        self._full_mask = full_mask(config.n_processors)
+        self._apply_fast = self.state.apply_fast
+        self._use_pc_index = self.predictor_config.use_pc_index
+        self._granularity = self.predictor_config.index_granularity
+        self.predictors = instances
+
+    @property
+    def predictors(self) -> List[DestinationSetPredictor]:
+        """The per-node predictors (index = node id)."""
+        return self._predictors
+
+    @predictors.setter
+    def predictors(self, instances: List[DestinationSetPredictor]) -> None:
+        self._predictors = list(instances)
+        self._prepare_fast_run()
+
+    def _prepare_fast_run(self) -> None:
+        # Subclasses and ablation harnesses may swap predictors in
+        # after construction (whole-list or item assignment); refresh
+        # the hot-path caches before every columnar replay so the
+        # scalar kernel always sees the live instances.
+        self._train_external_fns = [
+            p.train_external_key for p in self._predictors
+        ]
+        # Directory-feedback training is a no-op for most policies;
+        # skip building the truth set per request unless it is needed.
+        self._needs_truth = any(
+            type(p).train_truth
+            is not DestinationSetPredictor.train_truth
+            for p in self._predictors
+        )
 
     # ------------------------------------------------------------------
     def _handle(self, record: TraceRecord) -> RequestOutcome:
@@ -136,6 +168,84 @@ class MulticastSnoopingProtocol(CoherenceProtocol):
             indirection=not sufficient,
             latency_class=latency_class,
             retries=retries,
+        )
+
+    # ------------------------------------------------------------------
+    def _handle_fast(self, address, pc, requester, code, block):
+        """Scalar kernel: identical transaction logic on raw bitmasks."""
+        n = self.config.n_processors
+        access = ACCESS_BY_CODE[code]
+        key = (
+            pc if self._use_pc_index else address // self._granularity
+        )
+        predictor = self._predictors[requester]
+        predicted = predictor.predict_key(key, address, pc, access)
+
+        home = (block >> self._block_shift) % n
+        minimal = (1 << requester) | (1 << home)
+        destination = predicted._bits | minimal
+
+        responder, required = self._apply_fast(block, requester, code)[2:]
+        # The destination always covers the requester and home (the
+        # minimal set is unioned in), so sufficiency reduces to
+        # covering the required processors (Section 4.1).
+        sufficient = required & ~destination == 0
+
+        # Initial multicast: delivered to every member but the requester.
+        request_messages = popcount(destination) - 1
+        delivered = destination
+
+        retries = 0
+        retry_messages = 0
+        if sufficient:
+            latency_ns = (
+                self._lat_memory if responder == MEMORY_NODE
+                else self._lat_direct
+            )
+        else:
+            corrected = required | minimal
+            retries = 1
+            retry_messages = popcount(corrected) - 1
+            delivered |= corrected
+            if self.race_probability:
+                # Window-of-vulnerability races re-issue the retry; the
+                # third retry falls back to broadcast (Section 4.1).
+                while (
+                    retries < _MAX_RETRIES
+                    and self._race_rng.random() < self.race_probability
+                ):
+                    retries += 1
+                    if retries >= _MAX_RETRIES:
+                        corrected = self._full_mask
+                    retry_messages += popcount(corrected) - 1
+                    delivered |= corrected
+            latency_ns = self._lat_indirect
+
+        # Training (Section 3.1): data-response training at the
+        # requester, external-request training at every node that
+        # received the request, directory feedback when the policy
+        # consumes it.
+        predictor.train_response_key(
+            key, address, pc, responder, access, required != 0
+        )
+        train_external_fns = self._train_external_fns
+        external = delivered & ~(1 << requester)
+        while external:
+            low = external & -external
+            train_external_fns[low.bit_length() - 1](
+                key, address, pc, requester, access
+            )
+            external ^= low
+        if self._needs_truth:
+            predictor.train_truth(
+                address,
+                pc,
+                DestinationSet._from_bits(n, required | (1 << home)),
+            )
+
+        return (
+            request_messages, 0, retry_messages, 1,
+            0 if sufficient else 1, latency_ns, retries,
         )
 
     # ------------------------------------------------------------------

@@ -38,3 +38,13 @@ class BroadcastSnoopingProtocol(CoherenceProtocol):
             indirection=False,
             latency_class=latency_class,
         )
+
+    def _handle_fast(self, address, pc, requester, code, block):
+        responder = self.state.apply_fast(block, requester, code)[2]
+        latency_ns = (
+            self._lat_memory if responder == MEMORY_NODE
+            else self._lat_direct
+        )
+        return (
+            self.config.n_processors - 1, 0, 0, 1, 0, latency_ns, 0,
+        )

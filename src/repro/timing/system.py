@@ -71,20 +71,40 @@ class TimingSimulator:
 
     # ------------------------------------------------------------------
     def run(
-        self, trace: Trace, warmup_fraction: float = 0.25
+        self,
+        trace: Trace,
+        warmup_fraction: float = 0.25,
+        columnar: bool = True,
     ) -> RuntimeResult:
         """Simulate ``trace``; timing measured after the warmup prefix.
 
         The warmup prefix trains protocol state and predictors without
         advancing the clocks, so runtimes compare steady-state behaviour
         (the paper warms caches and predictors from traces before its
-        timing runs).
+        timing runs).  ``columnar=False`` forces the record-oriented
+        loop (used to cross-check the columnar engine).
         """
         n_warmup = int(len(trace) * warmup_fraction)
         warmup, measured = trace.split_warmup(n_warmup)
-        self.protocol.run(warmup)
+        self.protocol.run(warmup if columnar else list(warmup))
         self.protocol.reset_totals()
 
+        if (
+            columnar
+            and isinstance(measured, Trace)
+            and self.protocol._fast_ok
+        ):
+            self._run_columns(measured)
+        else:
+            self._run_records(measured)
+
+        totals = self.protocol.totals
+        runtime = max(p.finish_time() for p in self.processors)
+        return self._result(trace, totals, runtime)
+
+    # ------------------------------------------------------------------
+    def _run_records(self, measured) -> None:
+        """The record-oriented timing loop (reference implementation)."""
         traffic = self.protocol.traffic
         latency = self.protocol.latency
         for record in measured:
@@ -106,8 +126,64 @@ class TimingSimulator:
             completion = issue_ns + max(base_ns, link_delay)
             processor.complete_miss(completion)
 
-        totals = self.protocol.totals
-        runtime = max(p.finish_time() for p in self.processors)
+    def _run_columns(self, measured: Trace) -> None:
+        """Columnar timing loop over the protocol's scalar kernel."""
+        protocol = self.protocol
+        protocol._prepare_fast_run()
+        handle_fast = protocol._handle_fast
+        traffic = protocol.traffic
+        control = traffic.control_bytes
+        data_size = traffic.data_bytes
+        processors = self.processors
+        acquire = self.interconnect.acquire
+        totals = protocol.totals
+        misses = indirections = 0
+        request_messages = forward_messages = retry_messages = 0
+        data_messages = traffic_bytes = total_retries = 0
+        latency_sum = totals.latency_ns_sum
+        blocks = measured.block_keys(protocol.config.block_size)
+        for address, pc, requester, code, instructions, block in zip(
+            measured.addresses,
+            measured.pcs,
+            measured.requesters,
+            measured.accesses,
+            measured.instructions,
+            blocks,
+        ):
+            req, fwd, ret, data, indirect, base_ns, retries = (
+                handle_fast(address, pc, requester, code, block)
+            )
+            misses += 1
+            indirections += indirect
+            request_messages += req
+            forward_messages += fwd
+            retry_messages += ret
+            data_messages += data
+            control_messages = req + fwd + ret
+            transfer_bytes = control_messages * control + data * data_size
+            traffic_bytes += transfer_bytes
+            latency_sum += base_ns
+            total_retries += retries
+
+            processor = processors[requester]
+            processor.compute(instructions)
+            issue_ns = processor.issue_miss()
+            # Bytes crossing the requester's own link: outbound request
+            # copies plus the inbound data response.
+            link_delay = acquire(requester, issue_ns, transfer_bytes)
+            completion = issue_ns + (
+                base_ns if base_ns > link_delay else link_delay
+            )
+            processor.complete_miss(completion)
+        totals.add_batch(
+            misses, indirections, request_messages, forward_messages,
+            retry_messages, data_messages, traffic_bytes, latency_sum,
+            total_retries,
+        )
+
+    def _result(
+        self, trace: Trace, totals, runtime: float
+    ) -> RuntimeResult:
         return RuntimeResult(
             protocol=self.protocol.name,
             workload=trace.name,

@@ -8,6 +8,11 @@ diffable and greppable::
 
 One record per line; the optional fifth field is the instruction gap
 since the requester's previous miss.  Comment lines start with ``#``.
+
+Parsing writes straight into the trace's columns.  Field validation is
+on by default for user-supplied files; internal callers that read files
+they wrote themselves (the persistent trace cache) pass
+``trusted=True`` to skip the per-record range checks.
 """
 
 from __future__ import annotations
@@ -15,45 +20,100 @@ from __future__ import annotations
 import os
 from typing import Union
 
-from repro.common.types import AccessType
-from repro.trace.record import TraceRecord
 from repro.trace.trace import Trace
 
 _HEADER_PREFIX = "# repro-trace v1"
+
+_ACCESS_CODES = {"GETS": 0, "GETX": 1}
+_ACCESS_NAMES = ("GETS", "GETX")
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 
 def write_trace(trace: Trace, path: PathLike) -> None:
     """Write ``trace`` to ``path`` in the text format."""
+    names = _ACCESS_NAMES
     with open(path, "w", encoding="ascii") as handle:
         handle.write(
             f"{_HEADER_PREFIX} n_processors={trace.n_processors} "
             f"name={trace.name or '-'}\n"
         )
-        for record in trace:
+        for address, pc, requester, code, instructions in zip(
+            trace.addresses,
+            trace.pcs,
+            trace.requesters,
+            trace.accesses,
+            trace.instructions,
+        ):
             handle.write(
-                f"{record.address:x} {record.pc:x} "
-                f"{record.requester} {record.access.value} "
-                f"{record.instructions}\n"
+                f"{address:x} {pc:x} {requester} {names[code]} "
+                f"{instructions}\n"
             )
 
 
-def read_trace(path: PathLike) -> Trace:
-    """Read a trace written by :func:`write_trace`."""
+def read_trace(path: PathLike, trusted: bool = False) -> Trace:
+    """Read a trace written by :func:`write_trace`.
+
+    ``trusted=True`` skips per-record validation; use it only for files
+    this package wrote itself (e.g. trace-cache entries).
+    """
     with open(path, "r", encoding="ascii") as handle:
         header = handle.readline().rstrip("\n")
         n_processors, name = _parse_header(header, path)
         trace = Trace(n_processors=n_processors, name=name)
+        append = trace.append_fields
+        codes = _ACCESS_CODES
         for line_number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            trace.append(_parse_record(line, path, line_number))
+            parts = line.split()
+            if len(parts) not in (4, 5):
+                raise ValueError(
+                    f"{path}:{line_number}: expected 4 or 5 fields"
+                )
+            try:
+                address = int(parts[0], 16)
+                pc = int(parts[1], 16)
+                requester = int(parts[2])
+                code = codes[parts[3]]
+                instructions = int(parts[4]) if len(parts) == 5 else 0
+            except KeyError:
+                raise ValueError(
+                    f"{path}:{line_number}: bad access kind {parts[3]!r}"
+                ) from None
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_number}: {exc}") from exc
+            if not trusted:
+                _validate_fields(
+                    address, pc, requester, instructions,
+                    n_processors, path, line_number,
+                )
+            append(address, pc, requester, code, instructions)
     return trace
 
 
-def _parse_header(header: str, path: PathLike) -> tuple[int, str]:
+def _validate_fields(
+    address: int,
+    pc: int,
+    requester: int,
+    instructions: int,
+    n_processors: int,
+    path: PathLike,
+    line_number: int,
+) -> None:
+    if address < 0 or pc < 0 or instructions < 0:
+        raise ValueError(
+            f"{path}:{line_number}: negative field in record"
+        )
+    if not 0 <= requester < n_processors:
+        raise ValueError(
+            f"{path}:{line_number}: requester {requester} outside "
+            f"[0, {n_processors})"
+        )
+
+
+def _parse_header(header: str, path: PathLike) -> "tuple[int, str]":
     if not header.startswith(_HEADER_PREFIX):
         raise ValueError(f"{path}: not a repro-trace file (bad header)")
     fields = dict(
@@ -67,19 +127,3 @@ def _parse_header(header: str, path: PathLike) -> tuple[int, str]:
         raise ValueError(f"{path}: malformed trace header") from exc
     name = fields.get("name", "-")
     return n_processors, "" if name == "-" else name
-
-
-def _parse_record(line: str, path: PathLike, line_number: int) -> TraceRecord:
-    parts = line.split()
-    if len(parts) not in (4, 5):
-        raise ValueError(f"{path}:{line_number}: expected 4 or 5 fields")
-    try:
-        return TraceRecord(
-            address=int(parts[0], 16),
-            pc=int(parts[1], 16),
-            requester=int(parts[2]),
-            access=AccessType(parts[3]),
-            instructions=int(parts[4]) if len(parts) == 5 else 0,
-        )
-    except ValueError as exc:
-        raise ValueError(f"{path}:{line_number}: {exc}") from exc

@@ -44,6 +44,31 @@ class TraceRecord:
         if self.instructions < 0:
             raise ValueError(f"negative instructions {self.instructions}")
 
+    @classmethod
+    def trusted(
+        cls,
+        address: Address,
+        pc: Address,
+        requester: NodeId,
+        access: AccessType,
+        instructions: int = 0,
+    ) -> "TraceRecord":
+        """Construct without validation, for already-validated sources.
+
+        Trace containers and workload generators validate fields once
+        on entry; re-running :meth:`__post_init__` for every record
+        they materialize would dominate hot loops.  User-supplied and
+        hand-built records should use the normal constructor.
+        """
+        self = object.__new__(cls)
+        d = self.__dict__
+        d["address"] = address
+        d["pc"] = pc
+        d["requester"] = requester
+        d["access"] = access
+        d["instructions"] = instructions
+        return self
+
     def block(self, block_size: int) -> Address:
         """The record's block-aligned address."""
         return self.address & ~(block_size - 1)

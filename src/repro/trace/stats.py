@@ -45,26 +45,16 @@ class TraceStats:
 def compute_trace_stats(
     trace: Trace, block_size: int = 64, macroblock_size: int = 1024
 ) -> TraceStats:
-    """Compute :class:`TraceStats` in a single pass over ``trace``."""
-    blocks = set()
-    macroblocks = set()
-    pcs = set()
-    n_reads = 0
-    per_processor: Dict[int, int] = collections.Counter()
-    for record in trace:
-        blocks.add(record.block(block_size))
-        macroblocks.add(record.macroblock(macroblock_size))
-        pcs.add(record.pc)
-        if record.is_read:
-            n_reads += 1
-        per_processor[record.requester] += 1
+    """Compute :class:`TraceStats` from the trace's columns."""
     n_records = len(trace)
+    n_reads = n_records - sum(trace.accesses)
+    per_processor: Dict[int, int] = collections.Counter(trace.requesters)
     return TraceStats(
         n_records=n_records,
         n_reads=n_reads,
         n_writes=n_records - n_reads,
-        unique_blocks=len(blocks),
-        unique_macroblocks=len(macroblocks),
-        unique_pcs=len(pcs),
+        unique_blocks=trace.unique_blocks(block_size),
+        unique_macroblocks=trace.unique_blocks(macroblock_size),
+        unique_pcs=trace.unique_pcs(),
         per_processor=dict(per_processor),
     )

@@ -1,19 +1,54 @@
-"""In-memory coherence-request trace container."""
+"""In-memory coherence-request trace container (columnar engine).
+
+The trace is stored as a structure of parallel arrays — one compact
+``array`` per field (address, pc, requester, access, instructions) —
+instead of a list of :class:`TraceRecord` objects.  The record-oriented
+API is preserved: iteration and indexing materialize records on demand,
+so existing consumers are unaffected, while hot loops (protocols, the
+timing simulator, analyses) index the columns directly and never
+allocate per-event objects.
+
+Derived key columns (block- and macroblock-aligned addresses) are
+computed once per trace via :meth:`Trace.block_keys` and cached, so the
+six-protocol sweeps that replay one trace repeatedly share the aligned
+addresses instead of recomputing them per consumer.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from array import array
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.common.types import AccessType, NodeId
 from repro.trace.record import TraceRecord
 
+#: Access-kind column encoding: index into this tuple is the code.
+ACCESS_BY_CODE = (AccessType.GETS, AccessType.GETX)
+
+#: Array typecodes for each column (addresses/pcs/instruction gaps are
+#: 64-bit; requesters are small ints; access codes fit a signed byte).
+_ADDR_TYPE = "q"
+_NODE_TYPE = "i"
+_CODE_TYPE = "b"
+
 
 class Trace:
-    """An ordered sequence of :class:`TraceRecord` with provenance.
+    """An ordered sequence of coherence requests with provenance.
 
     The paper uses the first one million misses to warm caches and
     predictors; :meth:`split_warmup` supports the same protocol.
     """
+
+    __slots__ = (
+        "_n_processors",
+        "_name",
+        "_addresses",
+        "_pcs",
+        "_requesters",
+        "_accesses",
+        "_instructions",
+        "_key_cache",
+    )
 
     def __init__(
         self,
@@ -23,11 +58,39 @@ class Trace:
     ):
         if n_processors <= 0:
             raise ValueError("n_processors must be positive")
-        self._records: List[TraceRecord] = list(records)
         self._n_processors = n_processors
         self._name = name
-        for record in self._records:
-            self._check_record(record)
+        self._addresses = array(_ADDR_TYPE)
+        self._pcs = array(_ADDR_TYPE)
+        self._requesters = array(_NODE_TYPE)
+        self._accesses = array(_CODE_TYPE)
+        self._instructions = array(_ADDR_TYPE)
+        self._key_cache = {}
+        for record in records:
+            self.append(record)
+
+    @classmethod
+    def _from_columns(
+        cls,
+        addresses: array,
+        pcs: array,
+        requesters: array,
+        accesses: array,
+        instructions: array,
+        n_processors: int,
+        name: str,
+    ) -> "Trace":
+        """Adopt already-validated columns without copying or checking."""
+        self = object.__new__(cls)
+        self._n_processors = n_processors
+        self._name = name
+        self._addresses = addresses
+        self._pcs = pcs
+        self._requesters = requesters
+        self._accesses = accesses
+        self._instructions = instructions
+        self._key_cache = {}
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -40,84 +103,218 @@ class Trace:
         """Workload name (e.g. ``"apache"``), for reporting."""
         return self._name
 
+    # ------------------------------------------------------------------
+    # Columnar access (the hot-path API)
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> Sequence[int]:
+        """The data-address column."""
+        return self._addresses
+
+    @property
+    def pcs(self) -> Sequence[int]:
+        """The program-counter column."""
+        return self._pcs
+
+    @property
+    def requesters(self) -> Sequence[int]:
+        """The requesting-node column."""
+        return self._requesters
+
+    @property
+    def accesses(self) -> Sequence[int]:
+        """The access-kind column (codes indexing :data:`ACCESS_BY_CODE`)."""
+        return self._accesses
+
+    @property
+    def instructions(self) -> Sequence[int]:
+        """The instruction-gap column."""
+        return self._instructions
+
+    def block_keys(self, block_size: int) -> Sequence[int]:
+        """Addresses aligned down to ``block_size`` (cached per trace).
+
+        Computed once and shared by every consumer that needs
+        block-aligned (or, with a macroblock size, macroblock-aligned)
+        keys — protocols, coherence state, sharing/locality analyses.
+        """
+        cached = self._key_cache.get(block_size)
+        if cached is None:
+            mask = ~(block_size - 1)
+            cached = array(
+                _ADDR_TYPE, (a & mask for a in self._addresses)
+            )
+            self._key_cache[block_size] = cached
+        return cached
+
+    def macroblock_keys(self, macroblock_size: int) -> Sequence[int]:
+        """Addresses aligned down to ``macroblock_size`` (cached)."""
+        return self.block_keys(macroblock_size)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def append(self, record: TraceRecord) -> None:
         """Append one record (validated against the processor count)."""
         self._check_record(record)
-        self._records.append(record)
+        self.append_fields(
+            record.address,
+            record.pc,
+            record.requester,
+            1 if record.access is AccessType.GETX else 0,
+            record.instructions,
+        )
 
     def extend(self, records: Iterable[TraceRecord]) -> None:
         """Append many records."""
         for record in records:
             self.append(record)
 
+    def append_fields(
+        self,
+        address: int,
+        pc: int,
+        requester: int,
+        access_code: int,
+        instructions: int = 0,
+    ) -> None:
+        """Append one request from already-validated scalar fields.
+
+        The trusted fast path for workload generators and trace IO:
+        callers guarantee non-negative fields, ``requester`` within
+        range, and ``access_code`` in {0 (GETS), 1 (GETX)}.
+        """
+        self._addresses.append(address)
+        self._pcs.append(pc)
+        self._requesters.append(requester)
+        self._accesses.append(access_code)
+        self._instructions.append(instructions)
+        if self._key_cache:
+            self._key_cache.clear()
+
     # ------------------------------------------------------------------
-    def split_warmup(self, n_warmup: int) -> tuple["Trace", "Trace"]:
+    def split_warmup(self, n_warmup: int) -> "tuple[Trace, Trace]":
         """Split into (warmup, measurement) traces at ``n_warmup``."""
         if n_warmup < 0:
             raise ValueError("n_warmup must be non-negative")
-        head = Trace(
-            self._records[:n_warmup], self._n_processors, self._name
-        )
-        tail = Trace(
-            self._records[n_warmup:], self._n_processors, self._name
-        )
-        return head, tail
+        return self[:n_warmup], self[n_warmup:]
 
     def filtered(
         self, predicate: Callable[[TraceRecord], bool]
     ) -> "Trace":
         """A new trace with only records satisfying ``predicate``."""
-        return Trace(
-            (r for r in self._records if predicate(r)),
-            self._n_processors,
-            self._name,
-        )
+        out = Trace(n_processors=self._n_processors, name=self._name)
+        append = out.append_fields
+        by_code = ACCESS_BY_CODE
+        trusted = TraceRecord.trusted
+        for fields in zip(
+            self._addresses,
+            self._pcs,
+            self._requesters,
+            self._accesses,
+            self._instructions,
+        ):
+            record = trusted(
+                fields[0], fields[1], fields[2],
+                by_code[fields[3]], fields[4],
+            )
+            if predicate(record):
+                append(*fields)
+        return out
 
     def reads(self) -> "Trace":
         """Only the GETS records."""
-        return self.filtered(lambda r: r.access is AccessType.GETS)
+        return self._select_code(0)
 
     def writes(self) -> "Trace":
         """Only the GETX records."""
-        return self.filtered(lambda r: r.access is AccessType.GETX)
+        return self._select_code(1)
 
     def by_processor(self, node: NodeId) -> "Trace":
         """Only records issued by ``node``."""
-        return self.filtered(lambda r: r.requester == node)
+        out = Trace(n_processors=self._n_processors, name=self._name)
+        append = out.append_fields
+        for fields in zip(
+            self._addresses,
+            self._pcs,
+            self._requesters,
+            self._accesses,
+            self._instructions,
+        ):
+            if fields[2] == node:
+                append(*fields)
+        return out
 
     def head(self, n: int) -> "Trace":
         """The first ``n`` records."""
-        return Trace(self._records[:n], self._n_processors, self._name)
+        return self[:n]
 
     def unique_blocks(self, block_size: int) -> int:
         """Number of distinct block addresses touched."""
-        return len({r.block(block_size) for r in self._records})
+        return len(set(self.block_keys(block_size)))
 
     def unique_pcs(self) -> int:
         """Number of distinct miss PCs."""
-        return len({r.pc for r in self._records})
+        return len(set(self._pcs))
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        trusted = TraceRecord.trusted
+        by_code = ACCESS_BY_CODE
+        for address, pc, requester, code, instructions in zip(
+            self._addresses,
+            self._pcs,
+            self._requesters,
+            self._accesses,
+            self._instructions,
+        ):
+            yield trusted(
+                address, pc, requester, by_code[code], instructions
+            )
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._addresses)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(
-                self._records[index], self._n_processors, self._name
+            return Trace._from_columns(
+                self._addresses[index],
+                self._pcs[index],
+                self._requesters[index],
+                self._accesses[index],
+                self._instructions[index],
+                self._n_processors,
+                self._name,
             )
-        return self._records[index]
+        return TraceRecord.trusted(
+            self._addresses[index],
+            self._pcs[index],
+            self._requesters[index],
+            ACCESS_BY_CODE[self._accesses[index]],
+            self._instructions[index],
+        )
 
     def __repr__(self) -> str:
         return (
-            f"Trace(name={self._name!r}, records={len(self._records)}, "
+            f"Trace(name={self._name!r}, records={len(self)}, "
             f"n_processors={self._n_processors})"
         )
 
     # ------------------------------------------------------------------
+    def _select_code(self, code: int) -> "Trace":
+        out = Trace(n_processors=self._n_processors, name=self._name)
+        append = out.append_fields
+        for fields in zip(
+            self._addresses,
+            self._pcs,
+            self._requesters,
+            self._accesses,
+            self._instructions,
+        ):
+            if fields[3] == code:
+                append(*fields)
+        return out
+
     def _check_record(self, record: TraceRecord) -> None:
         if not isinstance(record, TraceRecord):
             raise TypeError(f"expected TraceRecord, got {type(record)}")

@@ -1,0 +1,97 @@
+"""Columnar engine vs. record-object engine equivalence.
+
+The columnar trace engine replays traces through allocation-free
+scalar kernels (``_handle_fast``); the record-oriented path builds
+:class:`TraceRecord`/:class:`RequestOutcome` objects per request.
+Both must produce *identical* results — totals, runtime results, and
+accuracy numbers — for every protocol and predictor on every
+registered workload.  This is the correctness contract that lets the
+fast path exist at all.
+"""
+
+import pytest
+
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.evaluation.runtime import make_protocol
+from repro.predictors.registry import PAPER_POLICIES
+from repro.timing.system import TimingSimulator
+from repro.trace.trace import Trace
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+N_REFERENCES = 4_000
+
+PROTOCOL_LABELS = ("directory", "broadcast-snooping", *PAPER_POLICIES)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One small trace per registered workload (records + columns)."""
+    collected = {}
+    for name in WORKLOAD_NAMES:
+        model = create_workload(name, seed=7)
+        collected[name] = model.collect(N_REFERENCES).trace
+    return collected
+
+
+def _object_trace(trace: Trace):
+    """The same requests as a plain list of records (object path)."""
+    return list(trace)
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+@pytest.mark.parametrize("label", PROTOCOL_LABELS)
+def test_protocol_totals_identical(traces, workload, label):
+    trace = traces[workload]
+    config = SystemConfig()
+    predictor_config = PredictorConfig()
+
+    columnar = make_protocol(label, config, predictor_config)
+    assert columnar._fast_ok, f"{label} lost its fast path"
+    columnar.run(trace)
+
+    objects = make_protocol(label, config, predictor_config)
+    objects.run(_object_trace(trace))
+
+    assert columnar.totals == objects.totals
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+@pytest.mark.parametrize("label", PROTOCOL_LABELS)
+def test_runtime_result_identical(traces, workload, label):
+    trace = traces[workload]
+    config = SystemConfig()
+    predictor_config = PredictorConfig()
+
+    fast = TimingSimulator(
+        config, make_protocol(label, config, predictor_config)
+    )
+    fast_result = fast.run(trace)
+
+    slow = TimingSimulator(
+        config, make_protocol(label, config, predictor_config)
+    )
+    slow_result = slow.run(trace, columnar=False)
+
+    assert fast_result == slow_result
+
+
+@pytest.mark.parametrize("policy", PAPER_POLICIES)
+def test_accuracy_identical_on_object_trace(traces, policy):
+    """Accuracy probing (an ``_handle`` override) matches across inputs.
+
+    The accuracy probe protocol overrides ``_handle``, so the engine
+    must *not* take the fast path for it; scoring over the columnar
+    trace and over a rebuilt record-by-record trace must agree.
+    """
+    from repro.analysis.accuracy import prediction_accuracy
+
+    trace = traces["barnes-hut"]
+    rebuilt = Trace(
+        list(trace), n_processors=trace.n_processors, name=trace.name
+    )
+    a = prediction_accuracy(trace, policy)
+    b = prediction_accuracy(rebuilt, policy)
+    assert a.predictions == b.predictions
+    assert a.coverage_pct == b.coverage_pct
+    assert a.precision_pct == b.precision_pct
+    assert a.outcomes == b.outcomes

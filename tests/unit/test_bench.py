@@ -1,0 +1,126 @@
+"""Unit tests for the perf microbenchmark suite and sweep perf stats."""
+
+import json
+
+import pytest
+
+from repro.evaluation import bench
+from repro.experiment import ExperimentSpec, PerfStats, Runner
+from repro.workloads import create_workload
+
+N_REFERENCES = 1_500
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return create_workload("barnes-hut", seed=3).collect(N_REFERENCES).trace
+
+
+class TestBenchSuite:
+    def test_suite_reports_every_benchmark(self, small_trace):
+        report = bench.run_suite(
+            small_trace, "barnes-hut", N_REFERENCES, 3, repeats=1
+        )
+        names = [b["name"] for b in report["benchmarks"]]
+        assert "fig5_tradeoff" in names
+        assert "protocol_directory" in names
+        assert "timing_runtime" in names
+        for entry in report["benchmarks"]:
+            assert entry["records"] > 0
+            assert entry["records_per_sec"] > 0
+            assert entry["calibrated"] > 0
+
+    def test_report_round_trips_as_json(self, small_trace, tmp_path):
+        report = bench.run_suite(
+            small_trace, "barnes-hut", N_REFERENCES, 3, repeats=1
+        )
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert bench.load_report(path) == report
+
+    def test_baseline_speedup_only_on_reference_config(self, small_trace):
+        report = bench.run_suite(
+            small_trace, "barnes-hut", N_REFERENCES, 3, repeats=1
+        )
+        # Different workload/refs than the pre-columnar measurement:
+        # no speedup claim is attached.
+        assert "pre_columnar_baseline" not in report
+
+    def test_render_report_is_textual(self, small_trace):
+        report = bench.run_suite(
+            small_trace, "barnes-hut", N_REFERENCES, 3, repeats=1
+        )
+        text = bench.render_report(report)
+        assert "fig5_tradeoff" in text
+        assert "records/sec" in text
+
+
+class TestBaselineCheck:
+    def _report(self, calibrated):
+        return {
+            "benchmarks": [
+                {"name": "fig5_tradeoff", "calibrated": calibrated}
+            ]
+        }
+
+    def test_passes_within_tolerance(self):
+        failures = bench.check_against_baseline(
+            self._report(8.0), self._report(10.0), tolerance=0.30
+        )
+        assert failures == []
+
+    def test_fails_beyond_tolerance(self):
+        failures = bench.check_against_baseline(
+            self._report(6.0), self._report(10.0), tolerance=0.30
+        )
+        assert len(failures) == 1
+        assert "fig5_tradeoff" in failures[0]
+
+    def test_missing_benchmark_fails(self):
+        failures = bench.check_against_baseline(
+            {"benchmarks": []}, self._report(10.0)
+        )
+        assert failures and "missing" in failures[0]
+
+    def test_faster_run_passes(self):
+        assert not bench.check_against_baseline(
+            self._report(20.0), self._report(10.0)
+        )
+
+
+class TestSweepPerfStats:
+    def test_runner_reports_throughput(self):
+        spec = ExperimentSpec(
+            workloads=("barnes-hut",),
+            kind="tradeoff",
+            n_references=N_REFERENCES,
+            policies=("owner",),
+        )
+        results = Runner().run(spec)
+        # 1 workload x (2 baselines + 1 policy) replays of the trace.
+        assert results.perf.records_processed > 0
+        assert results.perf.records_processed % 3 == 0
+        assert results.perf.wall_seconds > 0
+        assert results.perf.records_per_sec > 0
+
+    def test_perf_excluded_from_serialization_and_equality(self):
+        spec = ExperimentSpec(
+            workloads=("barnes-hut",),
+            kind="tradeoff",
+            n_references=N_REFERENCES,
+            policies=("owner",),
+        )
+        results = Runner().run(spec)
+        data = results.to_dict()
+        assert "perf" not in data
+        from repro.experiment import ResultSet
+
+        rebuilt = ResultSet.from_dict(data)
+        assert rebuilt.perf == PerfStats()  # not carried through JSON
+        assert rebuilt == results  # equality ignores perf/cache stats
+
+    def test_perf_stats_str_and_rates(self):
+        stats = PerfStats(records_processed=1000, wall_seconds=2.0)
+        assert stats.records_per_sec == 500.0
+        assert "records/sec" in str(stats)
+        assert PerfStats().records_per_sec == 0.0
