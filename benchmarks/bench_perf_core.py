@@ -38,6 +38,15 @@ def test_perf_core_suite(benchmark, corpus, n_references, save_result):
     # ``repro bench --check``).
     assert by_name["fig5_tradeoff"]["records_per_sec"] > 100_000
     assert by_name["protocol_directory"]["records_per_sec"] > 100_000
+    # Every fused multicast batch kernel is measured individually, so
+    # a regression in any one predictor's kernel trips the gate.
+    for name in (
+        "protocol_multicast_group",
+        "protocol_multicast_owner",
+        "protocol_multicast_bifs",
+        "protocol_multicast_sticky",
+    ):
+        assert by_name[name]["records_per_sec"] > 100_000, name
 
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())

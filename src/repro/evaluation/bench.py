@@ -196,6 +196,17 @@ def _benchmarks(
         ("protocol_directory", lambda: protocol("directory")),
         ("protocol_snooping", lambda: protocol("broadcast-snooping")),
         ("protocol_multicast_group", lambda: protocol("group")),
+        # Per-predictor multicast entries so the CI regression gate
+        # covers every fused batch kernel, not just Group's.
+        ("protocol_multicast_owner", lambda: protocol("owner")),
+        (
+            "protocol_multicast_bifs",
+            lambda: protocol("broadcast-if-shared"),
+        ),
+        (
+            "protocol_multicast_sticky",
+            lambda: protocol("sticky-spatial"),
+        ),
         ("timing_runtime", timing_runtime),
         ("analysis_sharing", analysis_sharing),
         ("trace_stats", trace_stats),
@@ -223,6 +234,8 @@ def run_suite(
         records, seconds = _time_best(function, repeats)
         results.append(BenchResult(name, records, seconds, score))
 
+    from repro.trace import columns as trace_columns
+
     report = {
         "format": BENCH_FORMAT,
         "workload": workload,
@@ -230,6 +243,7 @@ def run_suite(
         "seed": seed,
         "trace_records": len(trace),
         "python": platform.python_version(),
+        "columns_backend": trace_columns.backend_name(),
         "calibration_kops": round(score, 1),
         "benchmarks": [r.to_dict() for r in results],
     }
@@ -290,12 +304,13 @@ def load_report(path) -> dict:
 
 def render_report(report: dict) -> str:
     """A human-readable table of one BENCH report."""
+    backend = report.get("columns_backend", "python")
     lines = [
         f"workload={report['workload']} "
         f"refs={report['n_references']} seed={report['seed']} "
         f"trace={report['trace_records']} records  "
         f"(calibration {report['calibration_kops']:.0f} kops/s, "
-        f"python {report['python']})",
+        f"python {report['python']}, columns {backend})",
         f"{'benchmark':28s} {'records':>10s} {'seconds':>9s} "
         f"{'records/sec':>12s} {'calibrated':>10s}",
     ]

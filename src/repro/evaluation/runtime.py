@@ -11,7 +11,7 @@ runtime.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import PredictorConfig, SystemConfig
 from repro.protocols.base import CoherenceProtocol
@@ -66,6 +66,92 @@ def make_protocol(
     )
 
 
+def evaluate_runtime_raw(
+    trace: Trace,
+    label: str,
+    config: Optional[SystemConfig] = None,
+    predictor_config: Optional[PredictorConfig] = None,
+    processor_model: str = "simple",
+    max_outstanding: int = 4,
+    warmup_fraction: float = 0.25,
+) -> RuntimeResult:
+    """One label's raw (unnormalized) timing simulation on ``trace``.
+
+    The independent unit of a runtime sweep: per-label cells run this
+    in isolation (possibly in parallel processes) and the caller
+    normalizes the group afterwards with
+    :func:`normalize_runtime_points`.
+    """
+    config = config if config is not None else SystemConfig()
+    protocol = make_protocol(label, config, predictor_config)
+    simulator = TimingSimulator(
+        config,
+        protocol,
+        processor_model=processor_model,
+        max_outstanding=max_outstanding,
+    )
+    return simulator.run(trace, warmup_fraction=warmup_fraction)
+
+
+def normalized_runtime_metrics(
+    runtime_ns: float,
+    traffic_bytes_per_miss: float,
+    directory_runtime_ns: float,
+    snooping_traffic_per_miss: float,
+) -> "Tuple[float, float]":
+    """The paper's normalized pair for one raw runtime result.
+
+    Runtime normalized to directory=100, traffic per miss to
+    broadcast-snooping=100.  The single source of these formulas:
+    used by :func:`normalize_runtime_points` and by the sweep
+    runner's per-label reassembly.
+    """
+    normalized_runtime = (
+        100.0 * runtime_ns / directory_runtime_ns
+        if directory_runtime_ns
+        else 0.0
+    )
+    normalized_traffic = (
+        100.0 * traffic_bytes_per_miss / snooping_traffic_per_miss
+        if snooping_traffic_per_miss
+        else 0.0
+    )
+    return normalized_runtime, normalized_traffic
+
+
+def normalize_runtime_points(
+    labels: Sequence[str],
+    raw: "Dict[str, RuntimeResult]",
+    workload: str,
+) -> List[RuntimePoint]:
+    """Normalize raw results (directory=100 runtime, snooping=100 traffic)."""
+    directory_runtime = raw[DIRECTORY].runtime_ns
+    snooping_traffic = raw[SNOOPING].traffic_bytes_per_miss
+    points = []
+    for label in labels:
+        result = raw[label]
+        normalized_runtime, normalized_traffic = (
+            normalized_runtime_metrics(
+                result.runtime_ns,
+                result.traffic_bytes_per_miss,
+                directory_runtime,
+                snooping_traffic,
+            )
+        )
+        points.append(
+            RuntimePoint(
+                label=label,
+                workload=workload,
+                normalized_runtime=normalized_runtime,
+                normalized_traffic_per_miss=normalized_traffic,
+                runtime_ns=result.runtime_ns,
+                traffic_bytes_per_miss=result.traffic_bytes_per_miss,
+                indirection_pct=result.indirection_pct,
+            )
+        )
+    return points
+
+
 def evaluate_runtime(
     trace: Trace,
     config: Optional[SystemConfig] = None,
@@ -89,37 +175,13 @@ def evaluate_runtime(
     labels = [DIRECTORY, SNOOPING, *predictors]
     raw: Dict[str, RuntimeResult] = {}
     for label in labels:
-        protocol = make_protocol(label, config, predictor_config)
-        simulator = TimingSimulator(
-            config,
-            protocol,
+        raw[label] = evaluate_runtime_raw(
+            trace,
+            label,
+            config=config,
+            predictor_config=predictor_config,
             processor_model=processor_model,
             max_outstanding=max_outstanding,
+            warmup_fraction=warmup_fraction,
         )
-        raw[label] = simulator.run(trace, warmup_fraction=warmup_fraction)
-
-    directory_runtime = raw[DIRECTORY].runtime_ns
-    snooping_traffic = raw[SNOOPING].traffic_bytes_per_miss
-    points = []
-    for label in labels:
-        result = raw[label]
-        points.append(
-            RuntimePoint(
-                label=label,
-                workload=trace.name,
-                normalized_runtime=(
-                    100.0 * result.runtime_ns / directory_runtime
-                    if directory_runtime
-                    else 0.0
-                ),
-                normalized_traffic_per_miss=(
-                    100.0 * result.traffic_bytes_per_miss / snooping_traffic
-                    if snooping_traffic
-                    else 0.0
-                ),
-                runtime_ns=result.runtime_ns,
-                traffic_bytes_per_miss=result.traffic_bytes_per_miss,
-                indirection_pct=result.indirection_pct,
-            )
-        )
-    return points
+    return normalize_runtime_points(labels, raw, trace.name)

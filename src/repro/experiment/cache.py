@@ -26,7 +26,12 @@ from typing import Optional, Union
 from repro.cache.pipeline import CollectionResult
 from repro.common.params import SystemConfig
 from repro.evaluation.corpus import TraceCorpus
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import (
+    read_trace,
+    read_trace_binary,
+    write_trace,
+    write_trace_binary,
+)
 
 #: Bump when the on-disk layout or trace semantics change.
 CACHE_FORMAT = 1
@@ -110,17 +115,26 @@ class TraceCache:
         return hashlib.sha256(payload.encode("ascii")).hexdigest()[:24]
 
     def _paths(self, key: str) -> tuple:
-        return self.root / f"{key}.trace", self.root / f"{key}.json"
+        return (
+            self.root / f"{key}.trace",
+            self.root / f"{key}.json",
+            self.root / f"{key}.bin",
+        )
 
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[CollectionResult]:
         """The stored collection for ``key``, or None (counts stats)."""
-        trace_path, meta_path = self._paths(key)
+        trace_path, meta_path, binary_path = self._paths(key)
         try:
             meta = json.loads(meta_path.read_text(encoding="ascii"))
-            # Cache entries were written by write_trace; skip per-record
-            # validation on this trusted load path.
-            trace = read_trace(trace_path, trusted=True)
+            # The binary sidecar loads the columns verbatim (fast path
+            # for per-label sweep cells); fall back to parsing the
+            # text format, trusted because write_trace produced it.
+            try:
+                trace = read_trace_binary(binary_path)
+            except (OSError, ValueError):
+                trace = read_trace(trace_path, trusted=True)
+                self._heal_binary(trace, binary_path)
         except (OSError, ValueError, KeyError):
             self.stats.misses += 1
             return None
@@ -134,6 +148,24 @@ class TraceCache:
             references=meta["references"],
         )
 
+    def _heal_binary(self, trace, binary_path) -> None:
+        """Best-effort rewrite of a missing/stale binary sidecar.
+
+        Sidecars are derived data (e.g. not shipped with a committed
+        corpus, or dropped by an old cache); the first text-format
+        load regenerates one so subsequent loads take the fast path.
+        """
+        suffix = f".tmp{os.getpid()}"
+        tmp = binary_path.with_name(binary_path.name + suffix)
+        try:
+            write_trace_binary(trace, tmp)
+            os.replace(tmp, binary_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
     def store(
         self,
         key: str,
@@ -142,7 +174,7 @@ class TraceCache:
     ) -> None:
         """Persist ``result`` under ``key`` (atomically)."""
         self.root.mkdir(parents=True, exist_ok=True)
-        trace_path, meta_path = self._paths(key)
+        trace_path, meta_path, binary_path = self._paths(key)
         meta = {
             "instructions": {
                 str(node): count
@@ -154,17 +186,20 @@ class TraceCache:
         suffix = f".tmp{os.getpid()}"
         tmp_trace = trace_path.with_name(trace_path.name + suffix)
         tmp_meta = meta_path.with_name(meta_path.name + suffix)
+        tmp_binary = binary_path.with_name(binary_path.name + suffix)
         try:
             write_trace(result.trace, tmp_trace)
+            write_trace_binary(result.trace, tmp_binary)
             tmp_meta.write_text(
                 json.dumps(meta, sort_keys=True), encoding="ascii"
             )
-            # Trace first: a reader needs both files, and load() opens
-            # the sidecar before the trace.
+            # Trace columns first: a reader needs trace + sidecar, and
+            # load() opens the JSON sidecar before the trace files.
+            os.replace(tmp_binary, binary_path)
             os.replace(tmp_trace, trace_path)
             os.replace(tmp_meta, meta_path)
         finally:
-            for leftover in (tmp_trace, tmp_meta):
+            for leftover in (tmp_trace, tmp_meta, tmp_binary):
                 try:
                     os.unlink(leftover)
                 except OSError:
@@ -175,7 +210,7 @@ class TraceCache:
         removed = 0
         if self.root.is_dir():
             for path in self.root.iterdir():
-                if path.suffix in (".trace", ".json"):
+                if path.suffix in (".trace", ".json", ".bin"):
                     path.unlink()
                     removed += 1
         return removed

@@ -1,29 +1,40 @@
 """Spec execution: serial or process-parallel fan-out.
 
 :class:`Runner` expands an :class:`ExperimentSpec` into independent
-jobs (one per workload × seed cell) and executes them either in
-process (``jobs=1`` — bit-identical to the historical hand-rolled
-loops) or across a :class:`concurrent.futures.ProcessPoolExecutor`.
-Both paths run the same :func:`execute_job` function, and results are
-reassembled in canonical job order, so a parallel run produces a
-:class:`ResultSet` equal to the serial one.
+jobs — one per (workload, seed, configuration label) cell — and
+executes them either in process (``jobs=1`` — bit-identical to the
+historical hand-rolled loops) or across a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Both paths run the
+same :func:`execute_job` function, and results are reassembled in
+canonical job order, so a parallel run produces a :class:`ResultSet`
+equal to the serial one.
 
-Workers share traces through the persistent on-disk cache when a
-``cache_dir`` is configured; without one, each worker regenerates the
-traces it needs (still deterministic, just slower).
+Per-label cells keep the pool saturated even for single-workload
+sweeps (a one-workload Figure 5 panel is six independent cells).
+Trace generation is shared, not repeated: a parallel run first warms
+the on-disk cache with one task per unique (workload, seed), then the
+label cells load the memoized trace.  Runtime sweeps evaluate raw
+per-label results in the cells and normalize (directory=100,
+snooping=100) during reassembly.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
+import shutil
+import tempfile
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.accuracy import prediction_accuracy
 from repro.evaluation.corpus import TraceCorpus
-from repro.evaluation.runtime import evaluate_runtime
-from repro.evaluation.tradeoff import evaluate_design_space
+from repro.evaluation.runtime import (
+    evaluate_runtime_raw,
+    make_protocol,
+    normalized_runtime_metrics,
+)
+from repro.evaluation.tradeoff import evaluate_protocol
 from repro.experiment.cache import (
     CacheStats,
     PersistentTraceCorpus,
@@ -35,142 +46,189 @@ from repro.experiment.spec import ExperimentSpec, Job
 PathLike = Union[str, "os.PathLike[str]"]
 
 
-def job_records_processed(spec: ExperimentSpec, trace_length: int) -> int:
-    """Trace records replayed by one job (length × configurations).
-
-    Each evaluated configuration replays the full trace (warmup plus
-    measurement), so sweep throughput counts every replayed record.
-    """
-    n_configs = len(spec.policies)
-    if spec.kind in ("tradeoff", "runtime") and spec.include_baselines:
-        n_configs += 2
-    return trace_length * n_configs
-
-
 def execute_job(
     spec: ExperimentSpec, job: Job, corpus: TraceCorpus
 ) -> "Tuple[List[ResultRecord], int]":
-    """Evaluate one (workload, seed) cell of ``spec``.
+    """Evaluate one (workload, seed, label) cell of ``spec``.
 
     This is the single execution path shared by the serial runner and
     the process-pool workers; determinism of the whole sweep reduces
-    to determinism of this function.  Returns the cell's result records
-    plus the number of trace records it replayed.
+    to determinism of this function.  Returns the cell's result
+    records plus the number of trace records it replayed.  Runtime
+    cells return *raw* metrics; the runner normalizes each
+    (workload, seed) group once all of its cells are in.
     """
     trace = corpus.trace(job.workload, spec.n_references, job.seed)
+    label = job.label
     records: List[ResultRecord] = []
     if spec.kind == "tradeoff":
-        points = evaluate_design_space(
+        protocol = make_protocol(
+            label, spec.system_config, spec.predictor_config
+        )
+        point = evaluate_protocol(
+            protocol,
             trace,
-            config=spec.system_config,
-            predictors=spec.policies,
-            predictor_config=spec.predictor_config,
-            include_baselines=spec.include_baselines,
+            label=label,
             warmup_fraction=spec.warmup_fraction,
         )
-        for point in points:
-            records.append(
-                ResultRecord(
-                    workload=job.workload,
-                    seed=job.seed,
-                    label=point.label,
-                    metrics={
-                        "indirection_pct": point.indirection_pct,
-                        "request_messages_per_miss": (
-                            point.request_messages_per_miss
-                        ),
-                        "traffic_bytes_per_miss": (
-                            point.traffic_bytes_per_miss
-                        ),
-                        "average_latency_ns": point.average_latency_ns,
-                        "misses": point.misses,
-                        "retries": point.retries,
-                    },
-                )
+        records.append(
+            ResultRecord(
+                workload=job.workload,
+                seed=job.seed,
+                label=label,
+                metrics={
+                    "indirection_pct": point.indirection_pct,
+                    "request_messages_per_miss": (
+                        point.request_messages_per_miss
+                    ),
+                    "traffic_bytes_per_miss": point.traffic_bytes_per_miss,
+                    "average_latency_ns": point.average_latency_ns,
+                    "misses": point.misses,
+                    "retries": point.retries,
+                },
             )
+        )
     elif spec.kind == "runtime":
-        points = evaluate_runtime(
+        result = evaluate_runtime_raw(
             trace,
+            label,
             config=spec.system_config,
-            predictors=spec.policies,
             predictor_config=spec.predictor_config,
             processor_model=spec.processor_model,
             max_outstanding=spec.max_outstanding,
             warmup_fraction=spec.warmup_fraction,
         )
-        for point in points:
-            records.append(
-                ResultRecord(
-                    workload=job.workload,
-                    seed=job.seed,
-                    label=point.label,
-                    metrics={
-                        "normalized_runtime": point.normalized_runtime,
-                        "normalized_traffic_per_miss": (
-                            point.normalized_traffic_per_miss
-                        ),
-                        "runtime_ns": point.runtime_ns,
-                        "traffic_bytes_per_miss": (
-                            point.traffic_bytes_per_miss
-                        ),
-                        "indirection_pct": point.indirection_pct,
-                    },
-                )
+        records.append(
+            ResultRecord(
+                workload=job.workload,
+                seed=job.seed,
+                label=label,
+                metrics={
+                    "runtime_ns": result.runtime_ns,
+                    "traffic_bytes_per_miss": (
+                        result.traffic_bytes_per_miss
+                    ),
+                    "indirection_pct": result.indirection_pct,
+                },
             )
+        )
     else:  # accuracy
-        for policy in spec.policies:
-            report = prediction_accuracy(
-                trace,
-                policy,
-                config=spec.system_config,
-                predictor_config=spec.predictor_config,
-                warmup_fraction=spec.warmup_fraction,
-            )
-            records.append(
-                ResultRecord(
-                    workload=job.workload,
-                    seed=job.seed,
-                    label=policy,
-                    metrics={
-                        "coverage_pct": report.coverage_pct,
-                        "precision_pct": report.precision_pct,
-                        "predictions": report.predictions,
-                        **{
-                            f"{outcome.value}_pct": report.outcome_pct(
-                                outcome
-                            )
-                            for outcome in report.outcomes
-                        },
+        report = prediction_accuracy(
+            trace,
+            label,
+            config=spec.system_config,
+            predictor_config=spec.predictor_config,
+            warmup_fraction=spec.warmup_fraction,
+        )
+        records.append(
+            ResultRecord(
+                workload=job.workload,
+                seed=job.seed,
+                label=label,
+                metrics={
+                    "coverage_pct": report.coverage_pct,
+                    "precision_pct": report.precision_pct,
+                    "predictions": report.predictions,
+                    **{
+                        f"{outcome.value}_pct": report.outcome_pct(outcome)
+                        for outcome in report.outcomes
                     },
-                )
+                },
             )
-    return records, job_records_processed(spec, len(trace))
+        )
+    return records, len(trace)
+
+
+def _normalize_runtime_records(
+    spec: ExperimentSpec, records: List[ResultRecord]
+) -> List[ResultRecord]:
+    """Normalize raw runtime cells per (workload, seed) group.
+
+    Applies :func:`repro.evaluation.runtime.normalized_runtime_metrics`
+    (the same formulas :func:`normalize_runtime_points` uses):
+    runtime normalized to directory=100, traffic per miss to
+    broadcast-snooping=100.
+    """
+    if spec.kind != "runtime":
+        return records
+    baselines: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    for record in records:
+        cell = (record.workload, record.seed)
+        if record.label == "directory":
+            runtime = record["runtime_ns"]
+            baselines[cell] = (
+                runtime, baselines.get(cell, (0.0, 0.0))[1]
+            )
+        elif record.label == "broadcast-snooping":
+            traffic = record["traffic_bytes_per_miss"]
+            baselines[cell] = (
+                baselines.get(cell, (0.0, 0.0))[0], traffic
+            )
+    normalized = []
+    for record in records:
+        directory_runtime, snooping_traffic = baselines[
+            (record.workload, record.seed)
+        ]
+        metrics = record.metrics
+        normalized_runtime, normalized_traffic = (
+            normalized_runtime_metrics(
+                metrics["runtime_ns"],
+                metrics["traffic_bytes_per_miss"],
+                directory_runtime,
+                snooping_traffic,
+            )
+        )
+        normalized.append(
+            ResultRecord(
+                workload=record.workload,
+                seed=record.seed,
+                label=record.label,
+                metrics={
+                    "normalized_runtime": normalized_runtime,
+                    "normalized_traffic_per_miss": normalized_traffic,
+                    "runtime_ns": metrics["runtime_ns"],
+                    "traffic_bytes_per_miss": (
+                        metrics["traffic_bytes_per_miss"]
+                    ),
+                    "indirection_pct": metrics["indirection_pct"],
+                },
+            )
+        )
+    return normalized
 
 
 def _run_job_worker(
     spec_dict: dict, index: int, cache_dir: Optional[str]
-) -> Tuple[int, List[dict], Dict[str, int], int]:
+) -> Tuple[int, List[dict], int]:
     """Process-pool entry point (module-level, hence picklable)."""
     spec = ExperimentSpec.from_dict(spec_dict)
     corpus = make_corpus(spec.system_config, cache_dir)
     records, processed = execute_job(spec, spec.expand()[index], corpus)
-    stats = (
-        corpus.cache_stats.to_dict()
-        if isinstance(corpus, PersistentTraceCorpus)
-        else {"hits": 0, "misses": 0}
-    )
-    return index, [r.to_dict() for r in records], stats, processed
+    return index, [r.to_dict() for r in records], processed
+
+
+def _warm_trace_worker(
+    spec_dict: dict, workload: str, seed: int, cache_dir: str
+) -> Dict[str, int]:
+    """Ensure one (workload, seed) trace is in the disk cache."""
+    spec = ExperimentSpec.from_dict(spec_dict)
+    corpus = make_corpus(spec.system_config, cache_dir)
+    corpus.trace(workload, spec.n_references, seed)
+    assert isinstance(corpus, PersistentTraceCorpus)
+    return corpus.cache_stats.to_dict()
 
 
 class Runner:
     """Executes :class:`ExperimentSpec` instances.
 
     ``jobs=1`` runs everything in the calling process; ``jobs>1`` fans
-    the spec's cells out over worker processes.  Pass ``cache_dir`` to
-    persist (and reuse) collected traces on disk, or a pre-built
-    ``corpus`` to share in-memory traces with other serial work.  An
-    injected corpus is a single-process object, so it requires
-    ``jobs=1``; multi-process runs share traces through ``cache_dir``.
+    the spec's per-label cells out over worker processes.  Pass
+    ``cache_dir`` to persist (and reuse) collected traces on disk, or
+    a pre-built ``corpus`` to share in-memory traces with other serial
+    work.  An injected corpus is a single-process object, so it
+    requires ``jobs=1``; multi-process runs share traces through
+    ``cache_dir`` (an ephemeral directory is used when none is
+    configured, so traces are still generated only once per run).
     """
 
     def __init__(
@@ -217,6 +275,7 @@ class Runner:
             job_records, job_processed = execute_job(spec, job, corpus)
             records.extend(job_records)
             processed += job_processed
+        records = _normalize_runtime_records(spec, records)
         elapsed = time.perf_counter() - started
         stats = CacheStats()
         if isinstance(corpus, PersistentTraceCorpus):
@@ -228,34 +287,64 @@ class Runner:
     def _run_parallel(
         self, spec: ExperimentSpec, jobs: Tuple[Job, ...]
     ) -> ResultSet:
+        if self.cache_dir is not None:
+            return self._run_parallel_cached(spec, jobs, self.cache_dir)
+        # No configured cache: share traces through an ephemeral
+        # directory so per-label cells never regenerate them, while
+        # reporting zero cache traffic (the user asked for no cache).
+        scratch = tempfile.mkdtemp(prefix="repro-run-")
+        try:
+            results = self._run_parallel_cached(spec, jobs, scratch)
+            results.cache_stats = CacheStats()
+            return results
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def _run_parallel_cached(
+        self, spec: ExperimentSpec, jobs: Tuple[Job, ...], cache_dir: str
+    ) -> ResultSet:
         spec_dict = spec.to_dict()
         by_index: Dict[int, List[ResultRecord]] = {}
         stats = CacheStats()
         processed = 0
         started = time.perf_counter()
+        cells = []  # unique (workload, seed), canonical order
+        for job in jobs:
+            if (job.workload, job.seed) not in cells:
+                cells.append((job.workload, job.seed))
         max_workers = min(self.jobs, len(jobs))
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers
         ) as pool:
+            # Phase 1: one warm task per unique trace, so label cells
+            # share memoized generation instead of racing to collect.
+            warm = [
+                pool.submit(
+                    _warm_trace_worker, spec_dict, workload, seed,
+                    cache_dir,
+                )
+                for workload, seed in cells
+            ]
+            for future in concurrent.futures.as_completed(warm):
+                stats.merge(CacheStats(**future.result()))
+            # Phase 2: the per-label cells (cache hits by now).
             futures = [
                 pool.submit(
-                    _run_job_worker, spec_dict, job.index, self.cache_dir
+                    _run_job_worker, spec_dict, job.index, cache_dir
                 )
                 for job in jobs
             ]
             for future in concurrent.futures.as_completed(futures):
-                index, record_dicts, worker_stats, job_processed = (
-                    future.result()
-                )
+                index, record_dicts, job_processed = future.result()
                 by_index[index] = [
                     ResultRecord.from_dict(r) for r in record_dicts
                 ]
-                stats.merge(CacheStats(**worker_stats))
                 processed += job_processed
         elapsed = time.perf_counter() - started
         records: List[ResultRecord] = []
         for job in jobs:  # reassemble in canonical order
             records.extend(by_index[job.index])
+        records = _normalize_runtime_records(spec, records)
         return ResultSet(
             spec, records, stats, PerfStats(processed, elapsed)
         )

@@ -8,8 +8,12 @@ cross-product of these axes; the spec makes that cross-product a
 value that can be saved, diffed, and re-run.
 
 Specs expand into independent :class:`Job` cells — one per
-(workload, seed) pair — which the :mod:`repro.experiment.runner`
-executes serially or across processes.
+(workload, seed, configuration label) — which the
+:mod:`repro.experiment.runner` executes serially or across processes.
+Per-label cells keep the process pool saturated even for
+single-workload sweeps (one Figure 5 panel is six independent cells);
+the workers share one memoized trace per (workload, seed) through the
+trace cache.
 """
 
 from __future__ import annotations
@@ -33,13 +37,23 @@ EXPERIMENT_KINDS = ("tradeoff", "runtime", "accuracy")
 DEFAULT_REFERENCES = 100_000
 
 
+#: Baseline labels always evaluated by tradeoff/runtime sweeps.
+BASELINE_LABELS = ("directory", "broadcast-snooping")
+
+
 @dataclasses.dataclass(frozen=True)
 class Job:
-    """One independent cell of a spec's cross-product."""
+    """One independent cell of a spec's cross-product.
+
+    ``label`` names the protocol configuration the cell evaluates: a
+    baseline protocol (``"directory"``/``"broadcast-snooping"``) or a
+    predictor policy run under multicast snooping.
+    """
 
     index: int
     workload: str
     seed: int
+    label: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -99,18 +113,39 @@ class ExperimentSpec:
             raise ValueError("max_outstanding must be >= 1")
 
     # ------------------------------------------------------------------
+    def cell_labels(self) -> Tuple[str, ...]:
+        """The configuration labels each (workload, seed) evaluates.
+
+        Tradeoff sweeps honour ``include_baselines``; runtime sweeps
+        always include both baselines because their metrics are
+        normalized to them; accuracy scores only the policies.
+        """
+        if self.kind == "accuracy":
+            return self.policies
+        if self.kind == "runtime" or self.include_baselines:
+            return BASELINE_LABELS + self.policies
+        return self.policies
+
     def expand(self) -> Tuple[Job, ...]:
-        """The independent jobs this spec describes, in canonical order."""
+        """The independent jobs this spec describes, in canonical order.
+
+        One job per (workload, seed, label): the finest-grained cells
+        that are still deterministic in isolation, so a parallel
+        runner saturates its pool even on single-workload sweeps.
+        """
         jobs = []
         for workload in self.workloads:
             for seed in self.seeds:
-                jobs.append(Job(len(jobs), workload, seed))
+                for label in self.cell_labels():
+                    jobs.append(Job(len(jobs), workload, seed, label))
         return tuple(jobs)
 
     @property
     def n_jobs(self) -> int:
         """Number of independent jobs in the expansion."""
-        return len(self.workloads) * len(self.seeds)
+        return (
+            len(self.workloads) * len(self.seeds) * len(self.cell_labels())
+        )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

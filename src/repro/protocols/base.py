@@ -22,11 +22,36 @@ from __future__ import annotations
 import abc
 import dataclasses
 import enum
+from array import array
+from typing import Optional
 
 from repro.common.params import LatencyModel, SystemConfig, TrafficModel
 from repro.coherence.state import CoherenceOutcome, GlobalCoherenceState
 from repro.trace.record import TraceRecord
 from repro.trace.trace import Trace
+
+
+class OutcomeColumns:
+    """Per-record outcome columns produced by a batch protocol replay.
+
+    When a consumer needs per-transaction results (the timing
+    simulator's processor/link bookkeeping), the protocol's columnar
+    loop fills these flat arrays — one entry per replayed record —
+    instead of materializing :class:`RequestOutcome` objects:
+
+    - ``latency_ns`` — the transaction's base latency,
+    - ``transfer_bytes`` — bytes crossing the requester's link
+      (request/forward/retry control messages plus the data response).
+    """
+
+    __slots__ = ("latency_ns", "transfer_bytes")
+
+    def __init__(self) -> None:
+        self.latency_ns = array("d")
+        self.transfer_bytes = array("q")
+
+    def __len__(self) -> int:
+        return len(self.latency_ns)
 
 
 class LatencyClass(enum.Enum):
@@ -239,8 +264,15 @@ class CoherenceProtocol(abc.ABC):
         components between runs stays safe.
         """
 
-    def _run_columns(self, trace: Trace) -> None:
-        """Replay ``trace`` via ``_handle_fast``, accumulating locally."""
+    def _run_columns(
+        self, trace: Trace, out: "Optional[OutcomeColumns]" = None
+    ) -> None:
+        """Replay ``trace`` via ``_handle_fast``, accumulating locally.
+
+        With ``out``, per-record latency and link-transfer bytes are
+        appended to its columns for downstream batch consumers (the
+        timing simulator's second pass).
+        """
         self._prepare_fast_run()
         handle_fast = self._handle_fast
         control = self.traffic.control_bytes
@@ -250,13 +282,14 @@ class CoherenceProtocol(abc.ABC):
         request_messages = forward_messages = retry_messages = 0
         data_messages = traffic_bytes = retries = 0
         latency_sum = totals.latency_ns_sum
-        blocks = trace.block_keys(self.config.block_size)
+        addresses, pcs, requesters, accesses, _ = trace.boxed_columns()
+        blocks = trace.block_keys_list(self.config.block_size)
+        lat_append = byte_append = None
+        if out is not None:
+            lat_append = out.latency_ns.append
+            byte_append = out.transfer_bytes.append
         for address, pc, requester, code, block in zip(
-            trace.addresses,
-            trace.pcs,
-            trace.requesters,
-            trace.accesses,
-            blocks,
+            addresses, pcs, requesters, accesses, blocks,
         ):
             req, fwd, ret, data, indirect, latency_ns, n_retries = (
                 handle_fast(address, pc, requester, code, block)
@@ -267,9 +300,13 @@ class CoherenceProtocol(abc.ABC):
             forward_messages += fwd
             retry_messages += ret
             data_messages += data
-            traffic_bytes += (req + fwd + ret) * control + data * data_size
+            transfer = (req + fwd + ret) * control + data * data_size
+            traffic_bytes += transfer
             latency_sum += latency_ns
             retries += n_retries
+            if lat_append is not None:
+                lat_append(latency_ns)
+                byte_append(transfer)
         totals.add_batch(
             misses, indirections, request_messages, forward_messages,
             retry_messages, data_messages, traffic_bytes, latency_sum,

@@ -32,15 +32,85 @@ from repro.coherence.sufficiency import is_sufficient, minimal_set
 from repro.predictors.base import DestinationSetPredictor
 from repro.predictors.registry import create_predictor
 from repro.predictors.static import OraclePredictor
+from repro.protocols import fused
 from repro.protocols.base import (
     CoherenceProtocol,
     LatencyClass,
+    OutcomeColumns,
     RequestOutcome,
 )
 from repro.trace.record import TraceRecord
-from repro.trace.trace import ACCESS_BY_CODE
+from repro.trace.trace import ACCESS_BY_CODE, Trace
 
 _MAX_RETRIES = 3  # third retry resorts to broadcast (Section 4.1)
+
+
+class _PredictorList(list):
+    """The per-node predictor list, with refresh-on-mutation.
+
+    The protocol caches hot-path state derived from the predictor
+    instances (bound training methods, the needs-truth flag).  Any
+    mutation of the list — item assignment by an ablation harness,
+    ``append``/``extend``, slicing assignment — refreshes those caches
+    immediately, so a swapped-in predictor is trained from the very
+    next request whether it arrives via :meth:`handle`, a direct
+    ``_handle_fast`` call, or a columnar replay.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "MulticastSnoopingProtocol", items):
+        super().__init__(items)
+        self._owner = owner
+
+    def _refresh(self) -> None:
+        self._owner._prepare_fast_run()
+
+    def __setitem__(self, index, value):
+        super().__setitem__(index, value)
+        self._refresh()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._refresh()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._refresh()
+        return result
+
+    def append(self, value):
+        super().append(value)
+        self._refresh()
+
+    def extend(self, values):
+        super().extend(values)
+        self._refresh()
+
+    def insert(self, index, value):
+        super().insert(index, value)
+        self._refresh()
+
+    def pop(self, index=-1):
+        value = super().pop(index)
+        self._refresh()
+        return value
+
+    def remove(self, value):
+        super().remove(value)
+        self._refresh()
+
+    def clear(self):
+        super().clear()
+        self._refresh()
+
+    def sort(self, **kwargs):
+        super().sort(**kwargs)
+        self._refresh()
+
+    def reverse(self):
+        super().reverse()
+        self._refresh()
 
 
 class MulticastSnoopingProtocol(CoherenceProtocol):
@@ -82,19 +152,26 @@ class MulticastSnoopingProtocol(CoherenceProtocol):
 
     @property
     def predictors(self) -> List[DestinationSetPredictor]:
-        """The per-node predictors (index = node id)."""
+        """The per-node predictors (index = node id).
+
+        The returned sequence refreshes the protocol's hot-path
+        caches on any mutation (item assignment, append, ...), so
+        ablation harnesses can swap instances in at will.
+        """
         return self._predictors
 
     @predictors.setter
     def predictors(self, instances: List[DestinationSetPredictor]) -> None:
-        self._predictors = list(instances)
+        self._predictors = _PredictorList(self, instances)
         self._prepare_fast_run()
 
     def _prepare_fast_run(self) -> None:
         # Subclasses and ablation harnesses may swap predictors in
-        # after construction (whole-list or item assignment); refresh
-        # the hot-path caches before every columnar replay so the
-        # scalar kernel always sees the live instances.
+        # after construction; whole-list assignment lands in the
+        # property setter and item-level mutation in _PredictorList,
+        # both of which re-run this refresh immediately.  Columnar
+        # replays refresh once more on entry, which also covers
+        # subclasses that replace ``_predictors`` wholesale.
         self._train_external_fns = [
             p.train_external_key for p in self._predictors
         ]
@@ -105,6 +182,46 @@ class MulticastSnoopingProtocol(CoherenceProtocol):
             is not DestinationSetPredictor.train_truth
             for p in self._predictors
         )
+
+    # ------------------------------------------------------------------
+    def _run_columns(
+        self, trace: Trace, out: Optional[OutcomeColumns] = None
+    ) -> None:
+        """Batched columnar replay (see :mod:`repro.protocols.fused`).
+
+        Picks the fastest applicable tier: the fully-inlined Group
+        loop, a policy :class:`~repro.predictors.base.FusedKernel`
+        skeleton, or the generic per-record loop with fused external
+        training batches.  Subclasses that override ``_handle_fast``
+        keep the base per-record loop.
+        """
+        self._prepare_fast_run()
+        if (
+            type(self)._handle_fast
+            is not MulticastSnoopingProtocol._handle_fast
+        ):
+            super()._run_columns(trace, out)
+            return
+        predictors = self._predictors
+        if not predictors:
+            super()._run_columns(trace, out)
+            return
+        first_type = type(predictors[0])
+        homogeneous = all(type(p) is first_type for p in predictors)
+        if homogeneous and not self._needs_truth and fused.group_uniform(
+            predictors
+        ):
+            fused.run_group(self, trace, out)
+            return
+        kernel = (
+            first_type.fused_kernel(predictors) if homogeneous else None
+        )
+        if kernel is not None and (
+            not self._needs_truth or kernel.train_truth is not None
+        ):
+            fused.run_kernel(self, trace, kernel, out)
+            return
+        fused.run_generic(self, trace, out)
 
     # ------------------------------------------------------------------
     def _handle(self, record: TraceRecord) -> RequestOutcome:

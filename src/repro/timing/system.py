@@ -13,7 +13,7 @@ import dataclasses
 from typing import Callable, List, Optional
 
 from repro.common.params import SystemConfig
-from repro.protocols.base import CoherenceProtocol
+from repro.protocols.base import CoherenceProtocol, OutcomeColumns
 from repro.timing.interconnect import CrossbarInterconnect
 from repro.timing.processor import (
     DetailedProcessorModel,
@@ -127,46 +127,37 @@ class TimingSimulator:
             processor.complete_miss(completion)
 
     def _run_columns(self, measured: Trace) -> None:
-        """Columnar timing loop over the protocol's scalar kernel."""
-        protocol = self.protocol
-        protocol._prepare_fast_run()
-        handle_fast = protocol._handle_fast
-        traffic = protocol.traffic
-        control = traffic.control_bytes
-        data_size = traffic.data_bytes
-        processors = self.processors
-        acquire = self.interconnect.acquire
-        totals = protocol.totals
-        misses = indirections = 0
-        request_messages = forward_messages = retry_messages = 0
-        data_messages = traffic_bytes = total_retries = 0
-        latency_sum = totals.latency_ns_sum
-        blocks = measured.block_keys(protocol.config.block_size)
-        for address, pc, requester, code, instructions, block in zip(
-            measured.addresses,
-            measured.pcs,
-            measured.requesters,
-            measured.accesses,
-            measured.instructions,
-            blocks,
-        ):
-            req, fwd, ret, data, indirect, base_ns, retries = (
-                handle_fast(address, pc, requester, code, block)
-            )
-            misses += 1
-            indirections += indirect
-            request_messages += req
-            forward_messages += fwd
-            retry_messages += ret
-            data_messages += data
-            control_messages = req + fwd + ret
-            transfer_bytes = control_messages * control + data * data_size
-            traffic_bytes += transfer_bytes
-            latency_sum += base_ns
-            total_retries += retries
+        """Batched columnar timing: protocol pass, then timing pass.
 
+        Pass one replays the whole measured trace through the
+        protocol's batch loop, which folds the traffic totals and
+        fills per-record outcome columns (base latency, link transfer
+        bytes).  Pass two walks those columns to advance the per-node
+        clocks and link occupancy.  The two passes commute because
+        protocol state never depends on the clocks.
+        """
+        protocol = self.protocol
+        out = OutcomeColumns()
+        protocol._run_columns(measured, out)
+
+        processors = self.processors
+        _, _, requesters, _, instructions = measured.boxed_columns()
+        if all(
+            type(p) is SimpleProcessorModel
+            and p.INSTRUCTIONS_PER_NS
+            == SimpleProcessorModel.INSTRUCTIONS_PER_NS
+            for p in processors
+        ):
+            self._timing_pass_simple(
+                requesters, instructions, out, processors
+            )
+            return
+        acquire = self.interconnect.acquire
+        for requester, gap, transfer_bytes, base_ns in zip(
+            requesters, instructions, out.transfer_bytes, out.latency_ns,
+        ):
             processor = processors[requester]
-            processor.compute(instructions)
+            processor.compute(gap)
             issue_ns = processor.issue_miss()
             # Bytes crossing the requester's own link: outbound request
             # copies plus the inbound data response.
@@ -175,11 +166,46 @@ class TimingSimulator:
                 base_ns if base_ns > link_delay else link_delay
             )
             processor.complete_miss(completion)
-        totals.add_batch(
-            misses, indirections, request_messages, forward_messages,
-            retry_messages, data_messages, traffic_bytes, latency_sum,
-            total_retries,
-        )
+
+    def _timing_pass_simple(
+        self, requesters, instructions, out: OutcomeColumns, processors
+    ) -> None:
+        """The timing pass with the in-order blocking model inlined.
+
+        Replicates ``compute``/``issue_miss``/``acquire``/
+        ``complete_miss`` operation-for-operation (identical float
+        expressions), then writes the clocks and link statistics back.
+        """
+        interconnect = self.interconnect
+        link_free = interconnect._link_free  # mutated in place
+        bandwidth = interconnect._bandwidth
+        bytes_carried = interconnect.bytes_carried
+        total_queue_ns = interconnect.total_queue_ns
+        per_ns = SimpleProcessorModel.INSTRUCTIONS_PER_NS
+        clocks = [p.now_ns for p in processors]
+
+        for requester, gap, transfer_bytes, base_ns in zip(
+            requesters, instructions, out.transfer_bytes, out.latency_ns,
+        ):
+            issue_ns = clocks[requester] + gap / per_ns
+            free_ns = link_free[requester]
+            start = issue_ns if issue_ns >= free_ns else free_ns
+            total_queue_ns += start - issue_ns
+            finish = start + transfer_bytes / bandwidth
+            link_free[requester] = finish
+            bytes_carried += transfer_bytes
+            link_delay = finish - issue_ns
+            completion = issue_ns + (
+                base_ns if base_ns > link_delay else link_delay
+            )
+            clocks[requester] = (
+                issue_ns if issue_ns >= completion else completion
+            )
+
+        for processor, clock in zip(processors, clocks):
+            processor.now_ns = clock
+        interconnect.bytes_carried = bytes_carried
+        interconnect.total_queue_ns = total_queue_ns
 
     def _result(
         self, trace: Trace, totals, runtime: float

@@ -13,16 +13,37 @@ Parsing writes straight into the trace's columns.  Field validation is
 on by default for user-supplied files; internal callers that read files
 they wrote themselves (the persistent trace cache) pass
 ``trusted=True`` to skip the per-record range checks.
+
+A binary companion format (:func:`write_trace_binary` /
+:func:`read_trace_binary`) dumps the trace's flat columns verbatim
+behind a JSON header.  Loading it is two orders of magnitude faster
+than parsing text — the persistent trace cache stores both, so
+per-label sweep cells (which each load their trace) pay milliseconds,
+not a re-parse, while the text file stays diffable and greppable.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
+from array import array
 from typing import Union
 
 from repro.trace.trace import Trace
 
 _HEADER_PREFIX = "# repro-trace v1"
+
+_BINARY_MAGIC = b"#repro-trace-bin v1\n"
+
+#: Column order and typecodes in the binary format.
+_BINARY_COLUMNS = (
+    ("addresses", "q"),
+    ("pcs", "q"),
+    ("requesters", "i"),
+    ("accesses", "b"),
+    ("instructions", "q"),
+)
 
 _ACCESS_CODES = {"GETS": 0, "GETX": 1}
 _ACCESS_NAMES = ("GETS", "GETX")
@@ -49,6 +70,79 @@ def write_trace(trace: Trace, path: PathLike) -> None:
                 f"{address:x} {pc:x} {requester} {names[code]} "
                 f"{instructions}\n"
             )
+
+
+def write_trace_binary(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` as raw column bytes behind a JSON header."""
+    columns = [
+        getattr(trace, name) for name, _ in _BINARY_COLUMNS
+    ]
+    header = {
+        "n_processors": trace.n_processors,
+        "name": trace.name,
+        "records": len(trace),
+        "byteorder": sys.byteorder,
+        "itemsizes": [column.itemsize for column in columns],
+    }
+    with open(path, "wb") as handle:
+        handle.write(_BINARY_MAGIC)
+        handle.write(json.dumps(header, sort_keys=True).encode("ascii"))
+        handle.write(b"\n")
+        for column in columns:
+            handle.write(column.tobytes())
+
+
+def read_trace_binary(path: PathLike) -> Trace:
+    """Read a trace written by :func:`write_trace_binary`.
+
+    Raises ``ValueError`` for malformed files or layout mismatches
+    (callers fall back to the text format).  Binary loads are trusted:
+    only this package writes the format.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_BINARY_MAGIC))
+        if magic != _BINARY_MAGIC:
+            raise ValueError(f"{path}: not a binary repro-trace file")
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line.decode("ascii"))
+            n_processors = header["n_processors"]
+            name = header["name"]
+            records = header["records"]
+            byteorder = header["byteorder"]
+            itemsizes = header["itemsizes"]
+        except (KeyError, TypeError, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            raise ValueError(f"{path}: bad binary header ({exc})")
+        if (
+            not isinstance(n_processors, int)
+            or not isinstance(records, int)
+            or records < 0
+            or n_processors <= 0
+            or not isinstance(name, str)
+            or not isinstance(itemsizes, list)
+            or len(itemsizes) != len(_BINARY_COLUMNS)
+            or not all(isinstance(size, int) for size in itemsizes)
+        ):
+            raise ValueError(f"{path}: bad binary header field types")
+        columns = []
+        for (field, typecode), itemsize in zip(_BINARY_COLUMNS, itemsizes):
+            column = array(typecode)
+            if column.itemsize != itemsize:
+                raise ValueError(
+                    f"{path}: {field} itemsize {itemsize} does not "
+                    f"match this platform"
+                )
+            payload = handle.read(records * itemsize)
+            if len(payload) != records * itemsize:
+                raise ValueError(f"{path}: truncated {field} column")
+            column.frombytes(payload)
+            if byteorder != sys.byteorder:
+                column.byteswap()
+            columns.append(column)
+        if handle.read(1):
+            raise ValueError(f"{path}: trailing bytes after columns")
+    return Trace._from_columns(*columns, n_processors, name)
 
 
 def read_trace(path: PathLike, trusted: bool = False) -> Trace:

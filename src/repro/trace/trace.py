@@ -17,9 +17,10 @@ addresses instead of recomputing them per consumer.
 from __future__ import annotations
 
 from array import array
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.common.types import AccessType, NodeId
+from repro.trace import columns as _columns
 from repro.trace.record import TraceRecord
 
 #: Access-kind column encoding: index into this tuple is the code.
@@ -140,9 +141,8 @@ class Trace:
         """
         cached = self._key_cache.get(block_size)
         if cached is None:
-            mask = ~(block_size - 1)
-            cached = array(
-                _ADDR_TYPE, (a & mask for a in self._addresses)
+            cached = _columns.aligned_array(
+                self._addresses, block_size, _ADDR_TYPE
             )
             self._key_cache[block_size] = cached
         return cached
@@ -150,6 +150,88 @@ class Trace:
     def macroblock_keys(self, macroblock_size: int) -> Sequence[int]:
         """Addresses aligned down to ``macroblock_size`` (cached)."""
         return self.block_keys(macroblock_size)
+
+    def boxed_column(self, name: str) -> list:
+        """One raw column as a pre-boxed list (cached per column).
+
+        Fused replay loops iterate lists instead of flat arrays so
+        each element is boxed once per trace rather than once per
+        replay; boxing lazily per column keeps consumers that need
+        only a subset (the Group loop, the timing pass) from pinning
+        the rest.  ``name`` is one of ``addresses``/``pcs``/
+        ``requesters``/``accesses``/``instructions``.
+        """
+        if name not in (
+            "addresses", "pcs", "requesters", "accesses", "instructions"
+        ):
+            raise ValueError(f"unknown column {name!r}")
+        cache_key = ("boxed", name)
+        cached = self._key_cache.get(cache_key)
+        if cached is None:
+            cached = list(getattr(self, "_" + name))
+            self._key_cache[cache_key] = cached
+        return cached
+
+    def boxed_columns(self) -> tuple:
+        """All five raw columns as pre-boxed lists (cached).
+
+        Returns ``(addresses, pcs, requesters, accesses,
+        instructions)``; prefer :meth:`boxed_column` when only a
+        subset is needed.
+        """
+        return (
+            self.boxed_column("addresses"),
+            self.boxed_column("pcs"),
+            self.boxed_column("requesters"),
+            self.boxed_column("accesses"),
+            self.boxed_column("instructions"),
+        )
+
+    def block_keys_list(self, block_size: int) -> list:
+        """Block-aligned addresses as a pre-boxed list (cached).
+
+        The lighter companion of :meth:`derived_columns` for replay
+        loops that only need block keys (directory/snooping).
+        """
+        cache_key = ("blocks", block_size)
+        cached = self._key_cache.get(cache_key)
+        if cached is None:
+            cached = _columns.aligned_list(self._addresses, block_size)
+            self._key_cache[cache_key] = cached
+        return cached
+
+    def derived_columns(
+        self,
+        block_size: int,
+        n_processors: int,
+        key_granularity: Optional[int] = None,
+        use_pc_index: bool = False,
+    ) -> "_columns.DerivedColumns":
+        """Derived replay columns for one configuration (cached).
+
+        Block keys, predictor index keys, home nodes, and the
+        minimal-set/requester bitmasks, computed vectorized once per
+        trace (numpy when available — see :mod:`repro.trace.columns`)
+        and shared by every replay of this trace at the same
+        configuration.
+        """
+        cache_key = (
+            "derived", block_size, n_processors,
+            key_granularity, use_pc_index,
+        )
+        cached = self._key_cache.get(cache_key)
+        if cached is None:
+            cached = _columns.derived_columns(
+                self._addresses,
+                self._pcs,
+                self._requesters,
+                block_size,
+                n_processors,
+                key_granularity,
+                use_pc_index,
+            )
+            self._key_cache[cache_key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Mutation
@@ -193,11 +275,23 @@ class Trace:
             self._key_cache.clear()
 
     # ------------------------------------------------------------------
-    def split_warmup(self, n_warmup: int) -> "tuple[Trace, Trace]":
-        """Split into (warmup, measurement) traces at ``n_warmup``."""
+    def split_warmup(self, n_warmup: int) -> "Tuple[Trace, Trace]":
+        """Split into (warmup, measurement) traces at ``n_warmup``.
+
+        The split is memoized per ``n_warmup``: a sweep that replays
+        one trace through many protocol configurations receives the
+        *same* warmup/measurement ``Trace`` objects each time, so
+        their cached derived columns are computed once and shared.
+        Treat the returned traces as read-only.
+        """
         if n_warmup < 0:
             raise ValueError("n_warmup must be non-negative")
-        return self[:n_warmup], self[n_warmup:]
+        cache_key = ("split", n_warmup)
+        cached = self._key_cache.get(cache_key)
+        if cached is None:
+            cached = self[:n_warmup], self[n_warmup:]
+            self._key_cache[cache_key] = cached
+        return cached
 
     def filtered(
         self, predicate: Callable[[TraceRecord], bool]

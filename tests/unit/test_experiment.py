@@ -67,11 +67,36 @@ class TestExperimentSpec:
             workloads=("ocean", "oltp"), seeds=(1, 2, 3)
         )
         jobs = spec.expand()
-        assert spec.n_jobs == len(jobs) == 6
-        assert [j.index for j in jobs] == list(range(6))
-        assert {(j.workload, j.seed) for j in jobs} == {
-            (w, s) for w in ("ocean", "oltp") for s in (1, 2, 3)
+        # Per-label cells: 2 workloads x 3 seeds x (2 baselines + 4
+        # paper policies).
+        labels = ("directory", "broadcast-snooping") + spec.policies
+        assert spec.n_jobs == len(jobs) == 6 * len(labels)
+        assert [j.index for j in jobs] == list(range(len(jobs)))
+        assert {(j.workload, j.seed, j.label) for j in jobs} == {
+            (w, s, label)
+            for w in ("ocean", "oltp")
+            for s in (1, 2, 3)
+            for label in labels
         }
+
+    def test_expand_label_cells_by_kind(self):
+        tradeoff = ExperimentSpec(
+            workloads=("ocean",), policies=("owner",),
+            include_baselines=False,
+        )
+        assert tradeoff.cell_labels() == ("owner",)
+        # Runtime always carries its normalization baselines.
+        runtime = ExperimentSpec(
+            workloads=("ocean",), kind="runtime", policies=("owner",),
+            include_baselines=False,
+        )
+        assert runtime.cell_labels() == (
+            "directory", "broadcast-snooping", "owner",
+        )
+        accuracy = ExperimentSpec(
+            workloads=("ocean",), kind="accuracy", policies=("owner",)
+        )
+        assert accuracy.cell_labels() == ("owner",)
 
     @pytest.mark.parametrize(
         "kwargs, match",
@@ -178,7 +203,7 @@ class TestTraceCache:
     def test_clear(self, tmp_path):
         corpus = PersistentTraceCorpus(cache_dir=tmp_path)
         corpus.collect("ocean", 2000)
-        assert corpus.disk.clear() == 2  # .trace + .json
+        assert corpus.disk.clear() == 3  # .trace + .json + .bin
         assert corpus.disk.load(
             TraceCache.key("ocean", 2000, 42, corpus.config)
         ) is None

@@ -152,3 +152,79 @@ class TestSixteenNodes:
         group_totals = group.run(trace)
         minimal_totals = minimal.run(trace)
         assert group_totals.indirections < minimal_totals.indirections
+
+
+class _RecordingPredictor:
+    """Minimal predictor stub that records its training calls."""
+
+    def __init__(self, n_nodes=4):
+        from repro.common.destset import DestinationSet
+        from repro.predictors.base import DestinationSetPredictor
+
+        class _Stub(DestinationSetPredictor):
+            policy_name = "recording-stub"
+
+            def __init__(stub):
+                super().__init__(n_nodes, UNBOUNDED)
+                stub.external = []
+                stub.responses = []
+
+            def predict(stub, address, pc, access):
+                return DestinationSet.empty(stub.n_nodes)
+
+            def train_response(stub, address, pc, responder, access,
+                               allocate):
+                stub.responses.append((address, responder))
+
+            def train_external(stub, address, pc, requester, access):
+                stub.external.append((address, requester))
+
+        self.instance = _Stub()
+
+
+class TestPredictorSwapRefreshesHotCaches:
+    """Swapping a predictor in-place must retrain the *new* instance.
+
+    ``proto.predictors[i] = p`` mutates the sequence the property
+    returns; the protocol's cached hot-path state (bound
+    ``train_external`` methods, the needs-truth flag) must refresh
+    immediately — including for direct ``_handle_fast`` calls that
+    never pass through a columnar replay's refresh hook.
+    """
+
+    def test_item_assignment_rebinds_training_methods(self, config4):
+        protocol = make(config4, predictor="owner")
+        replacement = _RecordingPredictor().instance
+        protocol.predictors[2] = replacement
+        bound = protocol._train_external_fns[2]
+        assert bound.__self__ is replacement
+
+    def test_item_assignment_refreshes_needs_truth(self, config4):
+        from repro.predictors.registry import create_predictor
+
+        protocol = make(config4, predictor="owner")
+        assert not protocol._needs_truth
+        protocol.predictors[1] = create_predictor(
+            "sticky-spatial", 4, UNBOUNDED
+        )
+        assert protocol._needs_truth
+
+    def test_swapped_predictor_trains_on_fast_path(self, config4):
+        protocol = make(config4, predictor="broadcast")
+        replacement = _RecordingPredictor().instance
+        protocol.predictors[2] = replacement
+        # A broadcast GETX from node 0 is delivered to every node, so
+        # the swapped-in instance at node 2 must observe it.
+        protocol._handle_fast(0x40, 0x1000, 0, 1, 0x40)
+        assert replacement.external == [(0x40, 0)]
+
+    def test_swapped_predictor_trains_on_columnar_replay(self, config4):
+        protocol = make(config4, predictor="broadcast")
+        replacement = _RecordingPredictor().instance
+        protocol.predictors[2] = replacement
+        trace = make_trace([getx(0x40, 0), gets(0x80, 1)])
+        protocol.run(trace)
+        assert replacement.external == [(0x40, 0), (0x80, 1)]
+        # Its own miss trains via train_response, not train_external.
+        protocol.run(make_trace([gets(0xC0, 2)]))
+        assert replacement.responses

@@ -120,3 +120,146 @@ class TestDestinationSetInterning:
     def test_count_uses_popcount(self):
         assert DestinationSet(16, 0b1011).count() == 3
         assert len(DestinationSet(16, 0b1011)) == 3
+
+
+class TestDerivedColumnBackends:
+    """numpy-vectorized and pure-Python column builders agree exactly."""
+
+    @pytest.fixture
+    def sample(self):
+        records = []
+        for i in range(200):
+            record = (gets if i % 3 else getx)(
+                0x1000 + 67 * i, i % 4, pc=0x400 + 8 * (i % 11)
+            )
+            records.append(record)
+        return make_trace(records)
+
+    def _backends(self):
+        from repro.trace import columns
+
+        names = ["python"]
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            names.append("numpy")
+        return columns, names
+
+    def test_backends_produce_identical_columns(self, sample):
+        columns, names = self._backends()
+        built = {}
+        for name in names:
+            columns.set_backend(name)
+            try:
+                fresh = sample[:]
+                built[name] = (
+                    fresh.derived_columns(64, 4, 1024, False),
+                    list(fresh.block_keys(64)),
+                    fresh.boxed_columns(),
+                )
+            finally:
+                columns.set_backend("auto")
+        reference = built[names[0]]
+        for name in names[1:]:
+            assert built[name] == reference
+
+    def test_derived_columns_contents(self, sample):
+        derived = sample.derived_columns(64, 4, 1024, False)
+        for i, (address, requester) in enumerate(
+            zip(sample.addresses, sample.requesters)
+        ):
+            assert derived.blocks[i] == address & ~63
+            assert derived.keys[i] == address // 1024
+            home = ((address & ~63) >> 6) % 4
+            assert derived.homes[i] == home
+            assert derived.reqbits[i] == 1 << requester
+            assert derived.notreqs[i] == ~(1 << requester)
+            assert derived.minimals[i] == (1 << requester) | (1 << home)
+
+    def test_pc_index_keys_use_pc_column(self, sample):
+        derived = sample.derived_columns(64, 4, 1024, True)
+        assert derived.keys == list(sample.pcs)
+
+    def test_derived_columns_cached_per_config(self, sample):
+        first = sample.derived_columns(64, 4, 1024, False)
+        assert sample.derived_columns(64, 4, 1024, False) is first
+        other = sample.derived_columns(64, 4, 64, False)
+        assert other is not first
+
+    def test_append_invalidates_derived_cache(self, sample):
+        before = sample.derived_columns(64, 4, 1024, False)
+        sample.append(gets(0x9000, 1))
+        after = sample.derived_columns(64, 4, 1024, False)
+        assert after is not before
+        assert len(after.blocks) == len(before.blocks) + 1
+
+    def test_split_warmup_memoized(self, sample):
+        warmup, measured = sample.split_warmup(50)
+        again = sample.split_warmup(50)
+        assert again[0] is warmup and again[1] is measured
+        assert len(warmup) == 50
+        assert len(measured) == len(sample) - 50
+
+    def test_set_backend_rejects_unknown(self):
+        columns, _ = self._backends()
+        with pytest.raises(ValueError, match="unknown backend"):
+            columns.set_backend("fortran")
+
+    def test_wide_systems_fall_back_to_python_masks(self, sample):
+        # 100 nodes cannot be built with int64 numpy lanes; the mask
+        # columns must still come out right via the pure path.
+        trace = make_trace(
+            [gets(0x40 + 64 * i, i) for i in range(100)],
+            n_processors=100,
+        )
+        derived = trace.derived_columns(64, 100, 1024, False)
+        for i in range(100):
+            assert derived.reqbits[i] == 1 << i
+
+
+class TestBinaryTraceFormat:
+    def test_round_trip(self, tmp_path):
+        from repro.trace.io import read_trace_binary, write_trace_binary
+
+        trace = make_trace(
+            [gets(0x1240, 2, pc=0xF00), getx(0x4000, 3, pc=0xF04)]
+        )
+        path = tmp_path / "t.bin"
+        write_trace_binary(trace, path)
+        loaded = read_trace_binary(path)
+        assert list(loaded) == list(trace)
+        assert loaded.n_processors == trace.n_processors
+        assert loaded.name == trace.name
+
+    def test_rejects_garbage(self, tmp_path):
+        from repro.trace.io import read_trace_binary
+
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"not a trace")
+        with pytest.raises(ValueError, match="not a binary"):
+            read_trace_binary(path)
+
+    def test_rejects_truncation(self, tmp_path):
+        from repro.trace.io import read_trace_binary, write_trace_binary
+
+        trace = make_trace([gets(0x40, 0), getx(0x80, 1)])
+        path = tmp_path / "t.bin"
+        write_trace_binary(trace, path)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(ValueError, match="truncated"):
+            read_trace_binary(path)
+
+    def test_cache_prefers_binary_but_survives_without(self, tmp_path):
+        from repro.experiment import PersistentTraceCorpus
+
+        corpus = PersistentTraceCorpus(cache_dir=tmp_path)
+        first = corpus.collect("ocean", 1500, seed=3)
+        # Remove the binary sidecar: the text fallback must still hit.
+        for path in tmp_path.glob("*.bin"):
+            path.unlink()
+        warm = PersistentTraceCorpus(cache_dir=tmp_path)
+        second = warm.collect("ocean", 1500, seed=3)
+        assert warm.cache_stats.hits == 1
+        assert list(second.trace) == list(first.trace)
