@@ -38,6 +38,12 @@ def test_perf_core_suite(benchmark, corpus, n_references, save_result):
     # ``repro bench --check``).
     assert by_name["fig5_tradeoff"]["records_per_sec"] > 100_000
     assert by_name["protocol_directory"]["records_per_sec"] > 100_000
+    # Cold-path entries (batched generation layer): generation clears
+    # 100k references/sec and the columnar analyses stay in the
+    # records/sec leagues of the replay kernels.
+    assert by_name["trace_generation"]["records_per_sec"] > 100_000
+    assert by_name["analysis_sharing"]["records_per_sec"] > 100_000
+    assert by_name["analysis_locality"]["records_per_sec"] > 100_000
     # Every fused multicast batch kernel is measured individually, so
     # a regression in any one predictor's kernel trips the gate.
     for name in (

@@ -71,7 +71,7 @@ from repro.protocols import (
 from repro.trace import Trace, TraceRecord
 from repro.workloads import WORKLOAD_NAMES, create_workload
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AccessType",

@@ -12,7 +12,12 @@ import collections
 import dataclasses
 from typing import Dict, Tuple
 
+from repro.analysis.sharing import (
+    DEFAULT_BLOCK_SIZE,
+    _required_counts_cached,
+)
 from repro.coherence.state import GlobalCoherenceState
+from repro.trace import columns as _columns
 from repro.trace.trace import Trace
 
 
@@ -54,32 +59,36 @@ class LocalityCdf:
         return len(self.counts)
 
 
-def locality_cdf(
+def _entity_keys(
+    trace: Trace, kind: str, block_size: int, macroblock_size: int
+):
+    if kind == "block":
+        return trace.block_keys(block_size)
+    if kind == "macroblock":
+        return trace.block_keys(macroblock_size)
+    if kind == "pc":
+        return trace.pcs
+    raise ValueError(
+        "kind must be one of ['block', 'macroblock', 'pc'], "
+        f"got {kind!r}"
+    )
+
+
+def locality_cdf_records(
     trace: Trace,
     kind: str = "block",
-    block_size: int = 64,
+    block_size: int = DEFAULT_BLOCK_SIZE,
     macroblock_size: int = 1024,
     warmup_fraction: float = 0.25,
 ) -> LocalityCdf:
-    """Compute one panel of Figure 4.
-
-    ``kind`` selects the entity: ``"block"`` (4a), ``"macroblock"``
-    (4b), or ``"pc"`` (4c).
-    """
-    if kind == "block":
-        keys = trace.block_keys(block_size)
-    elif kind == "macroblock":
-        keys = trace.block_keys(macroblock_size)
-    elif kind == "pc":
-        keys = trace.pcs
-    else:
-        raise ValueError(
-            "kind must be one of ['block', 'macroblock', 'pc'], "
-            f"got {kind!r}"
-        )
+    """One Figure 4 panel via the record-at-a-time replay (oracle)."""
+    keys = _entity_keys(trace, kind, block_size, macroblock_size)
     # Replay the global MOSI state to find the post-warmup misses
     # another cache must service or observe, counting per hot entity.
-    state = GlobalCoherenceState(trace.n_processors)
+    # The replay runs at ``block_size`` granularity — the same
+    # convention as :func:`repro.analysis.sharing.sharing_histogram`,
+    # so Figures 2 and 4 count the same miss population.
+    state = GlobalCoherenceState(trace.n_processors, block_size)
     apply_fast = state.apply_fast
     n_warmup = int(len(trace) * warmup_fraction)
     counter: Dict[int, int] = collections.Counter()
@@ -100,4 +109,40 @@ def locality_cdf(
         kind=kind,
         counts=counts,
         total=sum(counts),
+    )
+
+
+def locality_cdf(
+    trace: Trace,
+    kind: str = "block",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    macroblock_size: int = 1024,
+    warmup_fraction: float = 0.25,
+) -> LocalityCdf:
+    """Compute one panel of Figure 4.
+
+    ``kind`` selects the entity: ``"block"`` (4a), ``"macroblock"``
+    (4b), or ``"pc"`` (4c).  Under numpy the cache-to-cache mask comes
+    from the shared vectorized MOSI replay and the per-entity counts
+    from ``unique``; identical to :func:`locality_cdf_records`.
+    """
+    np_ = _columns.numpy_module()
+    if np_ is None or len(trace) == 0:
+        return locality_cdf_records(
+            trace, kind, block_size, macroblock_size, warmup_fraction
+        )
+    keys = _entity_keys(trace, kind, block_size, macroblock_size)
+    required, _ = _required_counts_cached(np_, trace, block_size)
+    n_warmup = int(len(trace) * warmup_fraction)
+    mask = required[n_warmup:] > 0
+    key_column = np_.frombuffer(keys, dtype=np_.int64)[n_warmup:]
+    entity_counts = np_.unique(key_column[mask], return_counts=True)[1]
+    counts = tuple(
+        int(c) for c in np_.sort(entity_counts)[::-1]
+    )
+    return LocalityCdf(
+        workload=trace.name,
+        kind=kind,
+        counts=counts,
+        total=int(entity_counts.sum()),
     )

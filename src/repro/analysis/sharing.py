@@ -7,20 +7,34 @@ suffices (no directory indirection).
 Figure 3: how many unique processors touch each block over the whole
 run — as a histogram over blocks (3a) and weighted by each block's
 miss count (3b).
+
+Both figures are computed by **column kernels** over the trace's
+cached key columns when numpy is available (bincount/unique-style
+histograms; see :func:`_required_counts_np` for the vectorized MOSI
+replay), falling back to the original record loops otherwise.  The
+record loops are kept public (``*_records``) as the equivalence
+oracles — the analysis-equivalence suite asserts the kernels match
+them exactly.
 """
 
 from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.common.destset import popcount
 from repro.coherence.state import GlobalCoherenceState
+from repro.trace import columns as _columns
 from repro.trace.trace import Trace
 
 #: Figure 2 bins: 0, 1, 2, and 3-or-more other processors.
 SHARING_BINS = (0, 1, 2, 3)
+
+#: Block granularity used when the caller does not pass one — the
+#: paper's 64 B blocks (kept equal to ``SystemConfig.block_size``'s
+#: default and to :class:`GlobalCoherenceState`'s default).
+DEFAULT_BLOCK_SIZE = 64
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,11 +61,123 @@ class SharingHistogram:
         return sum(self.total_pct(b) for b in SHARING_BINS[2:])
 
 
-def sharing_histogram(
-    trace: Trace, warmup_fraction: float = 0.25
+# ----------------------------------------------------------------------
+# Vectorized MOSI replay (shared by Figures 2 and 4)
+# ----------------------------------------------------------------------
+def _required_counts_cached(np_, trace: Trace, block_size: int):
+    """Memoized :func:`_required_counts_np` (one replay per trace)."""
+    return trace.memo(
+        ("mosi_required", block_size),
+        lambda: _required_counts_np(np_, trace, block_size),
+    )
+
+
+def _required_counts_np(np_, trace: Trace, block_size: int):
+    """Per-record count of *other* processors that must observe it.
+
+    The omniscient-MOSI replay (:meth:`GlobalCoherenceState.apply_fast`)
+    is sequential per block, but the *counts* it produces have a
+    closed form over epochs: a block's history splits into epochs at
+    each GETX; the epoch's owner is that GETX's requester (memory for
+    epoch 0), and the epoch's sharers are the distinct GETS requesters
+    other than the owner.  So per record:
+
+    - GETS: 1 if a processor other than the requester owns the epoch,
+    - GETX: the owner term plus the epoch's distinct-reader count,
+      minus one if the writer itself was among the readers,
+
+    all of which reduce to cumulative sums, ``unique`` and ``bincount``
+    over the trace's key columns.  Returns ``(counts, getx_mask)`` as
+    int64/bool arrays in trace order.
+    """
+    blocks = trace.block_keys(block_size)
+    n = len(blocks)
+    keys = np_.frombuffer(blocks, dtype=np_.int64)
+    requesters = np_.frombuffer(
+        trace.requesters, dtype=np_.int32
+    ).astype(np_.int64)
+    getx = np_.frombuffer(trace.accesses, dtype=np_.int8).astype(
+        np_.int64
+    )
+    n_procs = trace.n_processors
+
+    order = np_.argsort(keys, kind="stable")
+    k_sorted = keys[order]
+    r_sorted = requesters[order]
+    x_sorted = getx[order]
+
+    # Segment (per-block) bookkeeping over the sorted view.
+    seg_start = np_.empty(n, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = k_sorted[1:] != k_sorted[:-1]
+    seg_id = np_.cumsum(seg_start) - 1
+    n_segments = int(seg_id[-1]) + 1 if n else 0
+
+    # Exclusive per-block GETX count = the record's epoch index.
+    cum_getx = np_.cumsum(x_sorted) - x_sorted
+    seg_base = cum_getx[seg_start][seg_id]
+    epoch = cum_getx - seg_base
+
+    # One flat slot per (block, epoch); epoch e >= 1 is owned by the
+    # requester of the block's e-th GETX.
+    getx_per_seg = np_.bincount(
+        seg_id, weights=x_sorted, minlength=n_segments
+    ).astype(np_.int64)
+    offsets = np_.zeros(n_segments, dtype=np_.int64)
+    np_.cumsum(getx_per_seg[:-1] + 1, out=offsets[1:])
+    total_slots = int(
+        offsets[-1] + getx_per_seg[-1] + 1
+    ) if n_segments else 0
+    owners = np_.full(total_slots, -1, dtype=np_.int64)
+    getx_mask_sorted = x_sorted == 1
+    slot = offsets[seg_id] + epoch
+    owners[slot[getx_mask_sorted] + 1] = r_sorted[getx_mask_sorted]
+    owner_of = owners[slot]
+
+    owner_term = ((owner_of >= 0) & (owner_of != r_sorted)).astype(
+        np_.int64
+    )
+    counts_sorted = owner_term.copy()
+
+    # Distinct epoch readers (GETS by non-owners), via unique pairs.
+    reader_mask = (~getx_mask_sorted) & (r_sorted != owner_of)
+    pair = slot * n_procs + r_sorted
+    unique_pairs = np_.unique(pair[reader_mask])
+    readers_per_slot = np_.bincount(
+        unique_pairs // n_procs, minlength=max(total_slots, 1)
+    )
+    if getx_mask_sorted.any():
+        ending_slot = slot[getx_mask_sorted]
+        writer = r_sorted[getx_mask_sorted]
+        target = ending_slot * n_procs + writer
+        position = np_.searchsorted(unique_pairs, target)
+        position = np_.minimum(position, max(len(unique_pairs) - 1, 0))
+        writer_was_reader = (
+            unique_pairs[position] == target
+            if len(unique_pairs)
+            else np_.zeros(len(target), dtype=bool)
+        )
+        counts_sorted[getx_mask_sorted] += (
+            readers_per_slot[ending_slot]
+            - writer_was_reader.astype(np_.int64)
+        )
+
+    counts = np_.empty(n, dtype=np_.int64)
+    counts[order] = counts_sorted
+    getx_mask = np_.empty(n, dtype=bool)
+    getx_mask[order] = getx_mask_sorted
+    return counts, getx_mask
+
+
+def sharing_histogram_records(
+    trace: Trace,
+    warmup_fraction: float = 0.25,
+    block_size: Optional[int] = None,
 ) -> SharingHistogram:
-    """Compute the Figure 2 histogram for one trace."""
-    state = GlobalCoherenceState(trace.n_processors)
+    """Figure 2 via the record-at-a-time replay (equivalence oracle)."""
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    state = GlobalCoherenceState(trace.n_processors, block_size)
     apply_fast = state.apply_fast
     n_warmup = int(len(trace) * warmup_fraction)
     reads = collections.Counter()
@@ -74,9 +200,49 @@ def sharing_histogram(
             writes[bin_index] += 1
         else:
             reads[bin_index] += 1
+    return _histogram_from_counts(trace.name, reads, writes, measured)
+
+
+def sharing_histogram(
+    trace: Trace,
+    warmup_fraction: float = 0.25,
+    block_size: Optional[int] = None,
+) -> SharingHistogram:
+    """Compute the Figure 2 histogram for one trace.
+
+    Vectorized over the trace's key columns when numpy is available;
+    identical to :func:`sharing_histogram_records` either way.
+    """
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    np_ = _columns.numpy_module()
+    if np_ is None or len(trace) == 0:
+        return sharing_histogram_records(
+            trace, warmup_fraction, block_size
+        )
+    counts, getx_mask = _required_counts_cached(np_, trace, block_size)
+    n_warmup = int(len(trace) * warmup_fraction)
+    top_bin = SHARING_BINS[-1]
+    bins = np_.minimum(counts[n_warmup:], top_bin)
+    getx_measured = getx_mask[n_warmup:]
+    write_hist = np_.bincount(
+        bins[getx_measured], minlength=top_bin + 1
+    )
+    read_hist = np_.bincount(
+        bins[~getx_measured], minlength=top_bin + 1
+    )
+    measured = len(trace) - n_warmup
+    reads = {b: int(read_hist[b]) for b in SHARING_BINS}
+    writes = {b: int(write_hist[b]) for b in SHARING_BINS}
+    return _histogram_from_counts(trace.name, reads, writes, measured)
+
+
+def _histogram_from_counts(
+    name: str, reads, writes, measured: int
+) -> SharingHistogram:
     denominator = max(1, measured)
     return SharingHistogram(
-        workload=trace.name,
+        workload=name,
         read_pct={
             b: 100.0 * reads[b] / denominator for b in SHARING_BINS
         },
@@ -114,10 +280,12 @@ class DegreeOfSharing:
         )
 
 
-def degree_of_sharing(
-    trace: Trace, block_size: int = 64
+def degree_of_sharing_records(
+    trace: Trace, block_size: Optional[int] = None
 ) -> DegreeOfSharing:
-    """Compute the Figure 3 histograms for one trace."""
+    """Figure 3 via the record loop (equivalence oracle)."""
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
     touchers: Dict[int, set] = collections.defaultdict(set)
     miss_counts: Dict[int, int] = collections.Counter()
     blocks = trace.block_keys(block_size)
@@ -125,25 +293,82 @@ def degree_of_sharing(
         touchers[block].add(requester)
     miss_counts.update(blocks)
 
-    n_procs = trace.n_processors
     block_histogram = collections.Counter()
     miss_histogram = collections.Counter()
     for block, nodes in touchers.items():
         degree = len(nodes)
         block_histogram[degree] += 1
         miss_histogram[degree] += miss_counts[block]
+    return _degree_from_histograms(
+        trace, block_histogram, miss_histogram, len(touchers)
+    )
 
-    n_blocks = max(1, len(touchers))
+
+def degree_of_sharing(
+    trace: Trace, block_size: Optional[int] = None
+) -> DegreeOfSharing:
+    """Compute the Figure 3 histograms for one trace.
+
+    ``block_size`` defaults to the same granularity as
+    :func:`sharing_histogram` (:data:`DEFAULT_BLOCK_SIZE`); pass the
+    system's configured block size when analysing a non-default
+    configuration.  Vectorized (unique/bincount over the block-key
+    column) when numpy is available.
+    """
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    np_ = _columns.numpy_module()
+    if np_ is None or len(trace) == 0:
+        return degree_of_sharing_records(trace, block_size)
+    keys = np_.frombuffer(
+        trace.block_keys(block_size), dtype=np_.int64
+    )
+    requesters = np_.frombuffer(
+        trace.requesters, dtype=np_.int32
+    ).astype(np_.int64)
+    n_procs = trace.n_processors
+    # One sort of the (block, requester) pair keys yields everything:
+    # runs of equal block are the per-block miss counts, runs of equal
+    # pair collapse to the distinct touchers behind the degree.
+    pair = keys * n_procs + requesters
+    pair.sort()
+    new_pair = np_.empty(len(pair), dtype=bool)
+    new_pair[0] = True
+    new_pair[1:] = pair[1:] != pair[:-1]
+    block_sorted = pair // n_procs
+    new_block = np_.empty(len(pair), dtype=bool)
+    new_block[0] = True
+    new_block[1:] = block_sorted[1:] != block_sorted[:-1]
+    block_ids = np_.cumsum(new_block) - 1
+    miss_counts = np_.bincount(block_ids)
+    degrees = np_.bincount(block_ids[new_pair])
+    block_histogram = np_.bincount(degrees, minlength=n_procs + 1)
+    miss_histogram = np_.bincount(
+        degrees, weights=miss_counts, minlength=n_procs + 1
+    ).astype(np_.int64)
+    return _degree_from_histograms(
+        trace,
+        {d: int(c) for d, c in enumerate(block_histogram) if c},
+        {d: int(c) for d, c in enumerate(miss_histogram) if c},
+        int(block_ids[-1]) + 1,
+    )
+
+
+def _degree_from_histograms(
+    trace: Trace, block_histogram, miss_histogram, unique_blocks: int
+) -> DegreeOfSharing:
+    n_procs = trace.n_processors
+    n_blocks = max(1, unique_blocks)
     n_misses = max(1, len(trace))
     return DegreeOfSharing(
         workload=trace.name,
         blocks_pct={
-            n: 100.0 * block_histogram[n] / n_blocks
+            n: 100.0 * block_histogram.get(n, 0) / n_blocks
             for n in range(1, n_procs + 1)
         },
         misses_pct={
-            n: 100.0 * miss_histogram[n] / n_misses
+            n: 100.0 * miss_histogram.get(n, 0) / n_misses
             for n in range(1, n_procs + 1)
         },
-        unique_blocks=len(touchers),
+        unique_blocks=unique_blocks,
     )

@@ -14,6 +14,7 @@ from repro.common.params import SystemConfig
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.reference import MemoryReference
 from repro.coherence.state import GlobalCoherenceState
+from repro.trace import columns as _columns
 from repro.trace.trace import Trace
 
 
@@ -109,6 +110,173 @@ class TraceCollector:
         for reference in references:
             self.process(reference)
         return self.result()
+
+    def run_chunks(self, chunks) -> CollectionResult:
+        """Process a stream of :class:`ReferenceChunk` columns.
+
+        The chunk-consuming fast path: behaviourally identical to
+        feeding the same references through :meth:`process` one at a
+        time (the generation-equivalence suite asserts byte-identical
+        traces), but with the cache/MOSI filtering inlined over flat
+        set arrays, tag/set-index columns precomputed per chunk
+        (vectorized under numpy), and misses appended to the trace in
+        bulk.
+        """
+        for chunk in chunks:
+            self.process_chunk(chunk)
+        return self.result()
+
+    def process_chunk(self, chunk) -> int:
+        """Process one column chunk.  Returns the number of misses."""
+        config = self._config
+        n_procs = config.n_processors
+        nodes = chunk.nodes
+        length = len(nodes)
+        if length == 0:
+            return 0
+        if min(nodes) < 0 or max(nodes) >= n_procs:
+            raise ValueError(
+                f"chunk contains nodes outside [0, {n_procs})"
+            )
+        pcs = chunk.pcs
+        writes = chunk.writes
+        gaps = chunk.instructions
+
+        block_size = config.block_size
+        shift = block_size.bit_length() - 1
+        mask = ~(block_size - 1)
+        hierarchies = self._hierarchies
+        l1_sets = [h.l1.raw_sets for h in hierarchies]
+        l2_sets = [h.l2.raw_sets for h in hierarchies]
+        n1 = hierarchies[0].l1.n_sets
+        n2 = hierarchies[0].l2.n_sets
+        l1_assoc = hierarchies[0].l1.associativity
+        l2_assoc = hierarchies[0].l2.associativity
+
+        np_ = _columns.numpy_module()
+        addresses_np = getattr(chunk, "addresses_np", None)
+        if np_ is not None and addresses_np is not None:
+            blocks_np = addresses_np & np_.int64(mask)
+            sets_np = blocks_np >> np_.int64(shift)
+            blocks = blocks_np.tolist()
+            l1_index = (sets_np % n1).tolist()
+            l2_index = (sets_np % n2).tolist()
+        else:
+            blocks = [a & mask for a in chunk.addresses]
+            l1_index = [(b >> shift) % n1 for b in blocks]
+            l2_index = [(b >> shift) % n2 for b in blocks]
+
+        executed = [self._instructions[node] for node in range(n_procs)]
+        at_last_miss = [
+            self._instructions_at_last_miss[node]
+            for node in range(n_procs)
+        ]
+        state_blocks = self._global._blocks
+        state_get = state_blocks.get
+
+        out_blocks: List[int] = []
+        out_pcs: List[int] = []
+        out_nodes: List[int] = []
+        out_codes: List[int] = []
+        out_gaps: List[int] = []
+
+        for i in range(length):
+            node = nodes[i]
+            executed[node] += gaps[i]
+            block = blocks[i]
+            is_write = writes[i]
+            entry = state_get(block)
+            owner, sharers = entry if entry is not None else (-1, 0)
+            if is_write:
+                permitted = owner == node and not sharers
+            else:
+                permitted = owner == node or sharers >> node & 1
+
+            if permitted:
+                l1_set = l1_sets[node][l1_index[i]]
+                if block in l1_set:
+                    l1_set.move_to_end(block)
+                    l2_set = l2_sets[node][l2_index[i]]
+                    if block in l2_set:
+                        l2_set.move_to_end(block)
+                    continue
+                l2_set = l2_sets[node][l2_index[i]]
+                if block in l2_set:
+                    l2_set.move_to_end(block)
+                    if len(l1_set) >= l1_assoc:
+                        l1_set.popitem(last=False)
+                    l1_set[block] = None
+                    continue
+
+            # -- miss: record, apply MOSI, invalidate, fill ----------
+            done = executed[node]
+            out_gaps.append(done - at_last_miss[node])
+            at_last_miss[node] = done
+            if owner >= 0 and owner != node:
+                required = 1 << owner
+            else:
+                required = 0
+            if is_write:
+                required |= sharers & ~(1 << node)
+                state_blocks[block] = (node, 0)
+            elif owner != node:
+                state_blocks[block] = (owner, sharers | 1 << node)
+            out_blocks.append(block)
+            out_pcs.append(pcs[i])
+            out_nodes.append(node)
+            out_codes.append(1 if is_write else 0)
+
+            if is_write and required:
+                l1_i = l1_index[i]
+                l2_i = l2_index[i]
+                remaining = required
+                while remaining:
+                    low = remaining & -remaining
+                    victim_node = low.bit_length() - 1
+                    victim_set = l1_sets[victim_node][l1_i]
+                    if block in victim_set:
+                        del victim_set[block]
+                    victim_set = l2_sets[victim_node][l2_i]
+                    if block in victim_set:
+                        del victim_set[block]
+                    remaining ^= low
+
+            l2_set = l2_sets[node][l2_index[i]]
+            if block in l2_set:
+                l2_set.move_to_end(block)
+            else:
+                if len(l2_set) >= l2_assoc:
+                    victim, _ = l2_set.popitem(last=False)
+                    victim_l1 = l1_sets[node][(victim >> shift) % n1]
+                    if victim in victim_l1:
+                        del victim_l1[victim]
+                    entry = state_get(victim)
+                    if entry is not None:
+                        victim_owner, victim_sharers = entry
+                        if victim_owner == node:
+                            state_blocks[victim] = (-1, victim_sharers)
+                        elif victim_sharers >> node & 1:
+                            state_blocks[victim] = (
+                                victim_owner,
+                                victim_sharers & ~(1 << node),
+                            )
+                l2_set[block] = None
+            l1_set = l1_sets[node][l1_index[i]]
+            if block in l1_set:
+                l1_set.move_to_end(block)
+            else:
+                if len(l1_set) >= l1_assoc:
+                    l1_set.popitem(last=False)
+                l1_set[block] = None
+
+        for node in range(n_procs):
+            self._instructions[node] = executed[node]
+            self._instructions_at_last_miss[node] = at_last_miss[node]
+        self._references += length
+        self._trace.extend_fields(
+            out_blocks, out_pcs, out_nodes, out_codes, out_gaps
+        )
+        return len(out_blocks)
 
     def result(self) -> CollectionResult:
         """The trace and counters accumulated so far."""

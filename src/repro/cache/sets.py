@@ -45,6 +45,16 @@ class SetAssociativeCache:
         return self._n_sets
 
     @property
+    def raw_sets(self) -> List[OrderedDict]:
+        """The per-set ordered tag stores (LRU first in each set).
+
+        Exposed for the trace-collection chunk loop, which inlines
+        probe/touch/insert over these dicts; treat as an internal
+        structure everywhere else.
+        """
+        return self._sets
+
+    @property
     def associativity(self) -> int:
         return self._assoc
 

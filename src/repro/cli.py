@@ -48,6 +48,7 @@ from repro.experiment import (
     ResultSet,
     Runner,
     default_cache_dir,
+    default_jobs,
     make_corpus,
 )
 from repro.predictors.registry import PAPER_POLICIES
@@ -226,8 +227,11 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
-        help="worker processes for independent cells (default 1)",
+        default=None,
+        help=(
+            "worker processes for independent cells "
+            "(default: adaptive, one per CPU core)"
+        ),
     )
     _add_cache_arguments(parser)
 
@@ -454,6 +458,8 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         raise SystemExit(f"{args.spec}: invalid spec ({exc})")
 
     label = spec.name or spec.digest()
+    if args.jobs is None:
+        args.jobs = default_jobs()
     print(
         f"sweep {label}: kind={spec.kind} "
         f"workloads={len(spec.workloads)} seeds={len(spec.seeds)} "

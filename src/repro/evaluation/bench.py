@@ -3,8 +3,10 @@
 Measures the throughput of the hot paths the columnar trace engine
 optimizes — protocol replay, the full Figure 5 tradeoff sweep, the
 timing simulator, and the trace analyses — in *trace records per
-second*.  Trace generation is excluded (traces come from the shared
-corpus/cache), so the numbers isolate the simulation core.
+second*, plus the cold path: ``trace_generation`` regenerates the
+workload trace end-to-end (chunked reference synthesis through the
+chunk-consuming cache/MOSI filter, no trace cache) and reports
+*references* per second.
 
 Two artifacts build on this module:
 
@@ -26,6 +28,7 @@ import platform
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.locality import locality_cdf
 from repro.analysis.sharing import degree_of_sharing, sharing_histogram
 from repro.common.params import PredictorConfig, SystemConfig
 from repro.evaluation.runtime import make_protocol
@@ -36,6 +39,7 @@ from repro.evaluation.tradeoff import (
 from repro.timing.system import TimingSimulator
 from repro.trace.stats import compute_trace_stats
 from repro.trace.trace import Trace
+from repro.workloads.registry import create_workload
 
 #: Bump when the BENCH.json layout changes.
 BENCH_FORMAT = 1
@@ -52,6 +56,21 @@ PRE_COLUMNAR_BASELINE = {
     "n_references": 60_000,
     "seed": 42,
     "fig5_tradeoff_records_per_sec": 52_900.0,
+}
+
+#: Cold-path throughput on the reference configuration at the commit
+#: preceding the batched generation layer, measured interleaved with
+#: the new engine (best of 3 after warm-up) on the development
+#: machine.  ``trace_generation`` is end-to-end cold collection
+#: (references/sec through the record-loop generator + per-record
+#: collector); ``analysis_sharing`` is the PR-3 record-loop entry
+#: (trace records/sec, from the committed BENCH.json at that commit).
+PRE_BATCHED_BASELINE = {
+    "workload": "oltp",
+    "n_references": 60_000,
+    "seed": 42,
+    "trace_generation_records_per_sec": 99_900.0,
+    "analysis_sharing_records_per_sec": 1_498_634.0,
 }
 
 #: Default benchmark configuration (matches the baseline above).
@@ -160,8 +179,20 @@ def _benchmarks(
     trace: Trace,
     config: SystemConfig,
     predictor_config: PredictorConfig,
+    workload: str,
+    n_references: int,
+    seed: int,
 ) -> "List[Tuple[str, Callable[[], int]]]":
     """The suite: name -> callable returning records processed."""
+
+    def trace_generation() -> int:
+        # Cold path end-to-end: chunked reference synthesis plus the
+        # chunk-consuming cache/MOSI filter (no trace cache involved).
+        # Throughput unit is *references*/sec, unlike the replay
+        # benchmarks' trace records/sec.
+        model = create_workload(workload, seed=seed)
+        model.collect(n_references)
+        return n_references
 
     def fig5_tradeoff() -> int:
         points = evaluate_design_space(
@@ -181,9 +212,19 @@ def _benchmarks(
         return len(trace)
 
     def analysis_sharing() -> int:
-        sharing_histogram(trace)
+        sharing_histogram(trace, block_size=config.block_size)
         degree_of_sharing(trace, config.block_size)
         return 2 * len(trace)
+
+    def analysis_locality() -> int:
+        for kind in ("block", "macroblock", "pc"):
+            locality_cdf(
+                trace,
+                kind=kind,
+                block_size=config.block_size,
+                macroblock_size=config.macroblock_size,
+            )
+        return 3 * len(trace)
 
     def trace_stats() -> int:
         compute_trace_stats(
@@ -192,6 +233,7 @@ def _benchmarks(
         return len(trace)
 
     return [
+        ("trace_generation", trace_generation),
         ("fig5_tradeoff", fig5_tradeoff),
         ("protocol_directory", lambda: protocol("directory")),
         ("protocol_snooping", lambda: protocol("broadcast-snooping")),
@@ -209,6 +251,7 @@ def _benchmarks(
         ),
         ("timing_runtime", timing_runtime),
         ("analysis_sharing", analysis_sharing),
+        ("analysis_locality", analysis_locality),
         ("trace_stats", trace_stats),
     ]
 
@@ -230,7 +273,10 @@ def run_suite(
     )
     score = calibration_score()
     results: List[BenchResult] = []
-    for name, function in _benchmarks(trace, config, predictor_config):
+    suite = _benchmarks(
+        trace, config, predictor_config, workload, n_references, seed
+    )
+    for name, function in suite:
         records, seconds = _time_best(function, repeats)
         results.append(BenchResult(name, records, seconds, score))
 
@@ -262,6 +308,21 @@ def run_suite(
                 fig5.records_per_sec / reference, 2
             ),
         }
+    batched = PRE_BATCHED_BASELINE
+    if (
+        workload == batched["workload"]
+        and n_references == batched["n_references"]
+        and seed == batched["seed"]
+    ):
+        entries = {}
+        for name in ("trace_generation", "analysis_sharing"):
+            reference = batched[f"{name}_records_per_sec"]
+            measured = next(r for r in results if r.name == name)
+            entries[f"{name}_records_per_sec"] = reference
+            entries[f"{name}_speedup"] = round(
+                measured.records_per_sec / reference, 2
+            )
+        report["pre_batched_baseline"] = entries
     return report
 
 
@@ -327,4 +388,16 @@ def render_report(report: dict) -> str:
             f"({baseline['fig5_tradeoff_records_per_sec']:,.0f} "
             f"records/sec): {baseline['fig5_tradeoff_speedup']:.2f}x"
         )
+    batched = report.get("pre_batched_baseline")
+    if batched:
+        units = {
+            "trace_generation": "references/sec",
+            "analysis_sharing": "records/sec",
+        }
+        for name, unit in units.items():
+            lines.append(
+                f"{name} speedup vs pre-batched cold path "
+                f"({batched[f'{name}_records_per_sec']:,.0f} "
+                f"{unit}): {batched[f'{name}_speedup']:.2f}x"
+            )
     return "\n".join(lines)

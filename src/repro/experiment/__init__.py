@@ -37,7 +37,12 @@ from repro.experiment.cache import (
     make_corpus,
 )
 from repro.experiment.results import PerfStats, ResultRecord, ResultSet
-from repro.experiment.runner import Runner, execute_job, run_experiment
+from repro.experiment.runner import (
+    Runner,
+    default_jobs,
+    execute_job,
+    run_experiment,
+)
 from repro.experiment.spec import (
     EXPERIMENT_KINDS,
     ExperimentSpec,
@@ -56,6 +61,7 @@ __all__ = [
     "Runner",
     "TraceCache",
     "default_cache_dir",
+    "default_jobs",
     "execute_job",
     "make_corpus",
     "run_experiment",

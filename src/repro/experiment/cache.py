@@ -34,7 +34,10 @@ from repro.trace.io import (
 )
 
 #: Bump when the on-disk layout or trace semantics change.
-CACHE_FORMAT = 1
+#: Format 2: traces come from the chunked (columnar) generation
+#: engine, whose counter-based draw streams differ from the scalar
+#: Mersenne-Twister path that produced format-1 entries.
+CACHE_FORMAT = 2
 
 PathLike = Union[str, "os.PathLike[str]"]
 

@@ -46,6 +46,25 @@ from repro.experiment.spec import ExperimentSpec, Job
 PathLike = Union[str, "os.PathLike[str]"]
 
 
+def default_jobs() -> int:
+    """The adaptive worker count used when ``jobs`` is ``None``.
+
+    One worker per CPU core *available to this process* — the
+    scheduling affinity where the platform reports it (so cgroup- or
+    ``taskset``-restricted environments are not oversubscribed),
+    falling back to ``os.cpu_count()``.  Single-core boxes (and
+    platforms where the count is unknown) resolve to the serial
+    runner.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - platform specific
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def execute_job(
     spec: ExperimentSpec, job: Job, corpus: TraceCorpus
 ) -> "Tuple[List[ResultRecord], int]":
@@ -222,7 +241,9 @@ class Runner:
     """Executes :class:`ExperimentSpec` instances.
 
     ``jobs=1`` runs everything in the calling process; ``jobs>1`` fans
-    the spec's per-label cells out over worker processes.  Pass
+    the spec's per-label cells out over worker processes;
+    ``jobs=None`` resolves adaptively to one worker per CPU core
+    (:func:`default_jobs`).  Pass
     ``cache_dir`` to persist (and reuse) collected traces on disk, or
     a pre-built ``corpus`` to share in-memory traces with other serial
     work.  An injected corpus is a single-process object, so it
@@ -233,10 +254,12 @@ class Runner:
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: Optional[int] = 1,
         cache_dir: Optional[PathLike] = None,
         corpus: Optional[TraceCorpus] = None,
     ):
+        if jobs is None:
+            jobs = default_jobs()
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
@@ -352,8 +375,12 @@ class Runner:
 
 def run_experiment(
     spec: ExperimentSpec,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     cache_dir: Optional[PathLike] = None,
 ) -> ResultSet:
-    """One-call convenience wrapper around :class:`Runner`."""
+    """One-call convenience wrapper around :class:`Runner`.
+
+    ``jobs=None`` resolves to :func:`default_jobs` (one worker per
+    CPU core).
+    """
     return Runner(jobs=jobs, cache_dir=cache_dir).run(spec)

@@ -45,6 +45,16 @@ def backend_name() -> str:
     return "numpy" if _np is not None else "python"
 
 
+def numpy_module():
+    """The numpy module when the numpy backend is active, else None.
+
+    The batched generation layer (:mod:`repro.workloads.genchunks`) and
+    the analysis column kernels consult this at call time, so
+    :func:`set_backend` switches every vectorized path at once.
+    """
+    return _np
+
+
 def set_backend(name: str) -> None:
     """Select the column backend: ``"numpy"``, ``"python"``, ``"auto"``.
 

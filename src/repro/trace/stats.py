@@ -6,6 +6,7 @@ import collections
 import dataclasses
 from typing import Dict
 
+from repro.trace import columns as _columns
 from repro.trace.trace import Trace
 
 
@@ -42,10 +43,10 @@ class TraceStats:
         return self.unique_macroblocks * 1024
 
 
-def compute_trace_stats(
+def compute_trace_stats_records(
     trace: Trace, block_size: int = 64, macroblock_size: int = 1024
 ) -> TraceStats:
-    """Compute :class:`TraceStats` from the trace's columns."""
+    """:class:`TraceStats` via scalar column walks (oracle path)."""
     n_records = len(trace)
     n_reads = n_records - sum(trace.accesses)
     per_processor: Dict[int, int] = collections.Counter(trace.requesters)
@@ -57,4 +58,56 @@ def compute_trace_stats(
         unique_macroblocks=trace.unique_blocks(macroblock_size),
         unique_pcs=trace.unique_pcs(),
         per_processor=dict(per_processor),
+    )
+
+
+def compute_trace_stats(
+    trace: Trace, block_size: int = 64, macroblock_size: int = 1024
+) -> TraceStats:
+    """Compute :class:`TraceStats` from the trace's columns.
+
+    Vectorized (``bincount``/``unique`` over the flat columns) when
+    numpy is available; identical to
+    :func:`compute_trace_stats_records` either way.
+    """
+    np_ = _columns.numpy_module()
+    n_records = len(trace)
+    if np_ is None or n_records == 0:
+        return compute_trace_stats_records(
+            trace, block_size, macroblock_size
+        )
+    n_writes = int(
+        np_.frombuffer(trace.accesses, dtype=np_.int8).sum()
+    )
+    requesters = np_.frombuffer(trace.requesters, dtype=np_.int32)
+    per_processor = {
+        int(node): int(count)
+        for node, count in enumerate(np_.bincount(requesters))
+        if count
+    }
+    unique_blocks = len(
+        np_.unique(
+            np_.frombuffer(
+                trace.block_keys(block_size), dtype=np_.int64
+            )
+        )
+    )
+    unique_macroblocks = len(
+        np_.unique(
+            np_.frombuffer(
+                trace.block_keys(macroblock_size), dtype=np_.int64
+            )
+        )
+    )
+    unique_pcs = len(
+        np_.unique(np_.frombuffer(trace.pcs, dtype=np_.int64))
+    )
+    return TraceStats(
+        n_records=n_records,
+        n_reads=n_records - n_writes,
+        n_writes=n_writes,
+        unique_blocks=unique_blocks,
+        unique_macroblocks=unique_macroblocks,
+        unique_pcs=unique_pcs,
+        per_processor=per_processor,
     )

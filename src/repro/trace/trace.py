@@ -200,6 +200,21 @@ class Trace:
             self._key_cache[cache_key] = cached
         return cached
 
+    def memo(self, key, factory):
+        """Memoize a value derived from this trace's columns.
+
+        Stored alongside the cached key columns and invalidated on
+        mutation, so analyses that share an expensive derived column
+        (e.g. the vectorized MOSI replay behind Figures 2 and 4)
+        compute it once per trace.  ``key`` must be hashable and
+        namespaced by the caller.
+        """
+        cached = self._key_cache.get(key)
+        if cached is None:
+            cached = factory()
+            self._key_cache[key] = cached
+        return cached
+
     def derived_columns(
         self,
         block_size: int,
@@ -271,6 +286,29 @@ class Trace:
         self._requesters.append(requester)
         self._accesses.append(access_code)
         self._instructions.append(instructions)
+        if self._key_cache:
+            self._key_cache.clear()
+
+    def extend_fields(
+        self,
+        addresses: Iterable[int],
+        pcs: Iterable[int],
+        requesters: Iterable[int],
+        access_codes: Iterable[int],
+        instructions: Iterable[int],
+    ) -> None:
+        """Bulk-append already-validated parallel field columns.
+
+        The chunk-consuming collector accumulates a chunk's misses in
+        Python lists and lands them here with five ``array.extend``
+        calls instead of per-record appends.  Callers guarantee the
+        same invariants as :meth:`append_fields` and equal lengths.
+        """
+        self._addresses.extend(addresses)
+        self._pcs.extend(pcs)
+        self._requesters.extend(requesters)
+        self._accesses.extend(access_codes)
+        self._instructions.extend(instructions)
         if self._key_cache:
             self._key_cache.clear()
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cache.pipeline import CollectionResult, TraceCollector
 from repro.cache.reference import MemoryReference
@@ -27,6 +27,9 @@ from repro.common.params import SystemConfig
 from repro.common.rng import make_rng
 from repro.common.types import NodeId
 from repro.workloads.patterns import AddressSpaceAllocator, Region
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.genchunks import ReferenceChunk
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,35 +138,83 @@ class WorkloadModel(abc.ABC):
                 instructions=rng.randint(lo, hi),
             )
 
-    def collect(self, n_references: int) -> CollectionResult:
+    def reference_chunks(
+        self, n_references: int, chunk_size: Optional[int] = None
+    ) -> "Iterator[ReferenceChunk]":
+        """Generate the reference stream as column chunks.
+
+        The batched fast path: the same round-robin node schedule as
+        :meth:`references`, but synthesized by the chunked engine
+        (:mod:`repro.workloads.genchunks`) — vectorized region
+        sampling and address draws under numpy, with a byte-identical
+        pure-Python fallback (``REPRO_PURE_PYTHON=1``).  The chunked
+        stream has its own ``make_rng``-style determinism contract
+        (seed + workload name + stream label), so it is reproducible
+        but not record-for-record equal to the scalar oracle stream.
+        """
+        from repro.workloads.genchunks import (
+            DEFAULT_CHUNK_SIZE,
+            ChunkedReferenceSource,
+        )
+
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        source = ChunkedReferenceSource(self)
+        return source.chunks(n_references, chunk_size)
+
+    def collect(
+        self, n_references: int, batched: bool = True
+    ) -> CollectionResult:
         """Run the reference stream through the scaled cache pipeline.
 
         Returns the L2-miss coherence trace plus instruction counters —
         the direct analogue of the paper's Simics trace collection.
+        ``batched=True`` (the default) generates and filters the
+        stream in column chunks; ``batched=False`` runs the original
+        record-at-a-time oracle path.
         """
         collector = TraceCollector(self.scaled_config(), name=self.name)
+        if batched:
+            return collector.run_chunks(
+                self.reference_chunks(n_references)
+            )
         return collector.run(self.references(n_references))
 
     # ------------------------------------------------------------------
-    def _build_node_tables(
+    def node_region_tables(
         self,
-    ) -> List[Tuple[List[Region], List[float]]]:
-        tables: List[Tuple[List[Region], List[float]]] = []
+    ) -> List[Tuple[List[int], List[float]]]:
+        """Per-node eligible region indices and cumulative weights.
+
+        The single source of truth for region eligibility (membership
+        and positive weight), shared by the scalar generator's
+        ``rng.choices`` tables and the chunked engine's threshold
+        tables.  Indices refer to :attr:`regions` order.
+        """
+        tables: List[Tuple[List[int], List[float]]] = []
         for node in range(self.config.n_processors):
-            regions: List[Region] = []
+            indices: List[int] = []
             cumulative: List[float] = []
             total = 0.0
-            for region, weight in self._regions:
+            for index, (region, weight) in enumerate(self._regions):
                 if node in region.members and weight > 0:
-                    regions.append(region)
+                    indices.append(index)
                     total += weight
                     cumulative.append(total)
-            if not regions:
+            if not indices:
                 raise ValueError(
                     f"workload {self.name!r}: node {node} has no regions"
                 )
-            tables.append((regions, cumulative))
+            tables.append((indices, cumulative))
         return tables
+
+    def _build_node_tables(
+        self,
+    ) -> List[Tuple[List[Region], List[float]]]:
+        return [
+            ([self._regions[i][0] for i in indices], cumulative)
+            for indices, cumulative in self.node_region_tables()
+        ]
 
     def _scale_pow2(self, size: int) -> int:
         scaled = max(4096, int(size * self.scale))

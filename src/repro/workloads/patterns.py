@@ -93,9 +93,30 @@ class Region(abc.ABC):
         """PC of the region's ``site``-th static instruction."""
         return self._pc_base + (site % self._n_pc_sites) * _PC_STRIDE
 
+    @property
+    def pc_base(self) -> Address:
+        """First PC of the region's static-instruction range."""
+        return self._pc_base
+
+    @property
+    def n_pc_sites(self) -> int:
+        """Number of distinct static instructions in the region."""
+        return self._n_pc_sites
+
     @abc.abstractmethod
     def access(self, node: NodeId, rng: random.Random) -> Access:
         """Produce ``node``'s next access to this region."""
+
+    @abc.abstractmethod
+    def batch_spec(self) -> Tuple[str, dict]:
+        """``(kind, params)`` for the batched generation layer.
+
+        ``kind`` selects the column sampler in
+        :mod:`repro.workloads.genchunks`; ``params`` carries the
+        region's sampling constants.  The batched layer keeps its own
+        cursor state, so generating chunks never perturbs this
+        region's scalar (record-at-a-time) generator.
+        """
 
     def _check_member(self, node: NodeId) -> None:
         if node not in self.members:
@@ -113,6 +134,10 @@ class PrivateRegion(Region):
     of hot blocks (which stay cache resident).  ``write_fraction`` sets
     the store ratio.
     """
+
+    #: Hot-block skew of the non-streaming draws (shared by the scalar
+    #: and batched samplers).
+    zipf_exponent = 1.0
 
     def __init__(
         self,
@@ -139,7 +164,7 @@ class PrivateRegion(Region):
             block = self._cursor
             self._cursor = (self._cursor + 1) % self.n_blocks
         else:
-            block = zipf_rank(rng, self.n_blocks)
+            block = zipf_rank(rng, self.n_blocks, self.zipf_exponent)
         is_write = rng.random() < self.write_fraction
         site = 0 if is_write else 1
         if block == self._cursor:
@@ -148,6 +173,16 @@ class PrivateRegion(Region):
             address=self.block_address(block),
             is_write=is_write,
             pc=self.pc_site(site + rng.randrange(2) * 4),
+        )
+
+    def batch_spec(self) -> Tuple[str, dict]:
+        return (
+            "private",
+            {
+                "streaming_fraction": self.streaming_fraction,
+                "write_fraction": self.write_fraction,
+                "exponent": self.zipf_exponent,
+            },
         )
 
 
@@ -161,6 +196,10 @@ class MigratoryRegion(Region):
     the canonical migratory/pairwise pattern: both the read and the
     write need exactly one other processor.
     """
+
+    #: Skew of the per-visit block draw (shared by the scalar and
+    #: batched samplers; milder than private reuse).
+    zipf_exponent = 0.8
 
     def __init__(
         self,
@@ -183,10 +222,13 @@ class MigratoryRegion(Region):
         if pending is not None and self._holder == node:
             return Access(address=pending, is_write=True, pc=self.pc_site(1))
         self._holder = node
-        block = zipf_rank(rng, self.n_blocks, exponent=0.8)
+        block = zipf_rank(rng, self.n_blocks, exponent=self.zipf_exponent)
         address = self.block_address(block)
         self._pending_writes[node] = address
         return Access(address=address, is_write=False, pc=self.pc_site(0))
+
+    def batch_spec(self) -> Tuple[str, dict]:
+        return ("migratory", {"exponent": self.zipf_exponent})
 
 
 class ProducerConsumerRegion(Region):
@@ -241,6 +283,12 @@ class ProducerConsumerRegion(Region):
             pc=self.pc_site(1 + self.consumers.index(node) % 4),
         )
 
+    def batch_spec(self) -> Tuple[str, dict]:
+        return (
+            "producer-consumer",
+            {"producer": self.producer, "consumers": self.consumers},
+        )
+
 
 class ReadMostlyRegion(Region):
     """Widely shared data with rare writes.
@@ -278,6 +326,15 @@ class ReadMostlyRegion(Region):
             address=self.block_address(block),
             is_write=is_write,
             pc=self.pc_site(0 if is_write else 1 + block % 3),
+        )
+
+    def batch_spec(self) -> Tuple[str, dict]:
+        return (
+            "read-mostly",
+            {
+                "exponent": self.hot_exponent,
+                "write_fraction": self.write_fraction,
+            },
         )
 
 

@@ -74,6 +74,29 @@ class TestDegreeOfSharing:
         assert values == sorted(values)
         assert values[-1] == pytest.approx(100.0)
 
+    def test_block_size_honours_configured_granularity(self):
+        # Two 64 B blocks inside one 128 B block, touched by two
+        # different processors: at the default granularity they are
+        # two degree-1 blocks, at block_size=128 one degree-2 block.
+        trace = make_trace([gets(0x00, 0), gets(0x40, 1)])
+        default = degree_of_sharing(trace)
+        assert default.unique_blocks == 2
+        assert default.blocks_pct[1] == pytest.approx(100.0)
+        coarse = degree_of_sharing(trace, block_size=128)
+        assert coarse.unique_blocks == 1
+        assert coarse.blocks_pct[2] == pytest.approx(100.0)
+
+    def test_block_size_default_aligned_with_sharing_histogram(self):
+        # Both Figure 2 and Figure 3 default to the same granularity,
+        # and both accept the system's configured block size.
+        trace = pingpong_trace()
+        fig2 = sharing_histogram(
+            trace, warmup_fraction=0.0, block_size=128
+        )
+        fig3 = degree_of_sharing(trace, block_size=128)
+        assert fig2.total_misses == len(trace)
+        assert fig3.unique_blocks == 1
+
 
 class TestLocality:
     def test_hot_block_dominates_cdf(self):

@@ -142,6 +142,16 @@ class TestSweep:
             capsys.readouterr().out
         )
 
+    def test_sweep_jobs_default_is_adaptive(self, tmp_path, capsys,
+                                            monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(cli_module, "default_jobs", lambda: 1)
+        spec = self._write_spec(tmp_path, workloads=["barnes-hut"])
+        assert main(["sweep", spec, "--no-cache"]) == 0
+        # No --jobs flag: the banner reports the resolved worker count.
+        assert "jobs=1 " in capsys.readouterr().out
+
     def test_sweep_csv_and_json_outputs(self, tmp_path, capsys):
         spec = self._write_spec(tmp_path, workloads=["ocean"])
         out = tmp_path / "r.json"

@@ -272,6 +272,29 @@ class TestRunner:
         with pytest.raises(ValueError, match="jobs"):
             Runner(jobs=0)
 
+    def test_jobs_none_resolves_to_available_cpus(self, monkeypatch):
+        import repro.experiment.runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module.os, "sched_getaffinity",
+            lambda pid: set(range(6)), raising=False,
+        )
+        assert runner_module.default_jobs() == 6
+        assert Runner(jobs=None).jobs == 6
+        # Explicit values are never overridden by the adaptive default.
+        assert Runner(jobs=2).jobs == 2
+
+    def test_default_jobs_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.experiment.runner as runner_module
+
+        monkeypatch.delattr(
+            runner_module.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 4)
+        assert runner_module.default_jobs() == 4
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: None)
+        assert runner_module.default_jobs() == 1
+
     def test_rejects_injected_corpus_with_multiple_workers(self):
         spec = ExperimentSpec(
             workloads=("ocean", "barnes-hut"), **SMALL
