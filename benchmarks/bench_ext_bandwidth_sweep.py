@@ -7,13 +7,15 @@ the winner "depends upon ... the available interconnect bandwidth"
 crossover the paper alludes to: as links shrink, broadcast snooping's
 request fan-out congests its own links and the bandwidth-efficient
 configurations overtake it.
+
+Since the pluggable-interconnect layer, bandwidth is a first-class
+spec axis: the sweep is one :func:`repro.experiment.bandwidth_sweep`
+spec run through the standard :class:`Runner`, and the curves come out
+of :meth:`ResultSet.bandwidth_curves` instead of a hand-rolled loop.
 """
 
-import dataclasses
-
-from repro.common.params import SystemConfig
-from repro.evaluation.report import format_table
-from repro.evaluation.runtime import evaluate_runtime
+from repro.evaluation.plot import plot_bandwidth_curves
+from repro.experiment import Runner, bandwidth_sweep
 
 from benchmarks.conftest import run_once
 
@@ -23,41 +25,28 @@ POLICIES = ("owner-group",)
 
 
 def test_ext_bandwidth_sweep(benchmark, corpus, n_references, save_result):
-    trace = corpus.trace("oltp", n_references)
+    spec = bandwidth_sweep(
+        ("oltp",),
+        BANDWIDTHS,
+        n_references=n_references,
+        policies=POLICIES,
+    )
 
     def experiment():
-        rows = []
-        for bandwidth in BANDWIDTHS:
-            config = dataclasses.replace(
-                SystemConfig(), link_bandwidth_bytes_per_ns=bandwidth
-            )
-            points = evaluate_runtime(
-                trace, config=config, predictors=POLICIES
-            )
-            for point in points:
-                rows.append((bandwidth, point))
-        return rows
+        return Runner(jobs=1, corpus=corpus).run(spec)
 
-    rows = run_once(benchmark, experiment)
-    text = format_table(
-        ("link GB/s", "config", "norm-runtime", "runtime ms"),
-        (
-            (
-                f"{bandwidth:g}",
-                point.label,
-                f"{point.normalized_runtime:.1f}",
-                f"{point.runtime_ns / 1e6:.2f}",
-            )
-            for bandwidth, point in rows
-        ),
+    results = run_once(benchmark, experiment)
+    text = "{}\n\n{}".format(
+        results.table(),
+        plot_bandwidth_curves(results.bandwidth_curves("runtime_ns")),
     )
     save_result("ext_bandwidth_sweep", text)
 
     def runtime(bandwidth, label):
         return next(
-            p.normalized_runtime
-            for b, p in rows
-            if b == bandwidth and p.label == label
+            r["normalized_runtime"]
+            for r in results
+            if r.bandwidth == bandwidth and r.label == label
         )
 
     # Ample bandwidth: snooping wins (the paper's configuration).

@@ -53,6 +53,10 @@ def test_perf_core_suite(benchmark, corpus, n_references, save_result):
         "protocol_multicast_sticky",
     ):
         assert by_name[name]["records_per_sec"] > 100_000, name
+    # Timing throughput holds up when the link-contention arithmetic
+    # actually fires (1/10th bandwidth — the contended end of a
+    # bandwidth sweep), not just at the paper's ample 10 GB/s.
+    assert by_name["timing_constrained_bw"]["records_per_sec"] > 100_000
 
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())

@@ -60,6 +60,7 @@ from repro.experiment import (
     ResultSet,
     Runner,
     TraceCache,
+    bandwidth_sweep,
     run_experiment,
 )
 from repro.predictors import create_predictor
@@ -71,7 +72,7 @@ from repro.protocols import (
 from repro.trace import Trace, TraceRecord
 from repro.workloads import WORKLOAD_NAMES, create_workload
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AccessType",
@@ -94,6 +95,7 @@ __all__ = [
     "TrafficModel",
     "WORKLOAD_NAMES",
     "__version__",
+    "bandwidth_sweep",
     "create_predictor",
     "create_workload",
     "default_corpus",

@@ -29,11 +29,17 @@ import json
 import sys
 from typing import List, Optional
 
+import dataclasses
+
 from repro.analysis.locality import locality_cdf
 from repro.analysis.properties import workload_properties
 from repro.analysis.sharing import degree_of_sharing, sharing_histogram
-from repro.common.params import PredictorConfig
-from repro.evaluation.plot import plot_runtime, plot_tradeoff
+from repro.common.params import PredictorConfig, SystemConfig
+from repro.evaluation.plot import (
+    plot_bandwidth_curves,
+    plot_runtime,
+    plot_tradeoff,
+)
 from repro.evaluation.report import (
     format_table,
     render_degree_of_sharing,
@@ -52,6 +58,7 @@ from repro.experiment import (
     make_corpus,
 )
 from repro.predictors.registry import PAPER_POLICIES
+from repro.timing.registry import interconnect_names
 from repro.trace.io import read_trace, write_trace
 from repro.workloads import WORKLOAD_NAMES, create_workload
 
@@ -109,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="processor model (default: simple)",
     )
     runtime.add_argument(
+        "--interconnect",
+        choices=interconnect_names(),
+        default="crossbar",
+        help="interconnect timing model (default: crossbar)",
+    )
+    runtime.add_argument(
         "--plot", action="store_true", help="also render an ASCII scatter"
     )
 
@@ -125,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("spec", help="path to an ExperimentSpec JSON file")
     _add_execution_arguments(sweep)
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="NAME=V1,V2,...",
+        help=(
+            "add a sweep axis on top of the spec, e.g. "
+            "bandwidth=10,2.5,1,0.25 (link GB/s; runtime specs only)"
+        ),
+    )
     sweep.add_argument(
         "--out", help="write the ResultSet as JSON to this file"
     )
@@ -287,7 +310,37 @@ def _build_spec(args: argparse.Namespace, kind: str) -> ExperimentSpec:
         policies=tuple(args.predictors),
         predictor_config=_predictor_config(args),
         processor_model=getattr(args, "model", "simple"),
+        system_config=SystemConfig(
+            interconnect=getattr(args, "interconnect", "crossbar")
+        ),
     )
+
+
+def _apply_axes(
+    spec: ExperimentSpec, axes: Optional[List[str]]
+) -> ExperimentSpec:
+    """Fold ``--axis NAME=V1,V2,...`` flags into ``spec``."""
+    for axis in axes or ():
+        name, separator, text = axis.partition("=")
+        if not separator or not text:
+            raise SystemExit(
+                f"--axis {axis!r}: expected NAME=V1,V2,..."
+            )
+        if name != "bandwidth":
+            raise SystemExit(
+                f"--axis {name!r}: unknown axis; known: bandwidth"
+            )
+        try:
+            values = tuple(float(v) for v in text.split(","))
+        except ValueError:
+            raise SystemExit(
+                f"--axis {axis!r}: values must be numbers (link GB/s)"
+            )
+        try:
+            spec = dataclasses.replace(spec, link_bandwidths=values)
+        except ValueError as exc:
+            raise SystemExit(f"--axis {axis!r}: {exc}")
+    return spec
 
 
 def _run_spec(args: argparse.Namespace, spec: ExperimentSpec) -> ResultSet:
@@ -456,18 +509,32 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         spec = ExperimentSpec.from_dict(data)
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"{args.spec}: invalid spec ({exc})")
+    spec = _apply_axes(spec, args.axis)
 
     label = spec.name or spec.digest()
     if args.jobs is None:
         args.jobs = default_jobs()
+    axis_note = (
+        f" bandwidths={len(spec.link_bandwidths)}"
+        if spec.link_bandwidths
+        else ""
+    )
     print(
         f"sweep {label}: kind={spec.kind} "
         f"workloads={len(spec.workloads)} seeds={len(spec.seeds)} "
-        f"policies={len(spec.policies)} jobs={args.jobs} "
+        f"policies={len(spec.policies)}{axis_note} jobs={args.jobs} "
         f"({spec.n_jobs} cells)"
     )
     results = _run_spec(args, spec)
     print(results.table())
+    if results.has_bandwidth_axis():
+        for workload in spec.workloads:
+            curves = results.bandwidth_curves(
+                "runtime_ns", workload=workload
+            )
+            if curves:
+                print(f"\nbandwidth/runtime curves — {workload}:")
+                print(plot_bandwidth_curves(curves))
     _print_run_stats(results)
     if args.out:
         results.to_json(args.out)

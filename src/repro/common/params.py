@@ -63,6 +63,20 @@ class SystemConfig:
     link_bandwidth_bytes_per_ns: float = 10.0
     link_latency_ns: float = 50.0
 
+    #: Interconnect timing model (a kind registered in
+    #: :mod:`repro.timing.registry`): ``"crossbar"`` (the paper's
+    #: totally-ordered crossbar, the default), ``"tree"``/``"ring"``
+    #: (point-to-point ordered fabrics with per-hop latency and a
+    #: shared ordering point), or ``"ideal"`` (infinite bandwidth,
+    #: latency-only).  Validated against the registry when a timing
+    #: simulator or experiment spec is built; the numeric timing
+    #: fields are validated here, at construction.
+    interconnect: str = "crossbar"
+    #: Per-hop switch traversal latency of the point-to-point models.
+    #: The default makes a 16-node balanced binary tree's up+down
+    #: traversal (8 hops) equal the crossbar's flat 50 ns.
+    hop_latency_ns: float = 6.25
+
     clock_ghz: float = 2.0
 
     control_message_bytes: int = 8
@@ -77,6 +91,19 @@ class SystemConfig:
                 raise ValueError(f"{name} must be a positive power of two")
         if self.macroblock_size < self.block_size:
             raise ValueError("macroblock_size must be >= block_size")
+        # Timing fields are validated here, centrally, so a bad sweep
+        # axis value fails at spec/config construction instead of deep
+        # inside the simulator.
+        for name in ("link_bandwidth_bytes_per_ns", "hop_latency_ns",
+                     "clock_ghz"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("link_latency_ns", "l2_latency_ns",
+                     "memory_latency_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not self.interconnect or not isinstance(self.interconnect, str):
+            raise ValueError("interconnect must be a non-empty kind name")
 
     @property
     def blocks_per_macroblock(self) -> int:

@@ -104,6 +104,33 @@ def plot_runtime(points, width: int = 64, height: int = 18) -> str:
     )
 
 
+def plot_bandwidth_curves(
+    curves,
+    metric_label: str = "runtime (ms)",
+    scale: float = 1e-6,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Plot per-protocol bandwidth curves (a Figure 7/8 frontier sweep).
+
+    ``curves`` maps label -> sorted ``(bandwidth, value)`` points, as
+    produced by :meth:`repro.experiment.ResultSet.bandwidth_curves`;
+    ``scale`` converts the raw metric for display (default ns -> ms).
+    """
+    points = [
+        (bandwidth, value * scale, label)
+        for label, series in curves.items()
+        for bandwidth, value in series
+    ]
+    return scatter_plot(
+        points,
+        width=width,
+        height=height,
+        x_label="link bandwidth (GB/s)",
+        y_label=metric_label,
+    )
+
+
 def _padded_range(lo: float, hi: float) -> Tuple[float, float]:
     if lo == hi:
         pad = abs(lo) * 0.1 or 1.0

@@ -6,6 +6,12 @@ normalized to the directory protocol (=100) and interconnect traffic
 per miss normalized to broadcast snooping (=100).  The dotted "ideal"
 lines of Figures 7/8 are the directory's traffic and snooping's
 runtime.
+
+The interconnect model (and its bandwidth/hop-latency knobs) rides in
+on the :class:`SystemConfig` each evaluation receives, so one panel
+can be produced per fabric or per bandwidth point; sweeping the
+bandwidth axis across a whole spec is
+:func:`repro.experiment.bandwidth_sweep`'s job.
 """
 
 from __future__ import annotations

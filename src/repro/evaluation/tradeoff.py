@@ -4,6 +4,12 @@ Each protocol/predictor configuration becomes one point on the paper's
 two-dimensional plane: request messages per miss (bandwidth) against
 percent of misses requiring indirection (latency).  Figures 5 and 6
 are sweeps over this evaluator.
+
+These metrics are message *counts*, independent of the interconnect
+timing model and its link bandwidth — which is why
+``link_bandwidths`` is a runtime-kind spec axis only; the timed
+counterpart of this plane (and its per-bandwidth curves) lives in
+:mod:`repro.evaluation.runtime`.
 """
 
 from __future__ import annotations

@@ -44,16 +44,20 @@ from repro.experiment.runner import (
     run_experiment,
 )
 from repro.experiment.spec import (
+    DEFAULT_BANDWIDTHS,
     EXPERIMENT_KINDS,
     ExperimentSpec,
     Job,
+    bandwidth_sweep,
 )
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_BANDWIDTHS",
     "EXPERIMENT_KINDS",
     "ExperimentSpec",
     "Job",
+    "bandwidth_sweep",
     "PerfStats",
     "PersistentTraceCorpus",
     "ResultRecord",

@@ -39,6 +39,22 @@ from repro.trace.io import (
 #: Mersenne-Twister path that produced format-1 entries.
 CACHE_FORMAT = 2
 
+#: Version salt baked into every trace key.  Historically this was the
+#: package version, which invalidated the whole corpus on every
+#: release even when trace generation was untouched; it is now pinned
+#: at the last value that shipped that scheme and bumped — together
+#: with :data:`CACHE_FORMAT` — only when generated trace content
+#: actually changes.
+TRACE_KEY_VERSION = "1.4.0"
+
+#: ``SystemConfig`` fields that shape *timing* but never trace
+#: content, excluded from trace keys: interconnect choice and hop
+#: latency alter when transactions complete, not which references
+#: miss.  (``link_bandwidth_bytes_per_ns`` is equally timing-only but
+#: predates the split and stays in the key for backward
+#: compatibility with existing corpora.)
+_TIMING_ONLY_FIELDS = ("interconnect", "hop_latency_ns")
+
 PathLike = Union[str, "os.PathLike[str]"]
 
 #: Environment variable overriding the default cache location.
@@ -101,17 +117,25 @@ class TraceCache:
         seed: int,
         config: SystemConfig,
     ) -> str:
-        """Deterministic digest of everything that shapes the trace."""
-        from repro import __version__
+        """Deterministic digest of everything that shapes the trace.
 
+        Timing-only configuration (interconnect kind, hop latency) is
+        excluded: traces record *which* references miss, not when the
+        resulting transactions complete, so one cached trace serves
+        every interconnect/bandwidth cell of a sweep — and keys minted
+        before those fields existed still resolve.
+        """
+        system = dataclasses.asdict(config)
+        for field in _TIMING_ONLY_FIELDS:
+            system.pop(field, None)
         payload = json.dumps(
             {
                 "format": CACHE_FORMAT,
-                "version": __version__,
+                "version": TRACE_KEY_VERSION,
                 "workload": workload,
                 "n_references": n_references,
                 "seed": seed,
-                "system": dataclasses.asdict(config),
+                "system": system,
             },
             sort_keys=True,
         )

@@ -14,7 +14,16 @@ import csv
 import dataclasses
 import json
 import os
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.evaluation.report import format_table
 from repro.evaluation.runtime import RuntimePoint
@@ -57,12 +66,19 @@ class PerfStats:
 
 @dataclasses.dataclass(frozen=True)
 class ResultRecord:
-    """One evaluated configuration's metrics."""
+    """One evaluated configuration's metrics.
+
+    ``bandwidth`` is the cell's link-bandwidth point (bytes/ns) when
+    the producing spec swept ``link_bandwidths``; ``None`` — and
+    absent from the serialized form, keeping pre-axis result files
+    byte-stable — otherwise.
+    """
 
     workload: str
     seed: int
     label: str
     metrics: Mapping[str, float]
+    bandwidth: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Freeze the mapping's canonical form so records compare and
@@ -73,12 +89,15 @@ class ResultRecord:
         return self.metrics[metric]
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "workload": self.workload,
             "seed": self.seed,
             "label": self.label,
             "metrics": dict(self.metrics),
         }
+        if self.bandwidth is not None:
+            data["bandwidth"] = self.bandwidth
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ResultRecord":
@@ -87,6 +106,7 @@ class ResultRecord:
             seed=data["seed"],
             label=data["label"],
             metrics=data["metrics"],
+            bandwidth=data.get("bandwidth"),
         )
 
 
@@ -152,26 +172,43 @@ class ResultSet:
                 names.setdefault(key)
         return list(names)
 
+    def has_bandwidth_axis(self) -> bool:
+        """True when any record carries a bandwidth-sweep point."""
+        return any(r.bandwidth is not None for r in self.records)
+
     def rows(self) -> List[Dict[str, Any]]:
-        """Tidy-table rows: one flat dict per record."""
-        return [
-            {
+        """Tidy-table rows: one flat dict per record.
+
+        Bandwidth-sweep records contribute a ``bandwidth`` column;
+        result sets without the axis keep the pre-axis row shape.
+        """
+        rows = []
+        for r in self.records:
+            row: Dict[str, Any] = {
                 "workload": r.workload,
                 "seed": r.seed,
                 "label": r.label,
-                **r.metrics,
             }
-            for r in self.records
-        ]
+            if r.bandwidth is not None:
+                row["bandwidth"] = r.bandwidth
+            row.update(r.metrics)
+            rows.append(row)
+        return rows
 
     # ------------------------------------------------------------------
     def table(self) -> str:
         """An aligned plain-text table of all records."""
         metrics = self.metric_names()
+        with_bandwidth = self.has_bandwidth_axis()
         headers = ["workload", "seed", "config", *metrics]
+        if with_bandwidth:
+            headers.insert(3, "bandwidth")
         body = []
         for record in self.records:
             row = [record.workload, record.seed, record.label]
+            if with_bandwidth:
+                bandwidth = record.bandwidth
+                row.append("" if bandwidth is None else f"{bandwidth:g}")
             for name in metrics:
                 value = record.metrics.get(name, "")
                 if isinstance(value, float):
@@ -218,11 +255,12 @@ class ResultSet:
     def to_csv(self, path: PathLike) -> None:
         """Write the tidy table as CSV (one row per record)."""
         metrics = self.metric_names()
+        fieldnames = ["workload", "seed", "label", *metrics]
+        if self.has_bandwidth_axis():
+            fieldnames.insert(3, "bandwidth")
         with open(path, "w", encoding="ascii", newline="") as handle:
             writer = csv.DictWriter(
-                handle,
-                fieldnames=["workload", "seed", "label", *metrics],
-                restval="",
+                handle, fieldnames=fieldnames, restval=""
             )
             writer.writeheader()
             for row in self.rows():
@@ -247,6 +285,40 @@ class ResultSet:
                 )
             )
         return points
+
+    def bandwidth_curves(
+        self,
+        metric: str = "runtime_ns",
+        workload: Optional[str] = None,
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-label ``(bandwidth, metric)`` curves from a sweep.
+
+        The paper's Figure 7/8 plane collapsed along one protocol
+        axis: for each configuration label, how ``metric`` (default
+        absolute runtime) moves as link bandwidth shrinks.  Records
+        sharing a (label, bandwidth) point — multiple seeds, or
+        multiple workloads unless ``workload`` narrows the selection
+        to one panel — are averaged, so each curve has exactly one
+        value per bandwidth.  Points are sorted by bandwidth; records
+        without a bandwidth point (non-sweep runs) are skipped, so
+        the result is empty for specs without the axis.
+        """
+        samples: Dict[str, Dict[float, List[float]]] = {}
+        for record in self.records:
+            if record.bandwidth is None:
+                continue
+            if workload is not None and record.workload != workload:
+                continue
+            samples.setdefault(record.label, {}).setdefault(
+                record.bandwidth, []
+            ).append(record.metrics[metric])
+        return {
+            label: [
+                (bandwidth, sum(values) / len(values))
+                for bandwidth, values in sorted(by_bandwidth.items())
+            ]
+            for label, by_bandwidth in samples.items()
+        }
 
     def runtime_points(self) -> List[RuntimePoint]:
         """Records as :class:`RuntimePoint` (``kind="runtime"`` only)."""

@@ -108,10 +108,14 @@ def execute_job(
             )
         )
     elif spec.kind == "runtime":
+        # Timing cells honour the job's bandwidth point (identity
+        # outside a bandwidth sweep); the trace above is always loaded
+        # under the spec's base config, because trace generation is
+        # timing-blind — every bandwidth cell shares one trace.
         result = evaluate_runtime_raw(
             trace,
             label,
-            config=spec.system_config,
+            config=spec.job_config(job),
             predictor_config=spec.predictor_config,
             processor_model=spec.processor_model,
             max_outstanding=spec.max_outstanding,
@@ -122,12 +126,14 @@ def execute_job(
                 workload=job.workload,
                 seed=job.seed,
                 label=label,
+                bandwidth=job.bandwidth,
                 metrics={
                     "runtime_ns": result.runtime_ns,
                     "traffic_bytes_per_miss": (
                         result.traffic_bytes_per_miss
                     ),
                     "indirection_pct": result.indirection_pct,
+                    "queue_ns_per_miss": result.queue_ns_per_miss,
                 },
             )
         )
@@ -161,18 +167,21 @@ def execute_job(
 def _normalize_runtime_records(
     spec: ExperimentSpec, records: List[ResultRecord]
 ) -> List[ResultRecord]:
-    """Normalize raw runtime cells per (workload, seed) group.
+    """Normalize raw runtime cells per (workload, seed, bandwidth).
 
     Applies :func:`repro.evaluation.runtime.normalized_runtime_metrics`
     (the same formulas :func:`normalize_runtime_points` uses):
     runtime normalized to directory=100, traffic per miss to
-    broadcast-snooping=100.
+    broadcast-snooping=100.  Bandwidth-sweep cells normalize against
+    the baselines *at their own bandwidth point*, so each point of a
+    curve answers "who wins at this link size".
     """
     if spec.kind != "runtime":
         return records
-    baselines: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    Key = Tuple[str, int, Optional[float]]
+    baselines: Dict[Key, Tuple[float, float]] = {}
     for record in records:
-        cell = (record.workload, record.seed)
+        cell = (record.workload, record.seed, record.bandwidth)
         if record.label == "directory":
             runtime = record["runtime_ns"]
             baselines[cell] = (
@@ -186,7 +195,7 @@ def _normalize_runtime_records(
     normalized = []
     for record in records:
         directory_runtime, snooping_traffic = baselines[
-            (record.workload, record.seed)
+            (record.workload, record.seed, record.bandwidth)
         ]
         metrics = record.metrics
         normalized_runtime, normalized_traffic = (
@@ -202,6 +211,7 @@ def _normalize_runtime_records(
                 workload=record.workload,
                 seed=record.seed,
                 label=record.label,
+                bandwidth=record.bandwidth,
                 metrics={
                     "normalized_runtime": normalized_runtime,
                     "normalized_traffic_per_miss": normalized_traffic,
@@ -210,6 +220,7 @@ def _normalize_runtime_records(
                         metrics["traffic_bytes_per_miss"]
                     ),
                     "indirection_pct": metrics["indirection_pct"],
+                    "queue_ns_per_miss": metrics["queue_ns_per_miss"],
                 },
             )
         )

@@ -25,6 +25,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.common.params import PredictorConfig, SystemConfig
 from repro.predictors.registry import PAPER_POLICIES, PREDICTOR_NAMES
+from repro.timing.registry import resolve_interconnect
 from repro.workloads.registry import WORKLOAD_NAMES
 
 #: The metric kinds a spec can request, mapping to the paper's planes:
@@ -40,6 +41,11 @@ DEFAULT_REFERENCES = 100_000
 #: Baseline labels always evaluated by tradeoff/runtime sweeps.
 BASELINE_LABELS = ("directory", "broadcast-snooping")
 
+#: Default link-bandwidth points (bytes/ns == GB/s) for
+#: :func:`bandwidth_sweep`: the paper's ample 10 GB/s down to links a
+#: fortieth the size, where broadcast fan-out congests its own links.
+DEFAULT_BANDWIDTHS = (10.0, 2.5, 1.0, 0.25)
+
 
 @dataclasses.dataclass(frozen=True)
 class Job:
@@ -47,22 +53,28 @@ class Job:
 
     ``label`` names the protocol configuration the cell evaluates: a
     baseline protocol (``"directory"``/``"broadcast-snooping"``) or a
-    predictor policy run under multicast snooping.
+    predictor policy run under multicast snooping.  ``bandwidth`` is
+    the cell's link bandwidth override (bytes/ns) when the spec sweeps
+    ``link_bandwidths``; ``None`` means the spec's ``system_config``
+    value.
     """
 
     index: int
     workload: str
     seed: int
     label: str = ""
+    bandwidth: Optional[float] = None
 
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentSpec:
     """Frozen declaration of one study over the design space.
 
-    The cross-product of ``workloads`` × ``seeds`` becomes the job
-    list; every job evaluates all ``policies`` (plus the directory and
-    snooping baselines when ``include_baselines``) on its trace.
+    The cross-product of ``workloads`` × ``seeds`` (× each
+    ``link_bandwidths`` point, when that timing axis is swept) becomes
+    the job list; every job evaluates all ``policies`` (plus the
+    directory and snooping baselines when ``include_baselines``) on
+    its trace.
     """
 
     workloads: Tuple[str, ...]
@@ -75,6 +87,12 @@ class ExperimentSpec:
     processor_model: str = "simple"
     max_outstanding: int = 4
     warmup_fraction: float = 0.25
+    #: Link-bandwidth sweep axis (bytes/ns), ``kind="runtime"`` only.
+    #: Empty means no sweep: every cell uses ``system_config``'s
+    #: bandwidth.  Each point replaces
+    #: ``system_config.link_bandwidth_bytes_per_ns`` for its cells;
+    #: traces are shared across points (generation is timing-blind).
+    link_bandwidths: Tuple[float, ...] = ()
     predictor_config: PredictorConfig = PredictorConfig()
     system_config: SystemConfig = SystemConfig()
 
@@ -84,6 +102,9 @@ class ExperimentSpec:
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "seeds", tuple(self.seeds))
         object.__setattr__(self, "policies", tuple(self.policies))
+        object.__setattr__(
+            self, "link_bandwidths", tuple(self.link_bandwidths)
+        )
         if self.kind not in EXPERIMENT_KINDS:
             known = ", ".join(EXPERIMENT_KINDS)
             raise ValueError(f"unknown kind {self.kind!r}; known: {known}")
@@ -111,6 +132,19 @@ class ExperimentSpec:
             raise ValueError("processor_model must be simple or detailed")
         if self.max_outstanding < 1:
             raise ValueError("max_outstanding must be >= 1")
+        if self.link_bandwidths:
+            if self.kind != "runtime":
+                raise ValueError(
+                    "link_bandwidths is a timing axis; it requires "
+                    "kind='runtime' (message-count metrics are "
+                    "bandwidth-independent)"
+                )
+            for bandwidth in self.link_bandwidths:
+                if bandwidth <= 0:
+                    raise ValueError("link bandwidths must be positive")
+        # Fail on unknown interconnect kinds at spec construction
+        # (same diagnostic the timing layer would raise much later).
+        resolve_interconnect(self.system_config.interconnect)
 
     # ------------------------------------------------------------------
     def cell_labels(self) -> Tuple[str, ...]:
@@ -129,22 +163,43 @@ class ExperimentSpec:
     def expand(self) -> Tuple[Job, ...]:
         """The independent jobs this spec describes, in canonical order.
 
-        One job per (workload, seed, label): the finest-grained cells
-        that are still deterministic in isolation, so a parallel
-        runner saturates its pool even on single-workload sweeps.
+        One job per (workload, seed[, bandwidth], label): the
+        finest-grained cells that are still deterministic in
+        isolation, so a parallel runner saturates its pool even on
+        single-workload sweeps.
         """
         jobs = []
+        bandwidths = self.link_bandwidths or (None,)
         for workload in self.workloads:
             for seed in self.seeds:
-                for label in self.cell_labels():
-                    jobs.append(Job(len(jobs), workload, seed, label))
+                for bandwidth in bandwidths:
+                    for label in self.cell_labels():
+                        jobs.append(
+                            Job(len(jobs), workload, seed, label, bandwidth)
+                        )
         return tuple(jobs)
 
     @property
     def n_jobs(self) -> int:
         """Number of independent jobs in the expansion."""
         return (
-            len(self.workloads) * len(self.seeds) * len(self.cell_labels())
+            len(self.workloads)
+            * len(self.seeds)
+            * max(1, len(self.link_bandwidths))
+            * len(self.cell_labels())
+        )
+
+    def job_config(self, job: Job) -> SystemConfig:
+        """The system configuration ``job``'s cell simulates.
+
+        The spec's ``system_config`` with the job's bandwidth point
+        substituted (identity for jobs outside a bandwidth sweep, so
+        default-axis runs stay byte-identical to pre-axis ones).
+        """
+        if job.bandwidth is None:
+            return self.system_config
+        return dataclasses.replace(
+            self.system_config, link_bandwidth_bytes_per_ns=job.bandwidth
         )
 
     # ------------------------------------------------------------------
@@ -154,6 +209,7 @@ class ExperimentSpec:
         data["workloads"] = list(self.workloads)
         data["seeds"] = list(self.seeds)
         data["policies"] = list(self.policies)
+        data["link_bandwidths"] = list(self.link_bandwidths)
         return data
 
     @classmethod
@@ -175,7 +231,8 @@ class ExperimentSpec:
                 value = _config_from_dict(PredictorConfig, value)
             elif key == "system_config":
                 value = _config_from_dict(SystemConfig, value)
-            elif key in ("workloads", "seeds", "policies"):
+            elif key in ("workloads", "seeds", "policies",
+                         "link_bandwidths"):
                 value = tuple(value)
             kwargs[key] = value
         return cls(**kwargs)
@@ -193,6 +250,30 @@ class ExperimentSpec:
         """Stable short hash of the spec's canonical JSON form."""
         payload = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+
+def bandwidth_sweep(
+    workloads: Sequence[str],
+    bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS,
+    **overrides: Any,
+) -> ExperimentSpec:
+    """A runtime spec sweeping link bandwidth as a first-class axis.
+
+    Produces the paper's Figure 7/8 plane *per bandwidth point*: for
+    each protocol configuration, a latency/bandwidth tradeoff curve
+    instead of the single ample-bandwidth point the paper reports
+    (its Section 5.3 notes the winner "depends upon ... the available
+    interconnect bandwidth"; this is that dependency, measured).
+    Additional :class:`ExperimentSpec` fields — ``policies``,
+    ``seeds``, ``system_config`` (e.g. a ``tree`` interconnect), … —
+    pass through ``overrides``.
+    """
+    overrides.setdefault("kind", "runtime")
+    return ExperimentSpec(
+        workloads=tuple(workloads),
+        link_bandwidths=tuple(bandwidths),
+        **overrides,
+    )
 
 
 def _config_from_dict(cls, value):

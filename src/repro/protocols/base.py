@@ -42,6 +42,12 @@ class OutcomeColumns:
     - ``latency_ns`` — the transaction's base latency,
     - ``transfer_bytes`` — bytes crossing the requester's link
       (request/forward/retry control messages plus the data response).
+
+    The timing simulator's second pass feeds ``transfer_bytes`` to
+    whichever pluggable :class:`~repro.timing.interconnect.Interconnect`
+    model the configuration selects; the columns themselves are
+    interconnect-agnostic, so one protocol batch loop serves every
+    timing model.
     """
 
     __slots__ = ("latency_ns", "transfer_bytes")

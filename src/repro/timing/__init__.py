@@ -2,8 +2,9 @@
 
 Models the paper's 16-node target system: processors paced by the
 instruction gaps between their L2 misses, coherence transactions costed
-with the Table 4 latency model, and a totally-ordered crossbar whose
-finite link bandwidth introduces queueing and serialization delays.
+with the Table 4 latency model, and a pluggable ordered interconnect
+whose finite link bandwidth introduces queueing and serialization
+delays.
 
 Two processor models, as in the paper:
 
@@ -13,21 +14,53 @@ Two processor models, as in the paper:
   configurable number of overlapping outstanding misses (memory-level
   parallelism), capturing the latency overlap the paper's TFsim model
   exposes.
+
+Four interconnect models, selected by ``SystemConfig.interconnect``
+and registered in :mod:`repro.timing.registry`:
+
+- **crossbar** — the paper's totally-ordered crossbar (the default).
+- **tree** / **ring** — point-to-point ordered fabrics with per-hop
+  latency and a bandwidth-limited shared ordering point.
+- **ideal** — infinite bandwidth, zero queueing (latency-only).
 """
 
-from repro.timing.interconnect import CrossbarInterconnect
+from repro.timing.interconnect import (
+    CrossbarInterconnect,
+    IdealInterconnect,
+    Interconnect,
+    PointToPointInterconnect,
+    RingInterconnect,
+    TreeInterconnect,
+)
 from repro.timing.processor import (
     DetailedProcessorModel,
     ProcessorModel,
     SimpleProcessorModel,
+)
+from repro.timing.registry import (
+    INTERCONNECT_NAMES,
+    create_interconnect,
+    interconnect_names,
+    register_interconnect,
+    resolve_interconnect,
 )
 from repro.timing.system import RuntimeResult, TimingSimulator
 
 __all__ = [
     "CrossbarInterconnect",
     "DetailedProcessorModel",
+    "INTERCONNECT_NAMES",
+    "IdealInterconnect",
+    "Interconnect",
+    "PointToPointInterconnect",
     "ProcessorModel",
+    "RingInterconnect",
     "RuntimeResult",
     "SimpleProcessorModel",
     "TimingSimulator",
+    "TreeInterconnect",
+    "create_interconnect",
+    "interconnect_names",
+    "register_interconnect",
+    "resolve_interconnect",
 ]

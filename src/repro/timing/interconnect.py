@@ -1,29 +1,62 @@
-"""The totally-ordered crossbar with link contention.
+"""Pluggable ordered interconnect timing models.
 
 All three protocols the paper evaluates require a total order of
-requests, so it models a single crossbar switch; contention arises from
-finite per-node link bandwidth (Table 4: 10 GB/s).  We model each
-node's link as a resource that serializes the bytes it carries: a
-transaction whose link is still busy waits, and large data responses
-occupy the requester's inbound link for ``bytes / bandwidth``.
+requests; every model here provides one, but they sit at different
+points of the latency/bandwidth design space the paper argues over:
+
+- :class:`CrossbarInterconnect` — the paper's Table 4 system: a single
+  crossbar switch with finite per-node link bandwidth (10 GB/s).  The
+  default, and the model all pre-existing results were produced with.
+- :class:`TreeInterconnect` / :class:`RingInterconnect` — point-to-point
+  ordered fabrics: each transaction serializes over the requester's
+  leaf link, climbs store-and-forward hops (``hop_latency_ns`` each) to
+  a shared ordering point, serializes through it, and descends.  The
+  shared ordering point is the resource broadcast fan-out congests —
+  the reason bandwidth-constrained snooping degrades.
+- :class:`IdealInterconnect` — infinite bandwidth, zero queueing: the
+  analytic model for latency-only studies.
+
+Models are registered by ``kind`` in :mod:`repro.timing.registry` and
+selected by ``SystemConfig.interconnect``; the numeric knobs
+(``link_bandwidth_bytes_per_ns``, ``hop_latency_ns``) are ordinary
+config fields, so interconnects sweep like any other axis.
+
+Delay accounting contract: :meth:`Interconnect.acquire` returns the
+*total* delay the fabric adds to one transaction relative to its ready
+time — queueing (a link or the ordering point was still busy) plus
+serialization plus any hop traversal.  The timing simulator overlaps
+that delay with the transaction's protocol-level base latency
+(``completion = issue + max(base_ns, link_delay)``), so an uncontended
+fabric never slows the Table 4 latency model down.
 """
 
 from __future__ import annotations
 
+import abc
 from typing import List
 
 from repro.common.params import SystemConfig
 from repro.common.types import NodeId
 
 
-class CrossbarInterconnect:
-    """Per-node link occupancy tracking for queueing/serialization."""
+class Interconnect(abc.ABC):
+    """Per-transaction link delays plus traffic/queueing accounting.
+
+    Subclasses set ``kind`` (the registry name) and implement
+    :meth:`acquire`, :meth:`load_broadcast`, and :meth:`link_free_at`.
+    ``bytes_carried`` and ``total_queue_ns`` are the shared accounting
+    fields every model maintains; ``queue_ns_per_miss`` in
+    :class:`~repro.timing.system.RuntimeResult` divides the latter by
+    the miss count.
+    """
+
+    #: Registry name (``SystemConfig.interconnect`` selects by it).
+    kind: str = ""
 
     def __init__(self, config: SystemConfig):
+        # Positivity is enforced centrally by SystemConfig.__post_init__.
         self._bandwidth = config.link_bandwidth_bytes_per_ns
-        if self._bandwidth <= 0:
-            raise ValueError("link bandwidth must be positive")
-        self._link_free: List[float] = [0.0] * config.n_processors
+        self.n_processors = config.n_processors
         self.bytes_carried = 0
         self.total_queue_ns = 0.0
 
@@ -32,13 +65,52 @@ class CrossbarInterconnect:
         """Time ``n_bytes`` occupies a link."""
         return n_bytes / self._bandwidth
 
+    @abc.abstractmethod
     def acquire(self, node: NodeId, ready_ns: float, n_bytes: int) -> float:
-        """Send/receive ``n_bytes`` over ``node``'s link at ``ready_ns``.
+        """Send/receive ``n_bytes`` for ``node`` starting at ``ready_ns``.
 
-        Returns the delay added by the link: queueing (the link was
-        still busy) plus serialization of these bytes.  The link is
-        then busy until the transfer completes.
+        Returns the total delay the interconnect adds: queueing plus
+        serialization plus hop traversal, measured from ``ready_ns``.
+        Busy resources stay busy until the transfer completes.
         """
+
+    def load_broadcast(self, ready_ns: float, n_bytes: int) -> None:
+        """Charge ``n_bytes`` to every link (snooping request fan-out).
+
+        An optional accounting hook, *not* called by the timing loops:
+        there, a broadcast's fan-out already costs the requester
+        through :meth:`acquire` (its transfer bytes scale with the
+        message count).  Models with per-link state override this for
+        studies that additionally track receiver-side occupancy —
+        queueing met while loading busy links must then accumulate
+        into ``total_queue_ns``, mirroring :meth:`acquire`.  The base
+        implementation only counts the carried bytes.
+        """
+        self.bytes_carried += n_bytes * self.n_processors
+
+    @abc.abstractmethod
+    def link_free_at(self, node: NodeId) -> float:
+        """When ``node``'s link next becomes idle."""
+
+
+class CrossbarInterconnect(Interconnect):
+    """The paper's totally-ordered crossbar with link contention.
+
+    Contention arises from finite per-node link bandwidth (Table 4:
+    10 GB/s): each node's link serializes the bytes it carries, a
+    transaction whose link is still busy waits, and large data
+    responses occupy the requester's inbound link for
+    ``bytes / bandwidth``.
+    """
+
+    kind = "crossbar"
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self._link_free: List[float] = [0.0] * config.n_processors
+
+    # ------------------------------------------------------------------
+    def acquire(self, node: NodeId, ready_ns: float, n_bytes: int) -> float:
         start = max(ready_ns, self._link_free[node])
         queue_ns = start - ready_ns
         finish = start + self.occupancy_ns(n_bytes)
@@ -48,17 +120,130 @@ class CrossbarInterconnect:
         return finish - ready_ns
 
     def load_broadcast(self, ready_ns: float, n_bytes: int) -> None:
-        """Charge ``n_bytes`` to every link (snooping request fan-out).
-
-        Broadcast requests occupy every node's inbound link; this only
-        matters under constrained bandwidth, but modelling it keeps the
-        bandwidth-sweep extension honest.
-        """
+        occupancy = self.occupancy_ns(n_bytes)
         for node in range(len(self._link_free)):
             start = max(ready_ns, self._link_free[node])
-            self._link_free[node] = start + self.occupancy_ns(n_bytes)
+            self.total_queue_ns += start - ready_ns
+            self._link_free[node] = start + occupancy
             self.bytes_carried += n_bytes
 
     def link_free_at(self, node: NodeId) -> float:
-        """When ``node``'s link next becomes idle."""
         return self._link_free[node]
+
+
+class PointToPointInterconnect(Interconnect):
+    """Ordered point-to-point fabric: leaf links + a shared ordering point.
+
+    A transaction serializes over the requester's leaf link, traverses
+    ``hops(node)`` store-and-forward hops (``hop_latency_ns`` each) to
+    the ordering point — the switch that defines the total order every
+    protocol here requires — serializes through it, and descends the
+    same distance.  Both the leaf link and the ordering point have
+    finite bandwidth, so broadcast-heavy protocols congest the shared
+    switch exactly as the paper's bandwidth discussion predicts.
+
+    Subclasses define the topology through :meth:`hops`.
+    """
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self._hop_ns = config.hop_latency_ns
+        self._link_free: List[float] = [0.0] * config.n_processors
+        self._root_free = 0.0
+        self._climb_ns = [
+            self.hops(node, config.n_processors) * self._hop_ns
+            for node in range(config.n_processors)
+        ]
+
+    @staticmethod
+    @abc.abstractmethod
+    def hops(node: NodeId, n_processors: int) -> int:
+        """Hop distance from ``node`` to the ordering point."""
+
+    # ------------------------------------------------------------------
+    def acquire(self, node: NodeId, ready_ns: float, n_bytes: int) -> float:
+        occupancy = self.occupancy_ns(n_bytes)
+        climb = self._climb_ns[node]
+        start = max(ready_ns, self._link_free[node])
+        self.total_queue_ns += start - ready_ns
+        leaf_finish = start + occupancy
+        self._link_free[node] = leaf_finish
+        root_ready = leaf_finish + climb
+        root_start = max(root_ready, self._root_free)
+        self.total_queue_ns += root_start - root_ready
+        root_finish = root_start + occupancy
+        self._root_free = root_finish
+        self.bytes_carried += n_bytes
+        return root_finish + climb - ready_ns
+
+    def load_broadcast(self, ready_ns: float, n_bytes: int) -> None:
+        occupancy = self.occupancy_ns(n_bytes)
+        for node in range(len(self._link_free)):
+            start = max(ready_ns, self._link_free[node])
+            self.total_queue_ns += start - ready_ns
+            self._link_free[node] = start + occupancy
+            self.bytes_carried += n_bytes
+        start = max(ready_ns, self._root_free)
+        self.total_queue_ns += start - ready_ns
+        self._root_free = start + occupancy
+
+    def link_free_at(self, node: NodeId) -> float:
+        return self._link_free[node]
+
+    @property
+    def ordering_point_free_ns(self) -> float:
+        """When the shared ordering point next becomes idle."""
+        return self._root_free
+
+
+class TreeInterconnect(PointToPointInterconnect):
+    """Balanced binary tree; the root switch is the ordering point.
+
+    Every leaf sits ``ceil(log2(n))`` hops below the root, so at the
+    default ``hop_latency_ns`` a 16-node system's up+down traversal
+    matches the crossbar's flat 50 ns — latency-equivalent when idle,
+    but with a shared root that broadcast fan-out saturates.
+    """
+
+    kind = "tree"
+
+    @staticmethod
+    def hops(node: NodeId, n_processors: int) -> int:
+        if n_processors <= 1:
+            return 0
+        return (n_processors - 1).bit_length()
+
+
+class RingInterconnect(PointToPointInterconnect):
+    """Unidirectional-distance ring ordered through node 0's station.
+
+    Hop distance is the shorter way around the ring to the ordering
+    station co-located with node 0, so latency grows linearly with
+    system size instead of logarithmically — the scaling contrast the
+    ISCA retrospectives draw against switched fabrics.
+    """
+
+    kind = "ring"
+
+    @staticmethod
+    def hops(node: NodeId, n_processors: int) -> int:
+        return min(node, n_processors - node)
+
+
+class IdealInterconnect(Interconnect):
+    """Infinite bandwidth, zero queueing: latency-only studies.
+
+    Transactions complete at their protocol-level base latency
+    regardless of size or contention; traffic is still counted so
+    bandwidth *demand* remains observable even when it is never a
+    constraint.
+    """
+
+    kind = "ideal"
+
+    def acquire(self, node: NodeId, ready_ns: float, n_bytes: int) -> float:
+        self.bytes_carried += n_bytes
+        return 0.0
+
+    def link_free_at(self, node: NodeId) -> float:
+        return 0.0

@@ -1,0 +1,97 @@
+"""Interconnect model registry: kind -> :class:`Interconnect` class.
+
+``SystemConfig.interconnect`` names a kind registered here; the timing
+simulator resolves it through :func:`create_interconnect`, and
+experiment specs validate it at construction.  Third-party models
+register with :func:`register_interconnect` (usable as a decorator)::
+
+    @register_interconnect
+    class MeshInterconnect(Interconnect):
+        kind = "mesh"
+        ...
+
+    spec = ExperimentSpec(
+        workloads=("oltp",), kind="runtime",
+        system_config=SystemConfig(interconnect="mesh"),
+    )
+
+Register at module import time (top level, not under an
+``if __name__ == "__main__":`` guard): parallel sweep workers rebuild
+the spec in fresh processes, and under the ``spawn``/``forkserver``
+start methods only code that runs when your module is re-imported is
+visible there — a model registered after import would make the
+worker's spec validation fail with "unknown interconnect".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.common.params import SystemConfig
+from repro.timing.interconnect import (
+    CrossbarInterconnect,
+    IdealInterconnect,
+    Interconnect,
+    RingInterconnect,
+    TreeInterconnect,
+)
+
+_REGISTRY: Dict[str, Type[Interconnect]] = {}
+
+
+def register_interconnect(cls: Type[Interconnect]) -> Type[Interconnect]:
+    """Register ``cls`` under its ``kind`` (decorator-friendly)."""
+    if not getattr(cls, "kind", ""):
+        raise ValueError(
+            f"{cls.__name__} needs a non-empty 'kind' class attribute"
+        )
+    existing = _REGISTRY.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"interconnect kind {cls.kind!r} is already registered "
+            f"to {existing.__name__}"
+        )
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+_BUILTINS = (
+    CrossbarInterconnect,
+    TreeInterconnect,
+    RingInterconnect,
+    IdealInterconnect,
+)
+for _cls in _BUILTINS:
+    register_interconnect(_cls)
+
+#: The built-in model kinds, in registration (documentation) order —
+#: derived from the registration loop so tests parametrized over it
+#: can never silently miss a built-in model.
+INTERCONNECT_NAMES: Tuple[str, ...] = tuple(
+    cls.kind for cls in _BUILTINS
+)
+
+
+def interconnect_names() -> Tuple[str, ...]:
+    """Every registered kind (built-ins plus extensions), sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_interconnect(kind: str) -> Type[Interconnect]:
+    """The registered class for ``kind``; raises on unknown kinds.
+
+    The single source of the "unknown interconnect" diagnostic, shared
+    by :func:`create_interconnect` and experiment-spec validation.
+    """
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown interconnect {kind!r}; known: {known}"
+        ) from None
+
+
+def create_interconnect(config: SystemConfig) -> Interconnect:
+    """Instantiate the model ``config.interconnect`` names."""
+    return resolve_interconnect(config.interconnect)(config)

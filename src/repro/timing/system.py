@@ -2,9 +2,19 @@
 
 Drives a coherence protocol with a trace, pacing each processor by its
 instruction gaps, costing each transaction with the Table 4 latency
-model, and adding crossbar queueing/serialization delays.  Records in
-the shared trace are processed in trace order (the total order the
-interconnect would impose); per-node clocks advance independently.
+model, and adding the interconnect model's queueing/serialization/hop
+delays.  Records in the shared trace are processed in trace order (the
+total order the interconnect would impose); per-node clocks advance
+independently.
+
+The interconnect is pluggable: ``SystemConfig.interconnect`` selects a
+model from :mod:`repro.timing.registry` (the paper's crossbar by
+default), or an instance can be injected directly.  Both timing loops
+— the record-oriented reference loop and the columnar two-pass engine
+— consume the model through the same :meth:`Interconnect.acquire`
+call, so every registered model works on both paths; only the default
+crossbar + simple-processor combination additionally takes the inlined
+fast pass (kept operation-identical to the generic loop).
 """
 
 from __future__ import annotations
@@ -14,12 +24,13 @@ from typing import Callable, List, Optional
 
 from repro.common.params import SystemConfig
 from repro.protocols.base import CoherenceProtocol, OutcomeColumns
-from repro.timing.interconnect import CrossbarInterconnect
+from repro.timing.interconnect import CrossbarInterconnect, Interconnect
 from repro.timing.processor import (
     DetailedProcessorModel,
     ProcessorModel,
     SimpleProcessorModel,
 )
+from repro.timing.registry import create_interconnect
 from repro.trace.trace import Trace
 
 
@@ -59,6 +70,7 @@ class TimingSimulator:
         protocol: CoherenceProtocol,
         processor_model: str = "simple",
         max_outstanding: int = 4,
+        interconnect: Optional[Interconnect] = None,
     ):
         self.config = config
         self.protocol = protocol
@@ -67,7 +79,11 @@ class TimingSimulator:
             _make_processor(processor_model, max_outstanding)
             for _ in range(config.n_processors)
         ]
-        self.interconnect = CrossbarInterconnect(config)
+        self.interconnect = (
+            interconnect
+            if interconnect is not None
+            else create_interconnect(config)
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -142,7 +158,7 @@ class TimingSimulator:
 
         processors = self.processors
         _, _, requesters, _, instructions = measured.boxed_columns()
-        if all(
+        if type(self.interconnect) is CrossbarInterconnect and all(
             type(p) is SimpleProcessorModel
             and p.INSTRUCTIONS_PER_NS
             == SimpleProcessorModel.INSTRUCTIONS_PER_NS
@@ -172,7 +188,8 @@ class TimingSimulator:
     ) -> None:
         """The timing pass with the in-order blocking model inlined.
 
-        Replicates ``compute``/``issue_miss``/``acquire``/
+        Crossbar-only (the caller guards on the interconnect type):
+        replicates ``compute``/``issue_miss``/``acquire``/
         ``complete_miss`` operation-for-operation (identical float
         expressions), then writes the clocks and link statistics back.
         """

@@ -175,3 +175,66 @@ class TestSweep:
             main(["sweep", str(bad)])
         with pytest.raises(SystemExit, match="invalid spec"):
             main(["sweep", self._write_spec(tmp_path, kind="nope")])
+
+    def test_sweep_bandwidth_axis_produces_curves(self, tmp_path, capsys):
+        """Acceptance: a >=4-point bandwidth sweep exports per-protocol
+        runtime/traffic curves through the ResultSet JSON."""
+        spec = self._write_spec(
+            tmp_path, kind="runtime", workloads=["barnes-hut"],
+            policies=["owner-group"],
+        )
+        out = tmp_path / "bw.json"
+        assert main(
+            ["sweep", spec, "--no-cache", "--jobs", "1",
+             "--axis", "bandwidth=10,2.5,1,0.25", "--out", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "bandwidths=4" in output
+        assert "bandwidth/runtime curves — barnes-hut" in output
+        assert "link bandwidth (GB/s)" in output
+
+        from repro.experiment import ResultSet
+
+        results = ResultSet.from_json(out)
+        labels = {"directory", "broadcast-snooping", "owner-group"}
+        for metric in ("runtime_ns", "traffic_bytes_per_miss"):
+            curves = results.bandwidth_curves(metric)
+            assert set(curves) == labels
+            for points in curves.values():
+                assert [b for b, _ in points] == [0.25, 1.0, 2.5, 10.0]
+        # Shrinking links never speed broadcast snooping up.
+        snooping = dict(
+            results.bandwidth_curves("runtime_ns")["broadcast-snooping"]
+        )
+        assert snooping[0.25] >= snooping[10.0]
+
+    def test_sweep_rejects_bad_axis(self, tmp_path):
+        spec = self._write_spec(
+            tmp_path, kind="runtime", workloads=["barnes-hut"],
+            policies=["owner"],
+        )
+        with pytest.raises(SystemExit, match="unknown axis"):
+            main(["sweep", spec, "--no-cache", "--axis", "volts=1,2"])
+        with pytest.raises(SystemExit, match="NAME=V1,V2"):
+            main(["sweep", spec, "--no-cache", "--axis", "bandwidth"])
+        with pytest.raises(SystemExit, match="numbers"):
+            main(["sweep", spec, "--no-cache", "--axis", "bandwidth=a,b"])
+        # Spec-level validation surfaces through the flag too
+        # (tradeoff spec + timing axis).
+        tradeoff = self._write_spec(tmp_path, policies=["owner"])
+        with pytest.raises(SystemExit, match="runtime"):
+            main(
+                ["sweep", tradeoff, "--no-cache",
+                 "--axis", "bandwidth=10,1"]
+            )
+
+    def test_runtime_interconnect_flag(self, capsys):
+        assert main(
+            ["runtime", "barnes-hut", "--refs", "3000",
+             "--predictors", "owner", "--interconnect", "ideal"]
+        ) == 0
+        assert "norm-runtime" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["runtime", "oltp", "--interconnect", "warp"]
+            )

@@ -13,6 +13,7 @@ from repro.experiment import (
     ResultSet,
     Runner,
     TraceCache,
+    bandwidth_sweep,
     run_experiment,
 )
 
@@ -147,6 +148,144 @@ class TestExperimentSpec:
         assert a.digest() != c.digest()
 
 
+class TestBandwidthAxis:
+    def test_expand_nests_bandwidth_between_seed_and_label(self):
+        spec = bandwidth_sweep(
+            ("ocean",), (10.0, 1.0), policies=("owner",)
+        )
+        jobs = spec.expand()
+        assert spec.kind == "runtime"
+        assert spec.n_jobs == len(jobs) == 2 * 3  # 2 bw x 3 labels
+        assert [j.bandwidth for j in jobs] == [10.0] * 3 + [1.0] * 3
+        assert [j.index for j in jobs] == list(range(len(jobs)))
+
+    def test_job_config_substitutes_bandwidth_only(self):
+        spec = bandwidth_sweep(("ocean",), (2.0,), policies=("owner",))
+        job = spec.expand()[0]
+        config = spec.job_config(job)
+        assert config.link_bandwidth_bytes_per_ns == 2.0
+        assert config == dataclasses.replace(
+            spec.system_config, link_bandwidth_bytes_per_ns=2.0
+        )
+        # Without the axis, the spec's config is returned unchanged
+        # (identity, so default runs cannot drift).
+        plain = ExperimentSpec(workloads=("ocean",), kind="runtime")
+        assert plain.job_config(plain.expand()[0]) is plain.system_config
+
+    def test_round_trip_preserves_axis(self):
+        spec = bandwidth_sweep(
+            ("ocean",), (10.0, 2.5, 1.0, 0.25), policies=("owner",)
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.link_bandwidths == (10.0, 2.5, 1.0, 0.25)
+
+    def test_old_spec_json_defaults_to_no_axis_and_crossbar(self):
+        # A pre-interconnect spec file has neither key; it must load
+        # with today's crossbar defaults so cached results stay valid.
+        spec = ExperimentSpec.from_dict(
+            {"workloads": ["ocean"], "kind": "runtime"}
+        )
+        assert spec.link_bandwidths == ()
+        assert spec.system_config.interconnect == "crossbar"
+
+    def test_axis_requires_runtime_kind(self):
+        with pytest.raises(ValueError, match="kind='runtime'"):
+            ExperimentSpec(
+                workloads=("ocean",), link_bandwidths=(1.0,)
+            )
+
+    def test_rejects_non_positive_bandwidths(self):
+        with pytest.raises(ValueError, match="positive"):
+            bandwidth_sweep(("ocean",), (10.0, 0.0))
+
+    def test_rejects_unknown_interconnect(self):
+        with pytest.raises(ValueError, match="unknown interconnect"):
+            ExperimentSpec(
+                workloads=("ocean",),
+                system_config=SystemConfig(interconnect="warp"),
+            )
+
+    def test_sweep_produces_per_bandwidth_curves(self, tmp_path):
+        spec = bandwidth_sweep(
+            ("ocean",), (10.0, 0.5), n_references=2000,
+            policies=("owner",),
+        )
+        results = Runner(jobs=1).run(spec)
+        assert len(results) == 6
+        assert results.has_bandwidth_axis()
+        # Normalization is per bandwidth point: directory == 100 at
+        # every link size, not just the spec default.
+        for record in results:
+            assert record.bandwidth in (10.0, 0.5)
+            if record.label == "directory":
+                assert record["normalized_runtime"] == pytest.approx(
+                    100.0
+                )
+        curves = results.bandwidth_curves("runtime_ns")
+        assert set(curves) == {
+            "directory", "broadcast-snooping", "owner",
+        }
+        for points in curves.values():
+            assert [bandwidth for bandwidth, _ in points] == [0.5, 10.0]
+            assert all(value > 0 for _, value in points)
+        # The axis round-trips through ResultSet JSON.
+        restored = ResultSet.from_json(results.to_json())
+        assert restored == results
+        assert restored.bandwidth_curves("runtime_ns") == curves
+        # ...and lands in the tidy exports.
+        assert "bandwidth" in results.table().splitlines()[0]
+        path = tmp_path / "curves.csv"
+        results.to_csv(path)
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("workload,seed,label,bandwidth,")
+
+    def test_curves_average_across_seeds(self):
+        records = [
+            ResultRecord(
+                workload="ocean", seed=seed, label="owner",
+                bandwidth=bandwidth,
+                metrics={"runtime_ns": value},
+            )
+            for seed, bandwidth, value in (
+                (1, 10.0, 100.0), (2, 10.0, 300.0),
+                (1, 1.0, 500.0), (2, 1.0, 700.0),
+            )
+        ]
+        spec = bandwidth_sweep(
+            ("ocean",), (10.0, 1.0), seeds=(1, 2), policies=("owner",)
+        )
+        results = ResultSet(spec, records)
+        # One averaged value per bandwidth point, not one per seed.
+        assert results.bandwidth_curves("runtime_ns") == {
+            "owner": [(1.0, 600.0), (10.0, 200.0)],
+        }
+
+    def test_parallel_matches_serial_with_axis(self, tmp_path):
+        spec = bandwidth_sweep(
+            ("ocean",), (10.0, 0.5), n_references=2000,
+            policies=("owner",),
+        )
+        serial = Runner(jobs=1, cache_dir=tmp_path / "s").run(spec)
+        parallel = Runner(jobs=2, cache_dir=tmp_path / "p").run(spec)
+        assert serial == parallel
+        # Bandwidth cells share one trace: a two-point sweep of one
+        # (workload, seed) generates exactly one cache entry.
+        assert serial.cache_stats.misses == 1
+
+    def test_tree_interconnect_spec_runs(self):
+        spec = ExperimentSpec(
+            workloads=("ocean",),
+            kind="runtime",
+            n_references=2000,
+            policies=("owner",),
+            system_config=SystemConfig(interconnect="tree"),
+        )
+        results = run_experiment(spec)
+        assert len(results) == 3
+        assert not results.has_bandwidth_axis()
+
+
 class TestTraceCache:
     def test_store_load_round_trip(self, tmp_path):
         corpus = PersistentTraceCorpus(cache_dir=tmp_path)
@@ -189,6 +328,40 @@ class TestTraceCache:
         assert key != TraceCache.key("ocean", 2000, 43, config)
         assert key != TraceCache.key("oltp", 2000, 42, config)
         assert key == TraceCache.key("ocean", 2000, 42, SystemConfig())
+
+    def test_pre_refactor_keys_still_resolve(self):
+        """Cache keys minted before the interconnect fields existed
+        are reproduced exactly (hard-coded digests captured at the
+        preceding commit), so existing corpora stay warm without a
+        CACHE_FORMAT bump."""
+        assert (
+            TraceCache.key("ocean", 2000, 42, SystemConfig())
+            == "868d8a94c6077e4f7cccc471"
+        )
+        assert (
+            TraceCache.key(
+                "oltp", 60000, 42,
+                SystemConfig(link_bandwidth_bytes_per_ns=1.0),
+            )
+            == "0de2ee87c86f135206f94480"
+        )
+
+    def test_timing_only_fields_do_not_shape_keys(self):
+        """Interconnect kind and hop latency never change which
+        references miss, so they share the default config's trace."""
+        default = TraceCache.key("ocean", 2000, 42, SystemConfig())
+        for config in (
+            SystemConfig(interconnect="tree"),
+            SystemConfig(interconnect="ideal", hop_latency_ns=2.0),
+        ):
+            assert TraceCache.key("ocean", 2000, 42, config) == default
+        # Trace-shaping fields still invalidate.
+        assert (
+            TraceCache.key(
+                "ocean", 2000, 42, SystemConfig(n_processors=8)
+            )
+            != default
+        )
 
     def test_corrupt_entry_regenerates(self, tmp_path):
         corpus = PersistentTraceCorpus(cache_dir=tmp_path)

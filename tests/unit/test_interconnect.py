@@ -1,0 +1,283 @@
+"""Unit tests for the pluggable interconnect models and registry.
+
+Covers per-model queueing/serialization edge cases, the broadcast
+accounting contract, registry resolution/extension, central timing
+validation, and record-loop vs. columnar-loop equivalence for every
+registered model (the default crossbar's byte-identity to pre-refactor
+results lives in ``test_timing.py``).
+"""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.evaluation.runtime import make_protocol
+from repro.timing.interconnect import (
+    CrossbarInterconnect,
+    IdealInterconnect,
+    Interconnect,
+    RingInterconnect,
+    TreeInterconnect,
+)
+from repro.timing.registry import (
+    INTERCONNECT_NAMES,
+    _REGISTRY,
+    create_interconnect,
+    interconnect_names,
+    register_interconnect,
+)
+from repro.timing.system import TimingSimulator
+from repro.workloads import create_workload
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert INTERCONNECT_NAMES == ("crossbar", "tree", "ring", "ideal")
+        assert set(INTERCONNECT_NAMES) <= set(interconnect_names())
+
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [
+            ("crossbar", CrossbarInterconnect),
+            ("tree", TreeInterconnect),
+            ("ring", RingInterconnect),
+            ("ideal", IdealInterconnect),
+        ],
+    )
+    def test_create_resolves_kind(self, kind, cls):
+        model = create_interconnect(SystemConfig(interconnect=kind))
+        assert type(model) is cls
+        assert model.kind == kind
+
+    def test_default_config_is_crossbar(self):
+        assert type(create_interconnect(SystemConfig())) is (
+            CrossbarInterconnect
+        )
+
+    def test_unknown_kind_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="known: crossbar"):
+            create_interconnect(SystemConfig(interconnect="warp"))
+
+    def test_register_extension_and_duplicate_rejection(self):
+        class MeshInterconnect(IdealInterconnect):
+            kind = "test-mesh"
+
+        try:
+            register_interconnect(MeshInterconnect)
+            assert "test-mesh" in interconnect_names()
+            model = create_interconnect(
+                SystemConfig(interconnect="test-mesh")
+            )
+            assert type(model) is MeshInterconnect
+            # Re-registering the same class is idempotent...
+            register_interconnect(MeshInterconnect)
+
+            class Imposter(IdealInterconnect):
+                kind = "test-mesh"
+
+            # ...but a different class under a taken kind is an error.
+            with pytest.raises(ValueError, match="already registered"):
+                register_interconnect(Imposter)
+        finally:
+            _REGISTRY.pop("test-mesh", None)
+
+    def test_register_requires_kind(self):
+        class Nameless(IdealInterconnect):
+            kind = ""
+
+        with pytest.raises(ValueError, match="kind"):
+            register_interconnect(Nameless)
+
+
+class TestTimingValidation:
+    """Timing fields fail at config construction, not in the simulator."""
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_bad_bandwidth(self, bad):
+        with pytest.raises(ValueError, match="link_bandwidth"):
+            SystemConfig(link_bandwidth_bytes_per_ns=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -2.5])
+    def test_rejects_bad_hop_latency(self, bad):
+        with pytest.raises(ValueError, match="hop_latency_ns"):
+            SystemConfig(hop_latency_ns=bad)
+
+    @pytest.mark.parametrize(
+        "field", ["link_latency_ns", "l2_latency_ns", "memory_latency_ns"]
+    )
+    def test_rejects_negative_latencies(self, field):
+        with pytest.raises(ValueError, match=field):
+            SystemConfig(**{field: -1.0})
+
+    def test_rejects_empty_interconnect_name(self):
+        with pytest.raises(ValueError, match="interconnect"):
+            SystemConfig(interconnect="")
+
+
+class TestCrossbar:
+    def test_broadcast_accumulates_queueing(self, config4):
+        """A broadcast onto busy links charges the wait to the queue
+        accounting, matching unicast ``acquire`` semantics."""
+        crossbar = CrossbarInterconnect(config4)
+        crossbar.acquire(0, 0.0, 1000)  # node 0 busy until 100 ns
+        crossbar.load_broadcast(50.0, 80)
+        # Only node 0's link was busy: 100 - 50 = 50 ns of queueing.
+        assert crossbar.total_queue_ns == pytest.approx(50.0)
+        assert crossbar.link_free_at(0) == pytest.approx(108.0)
+        for node in range(1, config4.n_processors):
+            assert crossbar.link_free_at(node) == pytest.approx(58.0)
+
+    def test_broadcast_on_idle_links_queues_nothing(self, config4):
+        crossbar = CrossbarInterconnect(config4)
+        crossbar.load_broadcast(0.0, 80)
+        assert crossbar.total_queue_ns == 0.0
+
+    def test_queue_consistent_between_unicast_and_broadcast(self, config4):
+        """The same busy-link wait costs the same through either path."""
+        unicast = CrossbarInterconnect(config4)
+        unicast.acquire(0, 0.0, 1000)
+        unicast.acquire(0, 50.0, 80)
+        broadcast = CrossbarInterconnect(config4)
+        broadcast.acquire(0, 0.0, 1000)
+        broadcast.load_broadcast(50.0, 80)
+        assert unicast.total_queue_ns == broadcast.total_queue_ns
+
+
+class TestIdeal:
+    def test_never_delays_or_queues(self, config4):
+        ideal = IdealInterconnect(config4)
+        assert ideal.acquire(0, 0.0, 10**9) == 0.0
+        assert ideal.acquire(0, 0.0, 10**9) == 0.0
+        assert ideal.total_queue_ns == 0.0
+        assert ideal.link_free_at(0) == 0.0
+
+    def test_traffic_demand_still_counted(self, config4):
+        ideal = IdealInterconnect(config4)
+        ideal.acquire(1, 0.0, 100)
+        ideal.load_broadcast(0.0, 10)
+        assert ideal.bytes_carried == 100 + 10 * config4.n_processors
+
+
+class TestPointToPoint:
+    def test_tree_hop_counts(self):
+        assert TreeInterconnect.hops(0, 1) == 0
+        assert TreeInterconnect.hops(3, 4) == 2
+        for node in range(16):
+            assert TreeInterconnect.hops(node, 16) == 4
+
+    def test_ring_hop_counts(self):
+        # Ordering station at node 0; shorter way around.
+        assert [RingInterconnect.hops(n, 4) for n in range(4)] == [
+            0, 1, 2, 1,
+        ]
+        assert RingInterconnect.hops(8, 16) == 8
+
+    def test_tree_idle_delay_is_hops_plus_serialization(self, config4):
+        # 4 nodes -> 2 hops; default hop latency 6.25 ns; 100 B at
+        # 10 B/ns serializes twice (leaf link, then the root switch).
+        tree = TreeInterconnect(config4)
+        delay = tree.acquire(0, 0.0, 100)
+        assert delay == pytest.approx(10.0 + 12.5 + 10.0 + 12.5)
+        assert tree.total_queue_ns == 0.0
+
+    def test_default_16_node_tree_matches_crossbar_traversal(self):
+        # ceil(log2(16)) = 4 hops at 6.25 ns: 25 ns up + 25 ns down ==
+        # the crossbar's flat 50 ns link traversal.
+        config = SystemConfig()
+        tree = TreeInterconnect(config)
+        delay = tree.acquire(5, 0.0, 0)
+        assert delay == pytest.approx(config.link_latency_ns)
+
+    def test_shared_ordering_point_queues_concurrent_senders(self, config4):
+        tree = TreeInterconnect(config4)
+        first = tree.acquire(0, 0.0, 100)
+        second = tree.acquire(1, 0.0, 100)
+        # Same leaf timing, but the second transaction finds the root
+        # busy for 10 ns (the first one's serialization).
+        assert second == pytest.approx(first + 10.0)
+        assert tree.total_queue_ns == pytest.approx(10.0)
+
+    def test_leaf_links_independent(self, config4):
+        tree = TreeInterconnect(config4)
+        tree.acquire(0, 0.0, 10_000)  # node 0's leaf busy for 1000 ns
+        assert tree.link_free_at(0) == pytest.approx(1000.0)
+        assert tree.link_free_at(1) == 0.0
+
+    def test_ring_distance_asymmetry(self, config4):
+        ring = RingInterconnect(config4)
+        near = ring.acquire(0, 0.0, 0)   # 0 hops to the station
+        far = RingInterconnect(config4).acquire(2, 0.0, 0)  # 2 hops
+        assert near == pytest.approx(0.0)
+        assert far == pytest.approx(2 * 2 * config4.hop_latency_ns)
+
+    def test_broadcast_loads_leaves_and_ordering_point(self, config4):
+        tree = TreeInterconnect(config4)
+        tree.load_broadcast(0.0, 80)
+        for node in range(config4.n_processors):
+            assert tree.link_free_at(node) == pytest.approx(8.0)
+        assert tree.ordering_point_free_ns == pytest.approx(8.0)
+        assert tree.bytes_carried == 80 * config4.n_processors
+
+    def test_hop_latency_config_knob(self, config4):
+        import dataclasses
+
+        slow = dataclasses.replace(config4, hop_latency_ns=100.0)
+        delay = TreeInterconnect(slow).acquire(0, 0.0, 0)
+        assert delay == pytest.approx(2 * 2 * 100.0)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return create_workload("barnes-hut", seed=7).collect(4000).trace
+
+
+class TestModelEquivalence:
+    """Columnar two-pass timing == record-loop timing, per model."""
+
+    @pytest.mark.parametrize("kind", INTERCONNECT_NAMES)
+    @pytest.mark.parametrize("label", ("broadcast-snooping", "group"))
+    def test_columnar_matches_records(self, small_trace, kind, label):
+        config = SystemConfig(interconnect=kind)
+        fast = TimingSimulator(config, make_protocol(label, config))
+        slow = TimingSimulator(config, make_protocol(label, config))
+        assert fast.run(small_trace) == slow.run(
+            small_trace, columnar=False
+        )
+
+    @pytest.mark.parametrize("kind", INTERCONNECT_NAMES)
+    def test_detailed_processor_columnar_matches_records(
+        self, small_trace, kind
+    ):
+        config = SystemConfig(interconnect=kind)
+        results = [
+            TimingSimulator(
+                config,
+                make_protocol("owner-group", config),
+                processor_model="detailed",
+            ).run(small_trace, columnar=columnar)
+            for columnar in (True, False)
+        ]
+        assert results[0] == results[1]
+
+    def test_injected_instance_wins_over_config(self, small_trace):
+        config = SystemConfig()
+        injected = IdealInterconnect(config)
+        simulator = TimingSimulator(
+            config,
+            make_protocol("directory", config),
+            interconnect=injected,
+        )
+        simulator.run(small_trace)
+        assert simulator.interconnect is injected
+        assert injected.bytes_carried > 0
+
+    def test_ideal_never_slower_than_finite_models(self, small_trace):
+        runtimes = {}
+        for kind in INTERCONNECT_NAMES:
+            config = SystemConfig(
+                interconnect=kind, link_bandwidth_bytes_per_ns=0.25
+            )
+            simulator = TimingSimulator(
+                config, make_protocol("broadcast-snooping", config)
+            )
+            runtimes[kind] = simulator.run(small_trace).runtime_ns
+        assert runtimes["ideal"] == min(runtimes.values())

@@ -50,6 +50,31 @@ class TestSystemConfig:
         with pytest.raises(ValueError):
             SystemConfig(block_size=64, macroblock_size=32)
 
+    def test_interconnect_defaults(self):
+        config = SystemConfig()
+        assert config.interconnect == "crossbar"
+        # 16-node binary tree: 8 hops up+down at the default hop
+        # latency reproduce the crossbar's flat 50 ns traversal.
+        assert 8 * config.hop_latency_ns == config.link_latency_ns
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(link_bandwidth_bytes_per_ns=0),
+            dict(link_bandwidth_bytes_per_ns=-1.0),
+            dict(hop_latency_ns=0),
+            dict(hop_latency_ns=-0.5),
+            dict(clock_ghz=0),
+            dict(link_latency_ns=-1.0),
+            dict(memory_latency_ns=-1.0),
+            dict(l2_latency_ns=-1.0),
+            dict(interconnect=""),
+        ],
+    )
+    def test_rejects_bad_timing_fields_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            SystemConfig(**kwargs)
+
 
 class TestLatencyModel:
     def test_paper_latencies(self):

@@ -1,8 +1,11 @@
 """Unit tests for the interconnect, processor models, and simulator."""
 
+import dataclasses
+
 import pytest
 
 from repro.common.params import SystemConfig
+from repro.evaluation.runtime import make_protocol
 from repro.protocols.directory import DirectoryProtocol
 from repro.protocols.snooping import BroadcastSnoopingProtocol
 from repro.timing.interconnect import CrossbarInterconnect
@@ -10,7 +13,9 @@ from repro.timing.processor import (
     DetailedProcessorModel,
     SimpleProcessorModel,
 )
+from repro.timing.registry import INTERCONNECT_NAMES
 from repro.timing.system import TimingSimulator
+from repro.workloads import create_workload
 
 from tests.conftest import gets, getx, make_trace
 
@@ -98,8 +103,10 @@ class TestTimingSimulator:
             object.__setattr__(record, "instructions", 100)
         return make_trace(records)
 
-    def test_runtime_positive_and_miss_counted(self, config4):
-        simulator = TimingSimulator(config4, DirectoryProtocol(config4))
+    @pytest.mark.parametrize("kind", INTERCONNECT_NAMES)
+    def test_runtime_positive_and_miss_counted(self, config4, kind):
+        config = dataclasses.replace(config4, interconnect=kind)
+        simulator = TimingSimulator(config, DirectoryProtocol(config))
         result = simulator.run(self.make_trace(), warmup_fraction=0.25)
         assert result.runtime_ns > 0
         assert result.misses == 30  # 75% of 40
@@ -139,3 +146,98 @@ class TestTimingSimulator:
         assert result.traffic_bytes_per_miss == pytest.approx(
             (config4.n_processors - 1) * 8 + 72
         )
+
+
+#: Exact pre-refactor ``RuntimeResult`` values (hex floats, so the
+#: comparison is bit-for-bit), captured at the commit preceding the
+#: pluggable-interconnect layer: barnes-hut, seed 7, 4000 references,
+#: default 16-node Table 4 config.  The default crossbar path must
+#: keep reproducing them byte-identically.
+PRE_REFACTOR_GOLDEN = {
+    "directory": {
+        "runtime_ns": "0x1.733f800000000p+16",
+        "misses": 2612,
+        "traffic_bytes": 213040,
+        "indirection_pct": "0x1.47b7dd80322e4p+4",
+        "average_latency_ns": "0x1.7aa82f0b5e7b2p+7",
+        "queue_ns_per_miss": "0x0.0p+0",
+    },
+    "broadcast-snooping": {
+        "runtime_ns": "0x1.6813800000000p+16",
+        "misses": 2612,
+        "traffic_bytes": 501504,
+        "indirection_pct": "0x0.0p+0",
+        "average_latency_ns": "0x1.53899adac1aa9p+7",
+        "queue_ns_per_miss": "0x0.0p+0",
+    },
+    "owner-group": {
+        "runtime_ns": "0x1.77d3800000000p+16",
+        "misses": 2612,
+        "traffic_bytes": 218544,
+        "indirection_pct": "0x1.19c6c33bfb4bbp+4",
+        "average_latency_ns": "0x1.7a815f43d2861p+7",
+        "queue_ns_per_miss": "0x0.0p+0",
+    },
+    "group": {
+        "runtime_ns": "0x1.7751800000000p+16",
+        "misses": 2612,
+        "traffic_bytes": 219224,
+        "indirection_pct": "0x1.1b00645c854aep+4",
+        "average_latency_ns": "0x1.7ab4563f828c6p+7",
+        "queue_ns_per_miss": "0x0.0p+0",
+    },
+}
+
+#: Same capture at a constrained 0.25 bytes/ns link bandwidth, so the
+#: identity contract also covers the serialization-dominated regime.
+PRE_REFACTOR_GOLDEN_CONSTRAINED = {
+    "broadcast-snooping": "0x1.7b80600000000p+17",
+    "owner-group": "0x1.d717800000000p+16",
+}
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    return create_workload("barnes-hut", seed=7).collect(4000).trace
+
+
+class TestDefaultCrossbarIdentity:
+    """The default interconnect reproduces pre-refactor results exactly."""
+
+    @pytest.mark.parametrize("label", sorted(PRE_REFACTOR_GOLDEN))
+    @pytest.mark.parametrize("columnar", (True, False))
+    def test_byte_identical_to_pre_refactor(
+        self, golden_trace, label, columnar
+    ):
+        config = SystemConfig()
+        simulator = TimingSimulator(
+            config, make_protocol(label, config)
+        )
+        result = simulator.run(golden_trace, columnar=columnar)
+        expected = PRE_REFACTOR_GOLDEN[label]
+        assert result.runtime_ns.hex() == expected["runtime_ns"]
+        assert result.misses == expected["misses"]
+        assert result.traffic_bytes == expected["traffic_bytes"]
+        assert result.indirection_pct.hex() == expected["indirection_pct"]
+        assert (
+            result.average_latency_ns.hex()
+            == expected["average_latency_ns"]
+        )
+        assert (
+            result.queue_ns_per_miss.hex()
+            == expected["queue_ns_per_miss"]
+        )
+
+    @pytest.mark.parametrize(
+        "label", sorted(PRE_REFACTOR_GOLDEN_CONSTRAINED)
+    )
+    def test_byte_identical_under_constrained_bandwidth(
+        self, golden_trace, label
+    ):
+        config = SystemConfig(link_bandwidth_bytes_per_ns=0.25)
+        simulator = TimingSimulator(
+            config, make_protocol(label, config)
+        )
+        result = simulator.run(golden_trace)
+        expected = PRE_REFACTOR_GOLDEN_CONSTRAINED[label]
+        assert result.runtime_ns.hex() == expected
