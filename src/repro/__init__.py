@@ -36,6 +36,8 @@ Subpackages:
 - :mod:`repro.evaluation` — Figure/Table reproduction harnesses.
 - :mod:`repro.experiment` — declarative sweeps, parallel execution,
   persistent trace cache (the ``repro sweep`` engine).
+- :mod:`repro.fabric` — distributed sweep fabric: durable work
+  queue, multi-host workers, shared result store, ``repro serve``.
 """
 
 from repro.common import (
@@ -72,7 +74,7 @@ from repro.protocols import (
 from repro.trace import Trace, TraceRecord
 from repro.workloads import WORKLOAD_NAMES, create_workload
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AccessType",

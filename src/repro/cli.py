@@ -11,7 +11,15 @@ Commands:
 - ``runtime``   — the Figure 7/8 runtime/traffic plane.
 - ``accuracy``  — per-policy destination-set coverage/precision.
 - ``sweep``     — run a declarative :class:`ExperimentSpec` JSON file
-  across workloads × seeds × policies, optionally in parallel.
+  across workloads × seeds × policies, optionally in parallel — or
+  through the distributed fabric (``--fabric DIR``): durable work
+  queue, shared result store, free resume.
+- ``work``      — run fabric worker processes against a queue
+  directory (any number of hosts may share one).
+- ``serve``     — answer ``GET /result/<digest>`` / ``POST /sweep``
+  over HTTP from a fabric result store.
+- ``fabric``    — queue/lease/retry introspection (``status``) and
+  execution-free enqueueing (``enqueue``).
 - ``bench``     — core-simulation throughput microbenchmarks
   (records/sec), with optional regression checking against a saved
   ``BENCH_baseline.json``.
@@ -139,6 +147,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("spec", help="path to an ExperimentSpec JSON file")
     _add_execution_arguments(sweep)
     sweep.add_argument(
+        "--fabric",
+        metavar="DIR",
+        default=None,
+        help=(
+            "execute through the distributed fabric rooted at DIR "
+            "(durable queue + shared result store; resumable)"
+        ),
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "fabric worker processes to run locally (default: "
+            "adaptive; 0 = enqueue only and wait for external "
+            "`repro work` fleets); requires --fabric"
+        ),
+    )
+    sweep.add_argument(
         "--axis",
         action="append",
         default=None,
@@ -153,6 +180,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--csv", help="also write the tidy table as CSV to this file"
+    )
+
+    work = commands.add_parser(
+        "work",
+        help="run fabric worker processes against a queue directory",
+    )
+    work.add_argument("fabric_dir", help="fabric directory (shared mount)")
+    work.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="local worker processes (default 1)",
+    )
+    work.add_argument(
+        "--max-cells", type=_positive_int, default=None,
+        help="exit after executing this many cells (per worker)",
+    )
+    work.add_argument(
+        "--lease-ttl", type=float, default=None,
+        help="seconds before a silent worker's lease is reclaimed "
+        "(default 30)",
+    )
+    work.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new cells instead of exiting when "
+        "the queue drains",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve sweep results over HTTP from a fabric directory",
+    )
+    serve.add_argument("fabric_dir", help="fabric directory (shared mount)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="also run this many embedded follow-mode workers",
+    )
+
+    fabric = commands.add_parser(
+        "fabric", help="fabric queue introspection and maintenance"
+    )
+    fabric_commands = fabric.add_subparsers(
+        dest="fabric_command", required=True
+    )
+    fabric_status = fabric_commands.add_parser(
+        "status", help="queue/lease/retry/store state of a fabric dir"
+    )
+    fabric_status.add_argument("fabric_dir")
+    fabric_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    fabric_enqueue = fabric_commands.add_parser(
+        "enqueue",
+        help="register a spec and enqueue its missing cells "
+        "(no execution)",
+    )
+    fabric_enqueue.add_argument(
+        "spec", help="path to an ExperimentSpec JSON file"
+    )
+    fabric_enqueue.add_argument("fabric_dir")
+    fabric_enqueue.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="NAME=V1,V2,...",
+        help="add a sweep axis on top of the spec (as in `repro sweep`)",
     )
 
     bench = commands.add_parser(
@@ -497,19 +590,49 @@ def _cmd_accuracy(args: argparse.Namespace) -> None:
     )
 
 
-def _cmd_sweep(args: argparse.Namespace) -> None:
+def _load_spec_file(path: str, axes: Optional[List[str]]) -> ExperimentSpec:
+    """Parse an ExperimentSpec JSON file, folding in ``--axis`` flags."""
     try:
-        with open(args.spec, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
     except OSError as exc:
         raise SystemExit(f"cannot read spec file: {exc}")
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"{args.spec}: invalid JSON ({exc})")
+        raise SystemExit(f"{path}: invalid JSON ({exc})")
     try:
         spec = ExperimentSpec.from_dict(data)
     except (TypeError, ValueError) as exc:
-        raise SystemExit(f"{args.spec}: invalid spec ({exc})")
-    spec = _apply_axes(spec, args.axis)
+        raise SystemExit(f"{path}: invalid spec ({exc})")
+    return _apply_axes(spec, axes)
+
+
+def _print_failures(results: ResultSet) -> None:
+    for failure in results.failures:
+        print(f"FAILED cell {failure}", file=sys.stderr)
+
+
+def _run_spec_fabric(args: argparse.Namespace, spec: ExperimentSpec) -> ResultSet:
+    from repro.fabric import FabricCoordinator
+
+    workers = args.workers
+    if workers is None:
+        workers = default_jobs()
+    if workers < 0:
+        raise SystemExit("--workers must be >= 0")
+    coordinator = FabricCoordinator(args.fabric)
+    counts = coordinator.enqueue_missing(spec)
+    print(
+        f"fabric {args.fabric}: {counts['stored']} cell(s) already in "
+        f"store, {counts['enqueued']} enqueued, {counts['queued']} "
+        f"already queued; {workers} local worker(s)"
+    )
+    return coordinator.run(spec, workers=workers)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    if args.workers is not None and args.fabric is None:
+        raise SystemExit("--workers requires --fabric")
+    spec = _load_spec_file(args.spec, args.axis)
 
     label = spec.name or spec.digest()
     if args.jobs is None:
@@ -525,7 +648,11 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         f"policies={len(spec.policies)}{axis_note} jobs={args.jobs} "
         f"({spec.n_jobs} cells)"
     )
-    results = _run_spec(args, spec)
+    if args.fabric is not None:
+        results = _run_spec_fabric(args, spec)
+    else:
+        results = _run_spec(args, spec)
+    _print_failures(results)
     print(results.table())
     if results.has_bandwidth_axis():
         for workload in spec.workloads:
@@ -542,6 +669,84 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {args.csv}")
+
+
+def _cmd_work(args: argparse.Namespace) -> None:
+    from repro.fabric import WorkerOptions, run_worker_pool
+    from repro.fabric.queue import DEFAULT_LEASE_TTL
+
+    options = WorkerOptions(
+        lease_ttl=(
+            args.lease_ttl if args.lease_ttl is not None
+            else DEFAULT_LEASE_TTL
+        ),
+        max_cells=args.max_cells,
+        follow=args.follow,
+    )
+    print(
+        f"work {args.fabric_dir}: {args.workers} worker(s), "
+        f"lease ttl {options.lease_ttl:g}s"
+        + (f", max {args.max_cells} cell(s) each"
+           if args.max_cells else "")
+        + (", follow mode" if args.follow else "")
+    )
+    run_worker_pool(args.fabric_dir, args.workers, options)
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.fabric import serve as fabric_serve
+
+    workers = args.workers or 0
+    print(
+        f"serving {args.fabric_dir} on "
+        f"http://{args.host}:{args.port} "
+        f"({workers} embedded worker(s); GET /result/<digest>, "
+        "POST /sweep, GET /status)"
+    )
+    try:
+        fabric_serve(
+            args.fabric_dir, host=args.host, port=args.port,
+            workers=workers,
+        )
+    except KeyboardInterrupt:
+        pass
+
+
+def _cmd_fabric(args: argparse.Namespace) -> None:
+    from repro.fabric import FabricCoordinator
+
+    coordinator = FabricCoordinator(args.fabric_dir)
+    if args.fabric_command == "enqueue":
+        spec = _load_spec_file(args.spec, args.axis)
+        counts = coordinator.enqueue_missing(spec)
+        print(
+            f"spec {spec.digest()}: {counts['stored']} cell(s) in "
+            f"store, {counts['enqueued']} enqueued, "
+            f"{counts['queued']} already queued"
+        )
+        return
+    status = coordinator.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return
+    print(
+        f"fabric {status['fabric_dir']}: "
+        f"{status['pending']} pending, {status['leased']} leased, "
+        f"{status['done']} done, {status['failed']} quarantined, "
+        f"{status['stored']} result(s) in store, "
+        f"{len(status['specs'])} spec(s) registered"
+    )
+    for lease in status["leases"]:
+        state = "EXPIRED" if lease["expired"] else "live"
+        print(
+            f"  lease {lease['key']}: {lease['worker']} "
+            f"(heartbeat {lease['heartbeat_age']:g}s ago, {state})"
+        )
+    for retry in status["retries"]:
+        print(
+            f"  retry {retry['key']}: attempt {retry['attempts']}, "
+            f"backoff {retry['backoff_remaining']:g}s remaining"
+        )
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
@@ -597,6 +802,9 @@ _COMMANDS = {
     "runtime": _cmd_runtime,
     "accuracy": _cmd_accuracy,
     "sweep": _cmd_sweep,
+    "work": _cmd_work,
+    "serve": _cmd_serve,
+    "fabric": _cmd_fabric,
     "bench": _cmd_bench,
 }
 

@@ -6,7 +6,10 @@ timing simulator, and the trace analyses — in *trace records per
 second*, plus the cold path: ``trace_generation`` regenerates the
 workload trace end-to-end (chunked reference synthesis through the
 chunk-consuming cache/MOSI filter, no trace cache) and reports
-*references* per second.
+*references* per second.  The ``sweep_inprocess``/``fabric_overhead``
+pair runs one identical warm-cache sweep through the in-process
+runner and through the distributed fabric (queue, claims, store,
+reassembly); their gap prices the fabric's dispatch machinery.
 
 Two artifacts build on this module:
 
@@ -23,8 +26,12 @@ Two artifacts build on this module:
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
+import pathlib
 import platform
+import shutil
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -249,6 +256,70 @@ def _benchmarks(
         )
         return len(trace)
 
+    # -- fabric dispatch overhead --------------------------------------
+    # `sweep_inprocess` and `fabric_overhead` run the *same* one-cell-
+    # per-label sweep against the *same* warmed on-disk trace cache;
+    # the throughput gap between them is the cost of the distributed
+    # fabric's machinery (queue files, claims, heartbeats, store
+    # writes, reassembly) on top of identical simulation work.
+    state: dict = {}
+
+    def _sweep_spec():
+        from repro.experiment.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            workloads=(workload,),
+            kind="tradeoff",
+            n_references=n_references,
+            seeds=(seed,),
+            policies=("owner",),
+            predictor_config=predictor_config,
+            system_config=config,
+        )
+
+    def _shared_traces() -> pathlib.Path:
+        if "traces" not in state:
+            from repro.experiment.cache import PersistentTraceCorpus
+
+            state["tmp"] = tempfile.TemporaryDirectory(
+                prefix="repro-bench-fabric-"
+            )
+            root = pathlib.Path(state["tmp"].name)
+            traces = root / "traces"
+            # Warm once so neither contender pays trace generation.
+            PersistentTraceCorpus(config, traces).collect(
+                workload, n_references, seed
+            )
+            state["root"] = root
+            state["traces"] = traces
+            state["counter"] = itertools.count()
+        return state["traces"]
+
+    def sweep_inprocess() -> int:
+        from repro.experiment.runner import Runner
+
+        spec = _sweep_spec()
+        Runner(jobs=1, cache_dir=_shared_traces()).run(spec)
+        return spec.n_jobs * len(trace)
+
+    def fabric_overhead() -> int:
+        from repro.fabric import FabricCoordinator, FabricWorker
+
+        traces = _shared_traces()
+        fabric = state["root"] / f"fabric-{next(state['counter'])}"
+        fabric.mkdir()
+        # Share the warmed cache; everything else (queue, claims,
+        # store, assembly) is paid fresh on every call.
+        (fabric / "traces").symlink_to(traces)
+        spec = _sweep_spec()
+        coordinator = FabricCoordinator(fabric)
+        coordinator.enqueue_missing(spec)
+        FabricWorker(fabric).run()
+        if coordinator.try_assemble(spec) is None:
+            raise RuntimeError("fabric benchmark sweep incomplete")
+        shutil.rmtree(fabric)
+        return spec.n_jobs * len(trace)
+
     return [
         ("trace_generation", trace_generation),
         ("fig5_tradeoff", fig5_tradeoff),
@@ -271,6 +342,8 @@ def _benchmarks(
         ("analysis_sharing", analysis_sharing),
         ("analysis_locality", analysis_locality),
         ("trace_stats", trace_stats),
+        ("sweep_inprocess", sweep_inprocess),
+        ("fabric_overhead", fabric_overhead),
     ]
 
 

@@ -36,11 +36,18 @@ from repro.experiment.cache import (
     default_cache_dir,
     make_corpus,
 )
-from repro.experiment.results import PerfStats, ResultRecord, ResultSet
+from repro.experiment.results import (
+    CellFailure,
+    PerfStats,
+    ResultRecord,
+    ResultSet,
+)
 from repro.experiment.runner import (
     Runner,
     default_jobs,
     execute_job,
+    normalize_records,
+    run_cell,
     run_experiment,
 )
 from repro.experiment.spec import (
@@ -53,6 +60,7 @@ from repro.experiment.spec import (
 
 __all__ = [
     "CacheStats",
+    "CellFailure",
     "DEFAULT_BANDWIDTHS",
     "EXPERIMENT_KINDS",
     "ExperimentSpec",
@@ -68,5 +76,7 @@ __all__ = [
     "default_jobs",
     "execute_job",
     "make_corpus",
+    "normalize_records",
+    "run_cell",
     "run_experiment",
 ]

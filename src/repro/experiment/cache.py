@@ -24,6 +24,7 @@ import pathlib
 from typing import Optional, Union
 
 from repro.cache.pipeline import CollectionResult
+from repro.common.atomicio import tmp_sibling, write_text_atomic
 from repro.common.params import SystemConfig
 from repro.evaluation.corpus import TraceCorpus
 from repro.trace.io import (
@@ -182,8 +183,7 @@ class TraceCache:
         corpus, or dropped by an old cache); the first text-format
         load regenerates one so subsequent loads take the fast path.
         """
-        suffix = f".tmp{os.getpid()}"
-        tmp = binary_path.with_name(binary_path.name + suffix)
+        tmp = tmp_sibling(binary_path)
         try:
             write_trace_binary(trace, tmp)
             os.replace(tmp, binary_path)
@@ -210,23 +210,20 @@ class TraceCache:
             "references": result.references,
             "describe": describe or {},
         }
-        suffix = f".tmp{os.getpid()}"
-        tmp_trace = trace_path.with_name(trace_path.name + suffix)
-        tmp_meta = meta_path.with_name(meta_path.name + suffix)
-        tmp_binary = binary_path.with_name(binary_path.name + suffix)
+        tmp_trace = tmp_sibling(trace_path)
+        tmp_binary = tmp_sibling(binary_path)
         try:
             write_trace(result.trace, tmp_trace)
             write_trace_binary(result.trace, tmp_binary)
-            tmp_meta.write_text(
-                json.dumps(meta, sort_keys=True), encoding="ascii"
-            )
             # Trace columns first: a reader needs trace + sidecar, and
-            # load() opens the JSON sidecar before the trace files.
+            # load() opens the JSON sidecar before the trace files, so
+            # a concurrent reader either misses (regenerates, benign)
+            # or sees a complete entry — never a torn one.
             os.replace(tmp_binary, binary_path)
             os.replace(tmp_trace, trace_path)
-            os.replace(tmp_meta, meta_path)
+            write_text_atomic(meta_path, json.dumps(meta, sort_keys=True))
         finally:
-            for leftover in (tmp_trace, tmp_meta, tmp_binary):
+            for leftover in (tmp_trace, tmp_binary):
                 try:
                     os.unlink(leftover)
                 except OSError:

@@ -65,6 +65,51 @@ class PerfStats:
 
 
 @dataclasses.dataclass(frozen=True)
+class CellFailure:
+    """One sweep cell that exhausted its retries.
+
+    Like :class:`PerfStats`, failures are run metadata, not results:
+    they are excluded from serialization and equality, and a rerun
+    that succeeds produces a result set equal to one that never
+    failed.  ``error`` is the final exception's one-line description;
+    ``traceback`` the full formatted traceback (empty when the
+    executing worker only reported a message, e.g. across the fabric).
+    """
+
+    workload: str
+    seed: int
+    label: str
+    error: str
+    bandwidth: Optional[float] = None
+    traceback: str = ""
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "workload": self.workload,
+            "seed": self.seed,
+            "label": self.label,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+        if self.bandwidth is not None:
+            data["bandwidth"] = self.bandwidth
+        if self.traceback:
+            data["traceback"] = self.traceback
+        return data
+
+    def __str__(self) -> str:
+        point = (
+            f" @{self.bandwidth:g}GB/s" if self.bandwidth is not None
+            else ""
+        )
+        return (
+            f"{self.workload}/seed={self.seed}/{self.label}{point}: "
+            f"{self.error} (after {self.attempts} attempt(s))"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class ResultRecord:
     """One evaluated configuration's metrics.
 
@@ -119,6 +164,7 @@ class ResultSet:
         records: Sequence[ResultRecord],
         cache_stats: Optional[CacheStats] = None,
         perf: Optional[PerfStats] = None,
+        failures: Optional[Sequence[CellFailure]] = None,
     ):
         self.spec = spec
         self.records: List[ResultRecord] = list(records)
@@ -128,6 +174,10 @@ class ResultSet:
         #: Throughput of the run that produced this set (not serialized;
         #: see :class:`PerfStats`).
         self.perf = perf if perf is not None else PerfStats()
+        #: Cells that exhausted their retries this run — their records
+        #: are absent above.  Run metadata like ``perf``: excluded
+        #: from serialization and equality.
+        self.failures: List[CellFailure] = list(failures or ())
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -147,9 +197,13 @@ class ResultSet:
         return self.spec == other.spec and self.records == other.records
 
     def __repr__(self) -> str:
+        failed = (
+            f", failures={len(self.failures)}" if self.failures else ""
+        )
         return (
             f"ResultSet(kind={self.spec.kind!r}, "
-            f"records={len(self.records)}, cache={self.cache_stats})"
+            f"records={len(self.records)}, cache={self.cache_stats}"
+            f"{failed})"
         )
 
     # ------------------------------------------------------------------

@@ -21,10 +21,12 @@ snooping=100) during reassembly.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import os
 import shutil
 import tempfile
 import time
+import traceback as traceback_module
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.accuracy import prediction_accuracy
@@ -40,7 +42,12 @@ from repro.experiment.cache import (
     PersistentTraceCorpus,
     make_corpus,
 )
-from repro.experiment.results import PerfStats, ResultRecord, ResultSet
+from repro.experiment.results import (
+    CellFailure,
+    PerfStats,
+    ResultRecord,
+    ResultSet,
+)
 from repro.experiment.spec import ExperimentSpec, Job
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -164,6 +171,34 @@ def execute_job(
     return records, len(trace)
 
 
+def run_cell(
+    spec: ExperimentSpec, job: Job, corpus: TraceCorpus
+) -> "Tuple[List[ResultRecord], int, Optional[CellFailure]]":
+    """:func:`execute_job` with the runner's graceful-failure contract.
+
+    A cell that raises is retried once (transient trouble — a racing
+    cache writer, a flaky mount — usually clears); a second failure
+    is converted into a :class:`CellFailure` carrying the traceback,
+    so one bad cell no longer aborts a whole sweep mid-pool.
+    """
+    failure: Optional[CellFailure] = None
+    for attempt in (1, 2):
+        try:
+            records, processed = execute_job(spec, job, corpus)
+            return records, processed, None
+        except Exception as exc:  # noqa: BLE001 - reported, not hidden
+            failure = CellFailure(
+                workload=job.workload,
+                seed=job.seed,
+                label=job.label,
+                bandwidth=job.bandwidth,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback_module.format_exc(),
+                attempts=attempt,
+            )
+    return [], 0, failure
+
+
 def _normalize_runtime_records(
     spec: ExperimentSpec, records: List[ResultRecord]
 ) -> List[ResultRecord]:
@@ -194,9 +229,13 @@ def _normalize_runtime_records(
             )
     normalized = []
     for record in records:
-        directory_runtime, snooping_traffic = baselines[
-            (record.workload, record.seed, record.bandwidth)
-        ]
+        # A failed baseline cell leaves its group without a reference
+        # point; the group's records then normalize to 0.0 (the
+        # helper's "no baseline" convention) instead of crashing the
+        # reassembly of every other cell.
+        directory_runtime, snooping_traffic = baselines.get(
+            (record.workload, record.seed, record.bandwidth), (0.0, 0.0)
+        )
         metrics = record.metrics
         normalized_runtime, normalized_traffic = (
             normalized_runtime_metrics(
@@ -227,23 +266,51 @@ def _normalize_runtime_records(
     return normalized
 
 
+def normalize_records(
+    spec: ExperimentSpec, records: List[ResultRecord]
+) -> List[ResultRecord]:
+    """Public reassembly hook: canonical-order records → final records.
+
+    The runner and the distributed fabric share this one path, so a
+    sweep reassembled from fabric result-store artifacts is
+    byte-identical to a serial in-process run of the same spec.
+    """
+    return _normalize_runtime_records(spec, records)
+
+
 def _run_job_worker(
     spec_dict: dict, index: int, cache_dir: Optional[str]
-) -> Tuple[int, List[dict], int]:
+) -> Tuple[int, List[dict], int, Optional[dict]]:
     """Process-pool entry point (module-level, hence picklable)."""
     spec = ExperimentSpec.from_dict(spec_dict)
     corpus = make_corpus(spec.system_config, cache_dir)
-    records, processed = execute_job(spec, spec.expand()[index], corpus)
-    return index, [r.to_dict() for r in records], processed
+    records, processed, failure = run_cell(
+        spec, spec.expand()[index], corpus
+    )
+    return (
+        index,
+        [r.to_dict() for r in records],
+        processed,
+        dataclasses.asdict(failure) if failure is not None else None,
+    )
 
 
 def _warm_trace_worker(
     spec_dict: dict, workload: str, seed: int, cache_dir: str
 ) -> Dict[str, int]:
-    """Ensure one (workload, seed) trace is in the disk cache."""
+    """Ensure one (workload, seed) trace is in the disk cache.
+
+    A generation failure here is swallowed: the label cells that need
+    the trace will hit the same error and report it through the
+    graceful per-cell path, instead of the warm phase aborting the
+    pool before any cell has run.
+    """
     spec = ExperimentSpec.from_dict(spec_dict)
     corpus = make_corpus(spec.system_config, cache_dir)
-    corpus.trace(workload, spec.n_references, seed)
+    try:
+        corpus.trace(workload, spec.n_references, seed)
+    except Exception:  # noqa: BLE001 - the cells re-raise and report
+        pass
     assert isinstance(corpus, PersistentTraceCorpus)
     return corpus.cache_stats.to_dict()
 
@@ -303,19 +370,25 @@ class Runner:
     ) -> ResultSet:
         corpus = self._make_corpus(spec)
         records: List[ResultRecord] = []
+        failures: List[CellFailure] = []
         processed = 0
         started = time.perf_counter()
         for job in jobs:
-            job_records, job_processed = execute_job(spec, job, corpus)
+            job_records, job_processed, failure = run_cell(
+                spec, job, corpus
+            )
             records.extend(job_records)
             processed += job_processed
+            if failure is not None:
+                failures.append(failure)
         records = _normalize_runtime_records(spec, records)
         elapsed = time.perf_counter() - started
         stats = CacheStats()
         if isinstance(corpus, PersistentTraceCorpus):
             stats.merge(corpus.cache_stats)
         return ResultSet(
-            spec, records, stats, PerfStats(processed, elapsed)
+            spec, records, stats, PerfStats(processed, elapsed),
+            failures=failures,
         )
 
     def _run_parallel(
@@ -339,6 +412,7 @@ class Runner:
     ) -> ResultSet:
         spec_dict = spec.to_dict()
         by_index: Dict[int, List[ResultRecord]] = {}
+        failures_by_index: Dict[int, CellFailure] = {}
         stats = CacheStats()
         processed = 0
         started = time.perf_counter()
@@ -369,18 +443,26 @@ class Runner:
                 for job in jobs
             ]
             for future in concurrent.futures.as_completed(futures):
-                index, record_dicts, job_processed = future.result()
+                index, record_dicts, job_processed, failure = (
+                    future.result()
+                )
                 by_index[index] = [
                     ResultRecord.from_dict(r) for r in record_dicts
                 ]
+                if failure is not None:
+                    failures_by_index[index] = CellFailure(**failure)
                 processed += job_processed
         elapsed = time.perf_counter() - started
         records: List[ResultRecord] = []
+        failures: List[CellFailure] = []
         for job in jobs:  # reassemble in canonical order
             records.extend(by_index[job.index])
+            if job.index in failures_by_index:
+                failures.append(failures_by_index[job.index])
         records = _normalize_runtime_records(spec, records)
         return ResultSet(
-            spec, records, stats, PerfStats(processed, elapsed)
+            spec, records, stats, PerfStats(processed, elapsed),
+            failures=failures,
         )
 
 

@@ -46,6 +46,14 @@ BASELINE_LABELS = ("directory", "broadcast-snooping")
 #: fortieth the size, where broadcast fan-out congests its own links.
 DEFAULT_BANDWIDTHS = (10.0, 2.5, 1.0, 0.25)
 
+#: Salt baked into every per-cell key (:meth:`ExperimentSpec.cell_key`).
+#: Bump when the *meaning* of a cell's stored result changes — new
+#: metrics, changed evaluation semantics — so fabric result stores
+#: never serve stale artifacts across an upgrade.  Trace-content
+#: versioning rides along separately (the key also folds in the trace
+#: cache's format/version salts).
+CELL_KEY_VERSION = 1
+
 
 @dataclasses.dataclass(frozen=True)
 class Job:
@@ -250,6 +258,45 @@ class ExperimentSpec:
         """Stable short hash of the spec's canonical JSON form."""
         payload = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+    def cell_key(self, job: Job) -> str:
+        """Content hash of one cell's *result*, stable across specs.
+
+        Folds in everything that determines the cell's raw records —
+        the job coordinates (workload, seed, label, bandwidth point)
+        and every spec field that shapes evaluation (kind, trace size,
+        warmup, processor model, configs) — and deliberately nothing
+        else: the surrounding sweep's other workloads, seeds, and
+        policies don't change this cell, so two overlapping specs
+        share fabric result-store artifacts for their common cells.
+        ``job.bandwidth`` enters the key on its own (not just folded
+        into the config) because the stored records carry the sweep
+        point verbatim, ``None`` included.
+        """
+        from repro.experiment.cache import CACHE_FORMAT, TRACE_KEY_VERSION
+
+        payload = json.dumps(
+            {
+                "cell_version": CELL_KEY_VERSION,
+                "trace_format": CACHE_FORMAT,
+                "trace_version": TRACE_KEY_VERSION,
+                "kind": self.kind,
+                "workload": job.workload,
+                "seed": job.seed,
+                "label": job.label,
+                "bandwidth": job.bandwidth,
+                "n_references": self.n_references,
+                "warmup_fraction": self.warmup_fraction,
+                "processor_model": self.processor_model,
+                "max_outstanding": self.max_outstanding,
+                "predictor_config": dataclasses.asdict(
+                    self.predictor_config
+                ),
+                "system_config": dataclasses.asdict(self.system_config),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:24]
 
 
 def bandwidth_sweep(

@@ -1,0 +1,73 @@
+"""Distributed sweep fabric: durable queue, shared store, serving.
+
+Scales the in-process :class:`~repro.experiment.runner.Runner` out to
+many processes and hosts with nothing but a shared directory.  Sweep
+cells (already deterministic, content-addressed units) become durable
+queue entries; their raw results become content-addressed artifacts;
+repeated queries become store reads.  The moving parts:
+
+- :class:`WorkQueue` (:mod:`repro.fabric.queue`) — filesystem work
+  queue with atomic ``O_EXCL`` claims, heartbeat leases, expiry
+  reclamation, bounded retries with backoff, and poison-cell
+  quarantine.
+- :class:`ResultStore` (:mod:`repro.fabric.store`) — atomic
+  ``<cell-key>.json`` artifacts; torn files read as misses and heal.
+- :class:`FabricWorker` (:mod:`repro.fabric.worker`) — the ``repro
+  work`` claim-execute-store loop, running cells through the same
+  :func:`~repro.experiment.runner.execute_job` as the local runner.
+- :class:`FabricCoordinator` (:mod:`repro.fabric.coordinator`) — the
+  ``repro sweep --fabric`` side: enqueue only missing cells, resume
+  for free, reassemble a byte-identical :class:`ResultSet`.
+- :mod:`repro.fabric.serve` — the ``repro serve`` JSON endpoint
+  answering ``GET /result/<digest>`` and ``POST /sweep`` from the
+  store.
+
+Quick start (one machine, two terminals)::
+
+    $ repro sweep spec.json --fabric /mnt/fabric --workers 4
+    $ repro fabric status /mnt/fabric      # meanwhile, from anywhere
+
+or a standing service::
+
+    $ repro serve /mnt/fabric --port 8321 --workers 4 &
+    $ curl -d @spec.json http://localhost:8321/sweep
+"""
+
+from repro.fabric.coordinator import FabricCoordinator
+from repro.fabric.layout import FabricLayout
+from repro.fabric.queue import (
+    BACKOFF_BASE,
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    Cell,
+    Lease,
+    WorkQueue,
+)
+from repro.fabric.serve import FabricHTTPServer, make_server, serve
+from repro.fabric.store import STORE_FORMAT, ResultStore
+from repro.fabric.worker import (
+    FabricWorker,
+    WorkerOptions,
+    default_worker_id,
+    run_worker_pool,
+)
+
+__all__ = [
+    "BACKOFF_BASE",
+    "Cell",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FabricCoordinator",
+    "FabricHTTPServer",
+    "FabricLayout",
+    "FabricWorker",
+    "Lease",
+    "ResultStore",
+    "STORE_FORMAT",
+    "WorkQueue",
+    "WorkerOptions",
+    "default_worker_id",
+    "make_server",
+    "run_worker_pool",
+    "serve",
+]

@@ -1,0 +1,216 @@
+"""Fabric coordination: enqueue missing cells, assemble results.
+
+The coordinator is the client side of the fabric: ``repro sweep
+--fabric <dir>`` registers the spec, enqueues only the cells whose
+results are not already in the store (resume is free — a re-run of
+the same or an overlapping spec skips completed cells), optionally
+runs a local worker pool, and reassembles the final
+:class:`ResultSet` from store artifacts in canonical job order
+through the runner's own normalization path.  The reassembled set is
+therefore byte-identical to what a serial in-process ``Runner.run``
+of the same spec produces — regardless of worker count, host count,
+interruptions, or how many separate invocations it took.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.atomicio import read_json, write_json_atomic
+from repro.experiment.cache import CacheStats
+from repro.experiment.results import (
+    CellFailure,
+    PerfStats,
+    ResultRecord,
+    ResultSet,
+)
+from repro.experiment.runner import normalize_records
+from repro.experiment.spec import ExperimentSpec, Job
+from repro.fabric.layout import FabricLayout, PathLike
+from repro.fabric.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    Cell,
+    WorkQueue,
+)
+from repro.fabric.store import ResultStore
+from repro.fabric.worker import WorkerOptions, run_worker_pool
+
+
+class FabricCoordinator:
+    """Client-side operations over one fabric directory."""
+
+    def __init__(
+        self,
+        fabric_dir: PathLike,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        self.layout = FabricLayout(fabric_dir).ensure()
+        self.queue = WorkQueue(
+            fabric_dir, lease_ttl=lease_ttl, max_attempts=max_attempts
+        )
+        self.store = ResultStore(self.layout.store)
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+
+    # -- spec registry -------------------------------------------------
+    def register(self, spec: ExperimentSpec) -> str:
+        """Publish ``spec`` under its digest; returns the digest.
+
+        Idempotent: the registry is content-addressed, so re-posting
+        an identical spec rewrites an identical artifact.  Workers
+        and the serve endpoint resolve digests through this registry.
+        """
+        digest = spec.digest()
+        write_json_atomic(self.layout.spec_path(digest), spec.to_dict())
+        return digest
+
+    def load_spec(self, digest: str) -> Optional[ExperimentSpec]:
+        data = read_json(self.layout.spec_path(digest))
+        if data is None:
+            return None
+        return ExperimentSpec.from_dict(data)
+
+    def registered_specs(self) -> List[str]:
+        return sorted(
+            path.stem for path in self.layout.specs.glob("*.json")
+        )
+
+    # -- enqueueing ----------------------------------------------------
+    def cells(self, spec: ExperimentSpec) -> List[Tuple[Job, str]]:
+        """The spec's jobs with their content keys, canonical order."""
+        return [(job, spec.cell_key(job)) for job in spec.expand()]
+
+    def enqueue_missing(self, spec: ExperimentSpec) -> Dict[str, int]:
+        """Queue every cell whose result is not already stored.
+
+        Returns counts: ``stored`` results reused from the store,
+        ``enqueued`` cells newly queued, ``queued`` cells already
+        pending or quarantined (left alone).
+        """
+        digest = self.register(spec)
+        counts = {"stored": 0, "enqueued": 0, "queued": 0}
+        for job, key in self.cells(spec):
+            if self.store.has(key):
+                counts["stored"] += 1
+                continue
+            cell = Cell(
+                key=key,
+                spec_digest=digest,
+                index=job.index,
+                workload=job.workload,
+                seed=job.seed,
+                label=job.label,
+                bandwidth=job.bandwidth,
+            )
+            if self.queue.enqueue(cell):
+                counts["enqueued"] += 1
+            else:
+                counts["queued"] += 1
+        return counts
+
+    # -- assembly ------------------------------------------------------
+    def try_assemble(
+        self, spec: ExperimentSpec, elapsed: float = 0.0
+    ) -> Optional[ResultSet]:
+        """The spec's ResultSet from the store, or None if incomplete.
+
+        Quarantined cells don't block assembly: their records are
+        absent and they are reported as :class:`CellFailure` run
+        metadata, matching the in-process runner's graceful-failure
+        contract.  Any other missing cell returns None (still
+        executing, or not yet enqueued).
+        """
+        failed_keys = {
+            failure.get("cell", {}).get("key"): failure
+            for failure in self.queue.failed_cells()
+        }
+        records: List[ResultRecord] = []
+        failures: List[CellFailure] = []
+        processed = 0
+        for job, key in self.cells(spec):
+            artifact = self.store.get(key)
+            if artifact is None:
+                failure = failed_keys.get(key)
+                if failure is None:
+                    return None
+                errors = failure.get("errors") or ["unknown error"]
+                failures.append(
+                    CellFailure(
+                        workload=job.workload,
+                        seed=job.seed,
+                        label=job.label,
+                        bandwidth=job.bandwidth,
+                        error=errors[-1].splitlines()[0],
+                        traceback=errors[-1],
+                        attempts=failure.get("attempts", 0),
+                    )
+                )
+                continue
+            records.extend(
+                ResultRecord.from_dict(data)
+                for data in artifact["records"]
+            )
+            processed += artifact.get("processed", 0)
+        records = normalize_records(spec, records)
+        return ResultSet(
+            spec,
+            records,
+            CacheStats(),
+            PerfStats(processed, elapsed),
+            failures=failures,
+        )
+
+    # -- end-to-end ----------------------------------------------------
+    def run(
+        self,
+        spec: ExperimentSpec,
+        workers: int = 1,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> ResultSet:
+        """Enqueue missing cells, execute, and assemble the ResultSet.
+
+        ``workers >= 1`` runs that many local worker processes in
+        drain mode (they exit when no cell is pending).  ``workers=0``
+        only enqueues and then waits for *external* workers —
+        ``repro work`` fleets on this or other hosts — bounded by
+        ``timeout`` seconds (None waits forever).
+        """
+        started = time.perf_counter()
+        self.enqueue_missing(spec)
+        if workers >= 1:
+            run_worker_pool(
+                self.layout.root,
+                workers,
+                WorkerOptions(
+                    lease_ttl=self.lease_ttl,
+                    max_attempts=self.max_attempts,
+                    poll_interval=poll_interval,
+                ),
+            )
+        while True:
+            results = self.try_assemble(
+                spec, elapsed=time.perf_counter() - started
+            )
+            if results is not None:
+                return results
+            waited = time.perf_counter() - started
+            if timeout is not None and waited > timeout:
+                raise TimeoutError(
+                    f"fabric sweep incomplete after {waited:.1f}s "
+                    f"({len(self.queue.pending_keys())} cell(s) still "
+                    "pending)"
+                )
+            time.sleep(poll_interval)
+
+    # -- introspection -------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """Queue, store, and registry state for ``repro fabric status``."""
+        status = self.queue.status()
+        status["stored"] = len(self.store)
+        status["specs"] = self.registered_specs()
+        status["fabric_dir"] = str(self.layout.root)
+        return status

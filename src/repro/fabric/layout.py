@@ -1,0 +1,117 @@
+"""On-disk layout of one fabric directory.
+
+A fabric directory is the whole coordination surface: a single local
+directory or a shared mount visible to every worker host.  All state
+lives in flat subdirectories of small JSON artifacts, every write is
+atomic (:mod:`repro.common.atomicio`), and every claim uses
+``O_CREAT|O_EXCL`` — so the fabric needs no daemon, no database, and
+no locks beyond what POSIX rename/create semantics give any shared
+filesystem.
+
+Layout::
+
+    <fabric>/
+      specs/<digest>.json     registered ExperimentSpecs (by digest)
+      queue/pending/<key>.json   cells awaiting execution
+      queue/claims/<key>.json    one per leased cell (worker+heartbeat)
+      queue/retries/<key>.json   attempt count + backoff gate
+      queue/failed/<key>.json    poison-cell quarantine (with errors)
+      queue/done/<key>.json      advisory completion markers
+      store/<key>.json        content-addressed raw cell results
+      traces/                 shared trace cache (TraceCache layout)
+
+``<key>`` is :meth:`ExperimentSpec.cell_key` — a content hash of one
+cell's full configuration — so overlapping specs share queue entries
+and results, and re-enqueueing is idempotent.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class FabricLayout:
+    """Path arithmetic (and directory creation) for one fabric dir."""
+
+    def __init__(self, root: PathLike):
+        self.root = pathlib.Path(root)
+
+    # -- subdirectories ------------------------------------------------
+    @property
+    def specs(self) -> pathlib.Path:
+        return self.root / "specs"
+
+    @property
+    def pending(self) -> pathlib.Path:
+        return self.root / "queue" / "pending"
+
+    @property
+    def claims(self) -> pathlib.Path:
+        return self.root / "queue" / "claims"
+
+    @property
+    def retries(self) -> pathlib.Path:
+        return self.root / "queue" / "retries"
+
+    @property
+    def failed(self) -> pathlib.Path:
+        return self.root / "queue" / "failed"
+
+    @property
+    def done(self) -> pathlib.Path:
+        return self.root / "queue" / "done"
+
+    @property
+    def store(self) -> pathlib.Path:
+        return self.root / "store"
+
+    @property
+    def traces(self) -> pathlib.Path:
+        """The fabric's co-located shared trace cache.
+
+        Workers point their :class:`~repro.experiment.cache.TraceCache`
+        here by default, so one worker's generated trace is every
+        other worker's cache hit — the same single-generation contract
+        the in-process pool gets from its warm phase, extended across
+        hosts.
+        """
+        return self.root / "traces"
+
+    # ------------------------------------------------------------------
+    def ensure(self) -> "FabricLayout":
+        """Create every fabric subdirectory (idempotent)."""
+        for directory in (
+            self.specs,
+            self.pending,
+            self.claims,
+            self.retries,
+            self.failed,
+            self.done,
+            self.store,
+            self.traces,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- per-key paths -------------------------------------------------
+    def spec_path(self, digest: str) -> pathlib.Path:
+        return self.specs / f"{digest}.json"
+
+    def pending_path(self, key: str) -> pathlib.Path:
+        return self.pending / f"{key}.json"
+
+    def claim_path(self, key: str) -> pathlib.Path:
+        return self.claims / f"{key}.json"
+
+    def retry_path(self, key: str) -> pathlib.Path:
+        return self.retries / f"{key}.json"
+
+    def failed_path(self, key: str) -> pathlib.Path:
+        return self.failed / f"{key}.json"
+
+    def done_path(self, key: str) -> pathlib.Path:
+        return self.done / f"{key}.json"

@@ -1,0 +1,240 @@
+"""Fabric worker: claim cells, execute them, publish results.
+
+``repro work <fabric-dir>`` runs one or more of these per host; any
+number of hosts may point at the same fabric directory.  A worker
+
+1. claims a pending cell (atomic ``O_EXCL`` claim file),
+2. heartbeats the claim from a daemon thread while executing, so a
+   SIGKILL'd / OOM'd / power-cut worker simply stops heartbeating and
+   its lease expires for another worker to reclaim,
+3. executes the cell through the *same* :func:`execute_job` the
+   in-process runner uses, against the fabric's co-located trace
+   cache (one worker's generated trace is everyone's cache hit),
+4. atomically publishes the raw records into the result store, then
+   retires the cell from the queue.
+
+An execution error releases the cell back to the queue (bounded
+retries with backoff; quarantine after ``max_attempts``) — one poison
+cell cannot take the fleet down.
+
+Drain semantics: without ``follow``, a worker exits once no cell is
+pending (everything stored or quarantined); with ``follow`` it keeps
+polling — the mode ``repro serve`` pairs with, where cold queries
+enqueue work continuously.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Dict, Optional
+
+from repro.evaluation.corpus import TraceCorpus
+from repro.experiment.cache import make_corpus
+from repro.experiment.runner import execute_job
+from repro.experiment.spec import ExperimentSpec
+from repro.common.atomicio import read_json
+from repro.fabric.layout import FabricLayout, PathLike
+from repro.fabric.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    Lease,
+    WorkQueue,
+)
+from repro.fabric.store import ResultStore
+
+#: Chaos/test hook: seconds to sleep between claiming a cell and
+#: executing it.  Lets crash-recovery tests (and manual fault drills)
+#: SIGKILL a worker that is reliably *mid-cell*, with its lease held.
+HOLD_ENV = "REPRO_FABRIC_HOLD_SECONDS"
+
+
+def default_worker_id() -> str:
+    """``host-pid``: unique per worker process across a shared mount."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class FabricWorker:
+    """One claim-execute-store loop over a fabric directory."""
+
+    def __init__(
+        self,
+        fabric_dir: PathLike,
+        worker_id: Optional[str] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        max_cells: Optional[int] = None,
+        follow: bool = False,
+        poll_interval: float = 0.2,
+    ):
+        self.layout = FabricLayout(fabric_dir).ensure()
+        self.queue = WorkQueue(
+            fabric_dir, lease_ttl=lease_ttl, max_attempts=max_attempts
+        )
+        self.store = ResultStore(self.layout.store)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_ttl = lease_ttl
+        self.max_cells = max_cells
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self._specs: Dict[str, ExperimentSpec] = {}
+        self._corpora: Dict[str, TraceCorpus] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Work until drained (or ``max_cells``); cells executed."""
+        executed = 0
+        while self.max_cells is None or executed < self.max_cells:
+            lease = self.queue.claim(self.worker_id)
+            if lease is None:
+                if self.follow or self.queue.has_work():
+                    # Idle but not drained: other workers hold leases,
+                    # cells are backing off, or (follow mode) new work
+                    # may arrive.  An expired lease is reclaimed by
+                    # the claim scan on a later pass.
+                    time.sleep(self.poll_interval)
+                    continue
+                break
+            executed += self._execute(lease)
+        return executed
+
+    # ------------------------------------------------------------------
+    def _execute(self, lease: Lease) -> int:
+        """Run one leased cell; returns 1 on success, 0 on release."""
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(lease, stop), daemon=True
+        )
+        beat.start()
+        try:
+            hold = float(os.environ.get(HOLD_ENV, "0") or "0")
+            if hold > 0:
+                time.sleep(hold)
+            cell = lease.cell
+            if self.store.has(cell.key):
+                # Another fleet finished it between enqueue and claim.
+                self.queue.complete(lease)
+                return 1
+            spec = self._spec(cell.spec_digest)
+            job = spec.expand()[cell.index]
+            if spec.cell_key(job) != cell.key:
+                raise RuntimeError(
+                    f"cell {cell.key} does not match job {cell.index} "
+                    f"of spec {cell.spec_digest} (stale queue entry?)"
+                )
+            records, processed = execute_job(
+                spec, job, self._corpus(spec)
+            )
+            self.store.put(
+                cell.key,
+                [record.to_dict() for record in records],
+                processed,
+                cell.to_dict(),
+            )
+            self.queue.complete(lease)
+            return 1
+        except Exception as exc:  # noqa: BLE001 - queue-level retry
+            self.queue.release(
+                lease,
+                f"{type(exc).__name__}: {exc}\n"
+                f"{traceback.format_exc()}",
+            )
+            return 0
+        finally:
+            stop.set()
+            beat.join(timeout=1.0)
+
+    def _heartbeat_loop(
+        self, lease: Lease, stop: threading.Event
+    ) -> None:
+        interval = max(0.05, self.lease_ttl / 4.0)
+        while not stop.wait(interval):
+            try:
+                self.queue.heartbeat(lease)
+            except OSError:  # pragma: no cover - transient mount issue
+                pass
+
+    # ------------------------------------------------------------------
+    def _spec(self, digest: str) -> ExperimentSpec:
+        spec = self._specs.get(digest)
+        if spec is None:
+            data = read_json(self.layout.spec_path(digest))
+            if data is None:
+                raise RuntimeError(
+                    f"spec {digest} is not registered in "
+                    f"{self.layout.specs}"
+                )
+            spec = ExperimentSpec.from_dict(data)
+            self._specs[digest] = spec
+        return spec
+
+    def _corpus(self, spec: ExperimentSpec) -> TraceCorpus:
+        # One persistent corpus per spec digest: in-memory memoization
+        # within this worker, the fabric's shared traces/ dir across
+        # workers and hosts.
+        digest = spec.digest()
+        corpus = self._corpora.get(digest)
+        if corpus is None:
+            corpus = make_corpus(
+                spec.system_config, self.layout.traces
+            )
+            self._corpora[digest] = corpus
+        return corpus
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerOptions:
+    """Picklable knobs for a pool of worker processes."""
+
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    max_cells: Optional[int] = None
+    follow: bool = False
+    poll_interval: float = 0.2
+
+
+def _worker_entry(fabric_dir: str, options: WorkerOptions) -> None:
+    """Child-process entry point (module-level, hence picklable)."""
+    FabricWorker(
+        fabric_dir,
+        lease_ttl=options.lease_ttl,
+        max_attempts=options.max_attempts,
+        max_cells=options.max_cells,
+        follow=options.follow,
+        poll_interval=options.poll_interval,
+    ).run()
+
+
+def run_worker_pool(
+    fabric_dir: PathLike,
+    n_workers: int,
+    options: Optional[WorkerOptions] = None,
+) -> None:
+    """Run ``n_workers`` local worker processes; blocks until all exit.
+
+    ``n_workers=1`` runs in-process (no fork cost, easier debugging);
+    larger pools use one OS process per worker so cells execute with
+    true parallelism, mirroring the in-process runner's pool.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    options = options or WorkerOptions()
+    fabric_dir = os.fspath(fabric_dir)
+    if n_workers == 1:
+        _worker_entry(fabric_dir, options)
+        return
+    processes = [
+        multiprocessing.Process(
+            target=_worker_entry, args=(fabric_dir, options)
+        )
+        for _ in range(n_workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()

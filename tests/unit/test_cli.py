@@ -238,3 +238,75 @@ class TestSweep:
             build_parser().parse_args(
                 ["runtime", "oltp", "--interconnect", "warp"]
             )
+
+
+class TestFabricCLI:
+    def _write_spec(self, tmp_path):
+        spec = {
+            "name": "mini",
+            "kind": "tradeoff",
+            "workloads": ["barnes-hut"],
+            "n_references": 1500,
+            "policies": ["owner"],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_parser_accepts_fabric_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "s.json", "--fabric", "fab", "--workers", "2"]
+        )
+        assert args.fabric == "fab" and args.workers == 2
+        args = parser.parse_args(
+            ["work", "fab", "--workers", "3", "--max-cells", "1",
+             "--lease-ttl", "5", "--follow"]
+        )
+        assert args.workers == 3 and args.follow
+        args = parser.parse_args(["serve", "fab", "--port", "0"])
+        assert args.port == 0
+        args = parser.parse_args(["fabric", "status", "fab", "--json"])
+        assert args.fabric_command == "status" and args.json
+
+    def test_workers_without_fabric_rejected(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="--workers requires"):
+            main(["sweep", spec, "--workers", "2"])
+
+    def test_enqueue_work_status_sweep_flow(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        fabric = str(tmp_path / "fab")
+
+        assert main(["fabric", "enqueue", spec, fabric]) == 0
+        out = capsys.readouterr().out
+        assert "3 enqueued" in out
+
+        assert main(
+            ["work", fabric, "--max-cells", "1", "--workers", "1"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["fabric", "status", fabric]) == 0
+        out = capsys.readouterr().out
+        assert "2 pending" in out
+        assert "1 done" in out
+
+        # The coordinator resumes the remaining cells and the sweep
+        # completes with a normal results table.
+        out_path = tmp_path / "results.json"
+        assert main(
+            ["sweep", spec, "--fabric", fabric, "--workers", "1",
+             "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 cell(s) already in store" in out
+        assert "owner" in out
+        assert out_path.exists()
+
+    def test_fabric_status_json(self, tmp_path, capsys):
+        fabric = str(tmp_path / "fab")
+        assert main(["fabric", "status", fabric, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["pending"] == 0
+        assert status["specs"] == []

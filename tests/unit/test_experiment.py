@@ -533,3 +533,95 @@ class TestResultSet:
         assert record["x"] == 1.0
         assert record.to_dict()["metrics"] == {"x": 1.0}
         assert ResultRecord.from_dict(record.to_dict()) == record
+
+
+class TestGracefulFailure:
+    """A raising cell is retried once, then reported — never fatal."""
+
+    @staticmethod
+    def _flaky(real, fail_labels, times):
+        """Wrap execute_job to fail ``times`` times for some labels."""
+        budget = dict.fromkeys(fail_labels, times)
+
+        def fake(spec, job, corpus):
+            if budget.get(job.label, 0) > 0:
+                budget[job.label] -= 1
+                raise RuntimeError(f"injected fault in {job.label}")
+            return real(spec, job, corpus)
+
+        return fake
+
+    def test_transient_fault_is_retried_and_succeeds(
+        self, monkeypatch
+    ):
+        import repro.experiment.runner as runner_module
+
+        spec = ExperimentSpec(workloads=("ocean",), **SMALL)
+        reference = Runner(jobs=1).run(spec)
+        monkeypatch.setattr(
+            runner_module, "execute_job",
+            self._flaky(runner_module.execute_job, ("owner",), 1),
+        )
+        results = Runner(jobs=1).run(spec)
+        assert results.failures == []
+        assert results == reference
+
+    def test_persistent_fault_reported_not_fatal(self, monkeypatch):
+        import repro.experiment.runner as runner_module
+        from repro.experiment import CellFailure
+
+        spec = ExperimentSpec(workloads=("ocean",), **SMALL)
+        monkeypatch.setattr(
+            runner_module, "execute_job",
+            self._flaky(runner_module.execute_job, ("owner",), 99),
+        )
+        results = Runner(jobs=1).run(spec)
+        # The sweep completed: baselines present, owner absent but
+        # reported as structured failure metadata with the traceback.
+        assert results.labels() == ["directory", "broadcast-snooping"]
+        assert len(results.failures) == 1
+        failure = results.failures[0]
+        assert isinstance(failure, CellFailure)
+        assert failure.label == "owner"
+        assert failure.attempts == 2  # initial + one retry
+        assert "injected fault" in failure.error
+        assert "RuntimeError" in failure.traceback
+        assert failure.to_dict()["workload"] == "ocean"
+
+    def test_failures_excluded_from_serialization_and_equality(
+        self, monkeypatch
+    ):
+        import repro.experiment.runner as runner_module
+
+        spec = ExperimentSpec(workloads=("ocean",), **SMALL)
+        monkeypatch.setattr(
+            runner_module, "execute_job",
+            self._flaky(runner_module.execute_job, ("owner",), 99),
+        )
+        results = Runner(jobs=1).run(spec)
+        clone = ResultSet.from_dict(results.to_dict())
+        assert clone.failures == []  # run metadata, like perf/cache
+        assert clone == results
+        assert "failures" not in results.to_dict()
+
+    def test_runtime_missing_baseline_does_not_crash(
+        self, monkeypatch
+    ):
+        import repro.experiment.runner as runner_module
+
+        spec = ExperimentSpec(
+            workloads=("ocean",), kind="runtime", **SMALL
+        )
+        monkeypatch.setattr(
+            runner_module, "execute_job",
+            self._flaky(
+                runner_module.execute_job, ("directory",), 99
+            ),
+        )
+        # The directory baseline failed; normalization must degrade
+        # (0.0 = "no baseline" convention) instead of KeyError.
+        results = Runner(jobs=1).run(spec)
+        assert len(results.failures) == 1
+        assert results.failures[0].label == "directory"
+        for record in results.records:
+            assert record["normalized_runtime"] == pytest.approx(0.0)
