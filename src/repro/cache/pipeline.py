@@ -67,20 +67,33 @@ class TraceCollector:
             node: 0 for node in range(config.n_processors)
         }
         self._references = 0
+        # Native chunk-collector session (repro.kernels): created
+        # lazily on the first chunk; False = probed and unavailable.
+        self._kernel_session = None
 
     # ------------------------------------------------------------------
     @property
     def global_state(self) -> GlobalCoherenceState:
         """The live global MOSI state (useful for inspection/tests)."""
+        self._flush_kernel()
         return self._global
 
     def hierarchy(self, node: int) -> CacheHierarchy:
         """The cache hierarchy of processor ``node``."""
+        self._flush_kernel()
         return self._hierarchies[node]
+
+    def _flush_kernel(self) -> None:
+        # Sync native session state back before any Python-side API
+        # observes (or mutates) the cache/MOSI/counter structures.
+        session = self._kernel_session
+        if session:
+            session.flush()
 
     # ------------------------------------------------------------------
     def process(self, reference: MemoryReference) -> bool:
         """Process one reference.  Returns True if it missed."""
+        self._flush_kernel()
         node = reference.node
         if not 0 <= node < self._config.n_processors:
             raise ValueError(
@@ -134,6 +147,18 @@ class TraceCollector:
         length = len(nodes)
         if length == 0:
             return 0
+        session = self._kernel_session
+        if session is None:
+            from repro import kernels
+
+            session = kernels.collector_session(self)
+            self._kernel_session = session if session else False
+        if session:
+            n_miss = session.process_chunk(chunk)
+            if n_miss is not None:
+                return n_miss
+            # Envelope miss: the session flushed itself; fall through
+            # to the Python loop for this chunk.
         if min(nodes) < 0 or max(nodes) >= n_procs:
             raise ValueError(
                 f"chunk contains nodes outside [0, {n_procs})"
@@ -280,6 +305,7 @@ class TraceCollector:
 
     def result(self) -> CollectionResult:
         """The trace and counters accumulated so far."""
+        self._flush_kernel()
         return CollectionResult(
             trace=self._trace,
             instructions=dict(self._instructions),

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.locality import locality_cdf
 from repro.analysis.sharing import degree_of_sharing, sharing_histogram
+from repro.common import backend as _backend
 from repro.common.params import PredictorConfig, SystemConfig
 from repro.evaluation.runtime import make_protocol
 from repro.evaluation.tradeoff import (
@@ -88,6 +89,15 @@ DEFAULT_SEED = 42
 #: Quick configuration for CI smoke runs.
 QUICK_WORKLOAD = "barnes-hut"
 QUICK_REFERENCES = 8_000
+
+#: Entries re-run under the native kernel tier (as ``<name>_native``)
+#: when the unified backend resolves to ``native``.  The regular
+#: entries are pinned to the fastest *Python* tier so their numbers
+#: stay comparable across machines and commits regardless of whether
+#: the extension is built; the ``_native`` twins (plus the
+#: ``pre_native_baseline`` block) document the compiled tier's
+#: speedup on the same machine in the same run.
+NATIVE_BENCH_ENTRIES = ("protocol_multicast_group", "timing_runtime")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -367,11 +377,35 @@ def run_suite(
     suite = _benchmarks(
         trace, config, predictor_config, workload, n_references, seed
     )
-    for name, function in suite:
+
+    def pinned(function, backend_name):
+        def wrapped() -> int:
+            with _backend.use(backend_name):
+                return function()
+        return wrapped
+
+    # Pin the regular entries to a Python tier and twin the native-
+    # accelerated hot paths (see NATIVE_BENCH_ENTRIES).  An explicit
+    # pure/numpy selection is honoured as-is (REPRO_PURE_PYTHON=1 must
+    # measure the pure floor); under the native backend the regular
+    # entries run on the fastest *Python* tier so the cross-commit
+    # trajectory stays comparable and the native twins have a
+    # same-report denominator.
+    unified = _backend.backend_name()
+    if unified == "native":
+        python_tier = "numpy" if _backend._numpy_available() else "pure"
+    else:
+        python_tier = unified
+    timed = [(name, pinned(fn, python_tier)) for name, fn in suite]
+    if unified == "native":
+        by_name = dict(suite)
+        timed += [
+            (f"{name}_native", pinned(by_name[name], "native"))
+            for name in NATIVE_BENCH_ENTRIES
+        ]
+    for name, function in timed:
         records, seconds = _time_best(function, repeats)
         results.append(BenchResult(name, records, seconds, score))
-
-    from repro.trace import columns as trace_columns
 
     report = {
         "format": BENCH_FORMAT,
@@ -380,10 +414,24 @@ def run_suite(
         "seed": seed,
         "trace_records": len(trace),
         "python": platform.python_version(),
-        "columns_backend": trace_columns.backend_name(),
+        "columns_backend": unified,
+        "python_tier": python_tier,
         "calibration_kops": round(score, 1),
         "benchmarks": [r.to_dict() for r in results],
     }
+    if unified == "native":
+        natives = {}
+        by_result = {r.name: r for r in results}
+        for name in NATIVE_BENCH_ENTRIES:
+            base = by_result[name]
+            fast = by_result[f"{name}_native"]
+            natives[f"{name}_records_per_sec"] = round(
+                base.records_per_sec, 1
+            )
+            natives[f"{name}_native_speedup"] = round(
+                fast.records_per_sec / base.records_per_sec, 2
+            ) if base.records_per_sec else 0.0
+        report["pre_native_baseline"] = natives
 
     baseline = PRE_COLUMNAR_BASELINE
     if (
@@ -457,18 +505,24 @@ def load_report(path) -> dict:
 def render_report(report: dict) -> str:
     """A human-readable table of one BENCH report."""
     backend = report.get("columns_backend", "python")
+    tier = report.get("python_tier")
+    backend_label = (
+        f"{backend} (python tier: {tier})"
+        if tier and tier != backend
+        else backend
+    )
     lines = [
         f"workload={report['workload']} "
         f"refs={report['n_references']} seed={report['seed']} "
         f"trace={report['trace_records']} records  "
         f"(calibration {report['calibration_kops']:.0f} kops/s, "
-        f"python {report['python']}, columns {backend})",
-        f"{'benchmark':28s} {'records':>10s} {'seconds':>9s} "
+        f"python {report['python']}, backend {backend_label})",
+        f"{'benchmark':31s} {'records':>10s} {'seconds':>9s} "
         f"{'records/sec':>12s} {'calibrated':>10s}",
     ]
     for entry in report["benchmarks"]:
         lines.append(
-            f"{entry['name']:28s} {entry['records']:>10,d} "
+            f"{entry['name']:31s} {entry['records']:>10,d} "
             f"{entry['seconds']:>9.3f} {entry['records_per_sec']:>12,.0f} "
             f"{entry['calibrated']:>10.3f}"
         )
@@ -490,5 +544,14 @@ def render_report(report: dict) -> str:
                 f"{name} speedup vs pre-batched cold path "
                 f"({batched[f'{name}_records_per_sec']:,.0f} "
                 f"{unit}): {batched[f'{name}_speedup']:.2f}x"
+            )
+    native = report.get("pre_native_baseline")
+    if native:
+        for name in NATIVE_BENCH_ENTRIES:
+            lines.append(
+                f"{name} native-kernel speedup vs the Python tier "
+                f"({native[f'{name}_records_per_sec']:,.0f} "
+                f"records/sec): "
+                f"{native[f'{name}_native_speedup']:.2f}x"
             )
     return "\n".join(lines)

@@ -48,6 +48,9 @@ class PerfStats:
 
     records_processed: int = 0
     wall_seconds: float = 0.0
+    #: Unified simulation backend the sweep executed under
+    #: (``pure``/``numpy``/``native``; see :mod:`repro.common.backend`).
+    backend: str = ""
 
     @property
     def records_per_sec(self) -> float:
@@ -57,10 +60,11 @@ class PerfStats:
         return self.records_processed / self.wall_seconds
 
     def __str__(self) -> str:
+        suffix = f", {self.backend} backend" if self.backend else ""
         return (
             f"{self.records_processed:,} records in "
             f"{self.wall_seconds:.2f}s "
-            f"({self.records_per_sec:,.0f} records/sec)"
+            f"({self.records_per_sec:,.0f} records/sec{suffix})"
         )
 
 

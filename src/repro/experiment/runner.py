@@ -30,6 +30,7 @@ import traceback as traceback_module
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.accuracy import prediction_accuracy
+from repro.common import backend as _backend
 from repro.evaluation.corpus import TraceCorpus
 from repro.evaluation.runtime import (
     evaluate_runtime_raw,
@@ -387,7 +388,7 @@ class Runner:
         if isinstance(corpus, PersistentTraceCorpus):
             stats.merge(corpus.cache_stats)
         return ResultSet(
-            spec, records, stats, PerfStats(processed, elapsed),
+            spec, records, stats, PerfStats(processed, elapsed, _backend.backend_name()),
             failures=failures,
         )
 
@@ -461,7 +462,7 @@ class Runner:
                 failures.append(failures_by_index[job.index])
         records = _normalize_runtime_records(spec, records)
         return ResultSet(
-            spec, records, stats, PerfStats(processed, elapsed),
+            spec, records, stats, PerfStats(processed, elapsed, _backend.backend_name()),
             failures=failures,
         )
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common import backend as _backend
 from repro.common.atomicio import read_json, write_json_atomic
 from repro.experiment.cache import CacheStats
 from repro.experiment.results import (
@@ -159,7 +160,7 @@ class FabricCoordinator:
             spec,
             records,
             CacheStats(),
-            PerfStats(processed, elapsed),
+            PerfStats(processed, elapsed, _backend.backend_name()),
             failures=failures,
         )
 

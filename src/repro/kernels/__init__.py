@@ -1,0 +1,111 @@
+"""The kernel ABI: the three replay hot loops behind one boundary.
+
+PRs 2-4 reshaped every hot path into narrow loops over flat int64
+columns.  This package names that shape as an explicit ABI so the
+loops can be swapped between a Python implementation and a compiled
+one without either side knowing about the other:
+
+**Inputs** — flat columns and config scalars only:
+
+- trace columns: ``addresses``/``pcs``/``instructions`` as int64
+  buffers (stdlib ``array('q')``), ``requesters`` as int32 (``'i'``),
+  ``accesses`` as int8 (``'b'``);
+- config scalars: node count, block/granularity shifts, predictor
+  tuning (counter max/threshold/rollover), Table 4 latencies, traffic
+  byte sizes — plain ints and floats;
+- mutable simulation state at the boundary: the MOSI block map
+  (``dict[block] -> (owner, sharers)``), predictor tables
+  (:class:`repro.predictors.base.PredictorTable` flat dicts), cache
+  set arrays, per-node clocks.
+
+**Outputs** — :class:`repro.protocols.base.OutcomeColumns`
+(``latency_ns`` float64 + ``transfer_bytes`` int64, appended in trace
+order) and counter structs folded through
+:meth:`~repro.protocols.base.TrafficTotals.add_batch`; state objects
+are mutated in place to the exact values the Python loops produce.
+
+**Kernels** (one per hot loop):
+
+- ``group_replay`` — the fused Group-predictor multicast replay
+  (:func:`repro.protocols.fused.run_group`);
+- ``collector`` — the chunk-consuming cache/MOSI filter
+  (:meth:`repro.cache.pipeline.TraceCollector.process_chunk`),
+  session-based so cache state stays native across chunks;
+- ``timing_pass`` — the crossbar + simple-processor timing pass
+  (:meth:`repro.timing.system.TimingSimulator._timing_pass_simple`).
+
+**Backends.**  ``pure`` and ``numpy`` are the existing Python loops
+(they differ only in how derived columns are produced); ``native`` is
+the C extension :mod:`repro.kernels._native` (built by
+``python -m repro.kernels.build`` or the wheel).  The contract for
+every backend is *byte identity*: same ResultSet JSON, same predictor
+table state, same hex-float timing goldens — enforced by the
+equivalence suites and ``tests/integration/test_kernel_abi.py``.
+
+The ``try_*`` entry points below are the dispatch seam: they return
+``False``/``None`` when the native tier is inactive
+(:func:`repro.common.backend.native_active`) or the call is outside
+the native kernel's envelope (>62 nodes, nonzero race probability,
+non-power-of-two granularity, exotic predictor mixes), in which case
+the caller falls back to the Python loops.  Fallbacks are silent by
+design — eligibility is per call, and the Python tier is always
+correct.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common import backend as _backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered kernel backends on this machine, floor first."""
+    names = ["pure"]
+    if _backend._numpy_available():
+        names.append("numpy")
+    if _backend.native_available():
+        names.append("native")
+    return tuple(names)
+
+
+def native_available() -> bool:
+    """True when the compiled kernel extension is importable."""
+    return _backend.native_available()
+
+
+def try_group_replay(proto, trace, out=None) -> bool:
+    """Run the fused Group replay natively; False -> caller falls back.
+
+    Callers have already established :func:`fused.group_uniform`; this
+    adds the native envelope checks and the state round-trip.
+    """
+    if not _backend.native_active():
+        return False
+    from repro.kernels import native
+
+    return native.group_replay(proto, trace, out)
+
+
+def try_timing_pass(simulator, measured, out) -> bool:
+    """Run the crossbar timing pass natively; False -> fall back."""
+    if not _backend.native_active():
+        return False
+    from repro.kernels import native
+
+    return native.timing_pass(simulator, measured, out)
+
+
+def collector_session(collector) -> Optional[object]:
+    """A native chunk-collector session, or None to use the Python loop.
+
+    The session owns the cache/MOSI state while chunks stream through
+    it; the collector flushes it (syncing every Python-side structure
+    back to the exact values the Python loop would have produced)
+    before any record-level or inspection API touches that state.
+    """
+    if not _backend.native_active():
+        return None
+    from repro.kernels import native
+
+    return native.make_collector_session(collector)

@@ -1,0 +1,1762 @@
+/* repro.kernels._native — compiled backend for the three replay hot
+ * loops (the kernel ABI in repro/kernels/__init__.py):
+ *
+ *   group_replay — mirror of repro.protocols.fused.run_group
+ *   timing_pass  — mirror of TimingSimulator._timing_pass_simple
+ *   Collector    — mirror of TraceCollector.process_chunk
+ *
+ * The contract is byte identity with the Python loops: every integer
+ * update, LRU stamp, eviction choice and IEEE-754 double operation is
+ * replicated in the same order, so ResultSet JSON, predictor-table
+ * state and the hex-float timing goldens come out identical.  The
+ * equivalence suites are the oracle.
+ *
+ * Envelope: node counts <= 62 (bitmasks live in one int64 lane, like
+ * the numpy column backend), non-negative addresses/pcs (the trace
+ * container's documented invariant), power-of-two granularity
+ * (validated by PredictorConfig).  Callers in repro/kernels/native.py
+ * check the envelope and fall back to the Python tiers otherwise;
+ * functions here return None (without touching any Python state) when
+ * they meet state outside it, e.g. a key that overflows int64.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Open-addressing int64 hash map (two int64 values per key).          */
+/* Keys are non-negative in every use here, so INT64_MIN sentinels     */
+/* are safe.                                                           */
+/* ------------------------------------------------------------------ */
+
+#define MAP_EMPTY INT64_MIN
+#define MAP_TOMB (INT64_MIN + 1)
+
+typedef struct {
+    int64_t *keys;
+    int64_t *v1;
+    int64_t *v2;
+    Py_ssize_t cap;  /* power of two */
+    Py_ssize_t used; /* live entries */
+    Py_ssize_t fill; /* live + tombstones */
+} I64Map;
+
+static uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+static int
+map_init(I64Map *m, Py_ssize_t expect)
+{
+    Py_ssize_t cap = 16;
+    while (cap < expect * 2)
+        cap <<= 1;
+    m->keys = PyMem_Malloc((size_t)cap * sizeof(int64_t));
+    m->v1 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
+    m->v2 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
+    if (!m->keys || !m->v1 || !m->v2) {
+        PyMem_Free(m->keys);
+        PyMem_Free(m->v1);
+        PyMem_Free(m->v2);
+        m->keys = NULL;
+        return -1;
+    }
+    for (Py_ssize_t i = 0; i < cap; i++)
+        m->keys[i] = MAP_EMPTY;
+    m->cap = cap;
+    m->used = 0;
+    m->fill = 0;
+    return 0;
+}
+
+static void
+map_free(I64Map *m)
+{
+    PyMem_Free(m->keys);
+    PyMem_Free(m->v1);
+    PyMem_Free(m->v2);
+    m->keys = NULL;
+}
+
+static Py_ssize_t
+map_find(const I64Map *m, int64_t key)
+{
+    uint64_t mask = (uint64_t)m->cap - 1;
+    uint64_t i = mix64((uint64_t)key) & mask;
+    while (1) {
+        int64_t k = m->keys[i];
+        if (k == key)
+            return (Py_ssize_t)i;
+        if (k == MAP_EMPTY)
+            return -1;
+        i = (i + 1) & mask;
+    }
+}
+
+static int map_put(I64Map *m, int64_t key, int64_t v1, int64_t v2);
+
+static int
+map_grow(I64Map *m)
+{
+    I64Map bigger;
+    Py_ssize_t want = m->used ? m->used : 8;
+    if (map_init(&bigger, want * 2) < 0)
+        return -1;
+    for (Py_ssize_t i = 0; i < m->cap; i++) {
+        int64_t k = m->keys[i];
+        if (k != MAP_EMPTY && k != MAP_TOMB) {
+            if (map_put(&bigger, k, m->v1[i], m->v2[i]) < 0) {
+                map_free(&bigger);
+                return -1;
+            }
+        }
+    }
+    map_free(m);
+    *m = bigger;
+    return 0;
+}
+
+static int
+map_put(I64Map *m, int64_t key, int64_t v1, int64_t v2)
+{
+    if ((m->fill + 1) * 10 >= m->cap * 7) {
+        if (map_grow(m) < 0)
+            return -1;
+    }
+    uint64_t mask = (uint64_t)m->cap - 1;
+    uint64_t i = mix64((uint64_t)key) & mask;
+    Py_ssize_t tomb = -1;
+    while (1) {
+        int64_t k = m->keys[i];
+        if (k == key) {
+            m->v1[i] = v1;
+            m->v2[i] = v2;
+            return 0;
+        }
+        if (k == MAP_TOMB) {
+            if (tomb < 0)
+                tomb = (Py_ssize_t)i;
+        }
+        else if (k == MAP_EMPTY) {
+            if (tomb >= 0) {
+                i = (uint64_t)tomb;
+            }
+            else {
+                m->fill++;
+            }
+            m->keys[i] = key;
+            m->v1[i] = v1;
+            m->v2[i] = v2;
+            m->used++;
+            return 0;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+static void
+map_del_at(I64Map *m, Py_ssize_t slot)
+{
+    m->keys[slot] = MAP_TOMB;
+    m->used--;
+}
+
+/* Exact int64 from a PyLong; *overflow set when it does not fit (the
+ * caller then falls back to the Python tier — the int64 overflow
+ * guard the dtype-edge satellite pins). */
+static int64_t
+as_i64(PyObject *obj, int *overflow)
+{
+    int of = 0;
+    long long v = PyLong_AsLongLongAndOverflow(obj, &of);
+    if (of || (v == -1 && PyErr_Occurred())) {
+        PyErr_Clear();
+        *overflow = 1;
+        return 0;
+    }
+    return (int64_t)v;
+}
+
+/* ------------------------------------------------------------------ */
+/* timing_pass: mirror of TimingSimulator._timing_pass_simple.         */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+timing_pass(PyObject *self, PyObject *args)
+{
+    Py_buffer req, instr, lat, tb, clocks, link;
+    double bandwidth, per_ns, queue_ns;
+
+    if (!PyArg_ParseTuple(args, "y*y*y*y*w*w*ddd", &req, &instr, &lat,
+                          &tb, &clocks, &link, &bandwidth, &per_ns,
+                          &queue_ns))
+        return NULL;
+
+    PyObject *result = NULL;
+    Py_ssize_t n = lat.len / (Py_ssize_t)sizeof(double);
+    if (req.len != n * (Py_ssize_t)sizeof(int32_t)
+        || instr.len != n * (Py_ssize_t)sizeof(int64_t)
+        || tb.len != n * (Py_ssize_t)sizeof(int64_t)) {
+        PyErr_SetString(PyExc_ValueError, "timing_pass: column length mismatch");
+        goto done;
+    }
+
+    {
+        const int32_t *reqs = req.buf;
+        const int64_t *gaps = instr.buf;
+        const double *lats = lat.buf;
+        const int64_t *tbs = tb.buf;
+        double *clk = clocks.buf;
+        double *lnk = link.buf;
+        Py_ssize_t nodes = clocks.len / (Py_ssize_t)sizeof(double);
+        int64_t carried = 0;
+
+        for (Py_ssize_t i = 0; i < n; i++) {
+            int32_t r = reqs[i];
+            if (r < 0 || r >= nodes) {
+                PyErr_SetString(PyExc_ValueError,
+                                "timing_pass: requester out of range");
+                goto done;
+            }
+            double issue = clk[r] + (double)gaps[i] / per_ns;
+            double free_ns = lnk[r];
+            double start = issue >= free_ns ? issue : free_ns;
+            queue_ns += start - issue;
+            double finish = start + (double)tbs[i] / bandwidth;
+            lnk[r] = finish;
+            carried += tbs[i];
+            double link_delay = finish - issue;
+            double base = lats[i];
+            double completion =
+                issue + (base > link_delay ? base : link_delay);
+            clk[r] = issue >= completion ? issue : completion;
+        }
+        result = Py_BuildValue("dL", queue_ns, (long long)carried);
+    }
+
+done:
+    PyBuffer_Release(&req);
+    PyBuffer_Release(&instr);
+    PyBuffer_Release(&lat);
+    PyBuffer_Release(&tb);
+    PyBuffer_Release(&clocks);
+    PyBuffer_Release(&link);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* group_replay: mirror of repro.protocols.fused.run_group.            */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    I64Map map;        /* key -> pool index (v1; v2 unused) */
+    int32_t *counters; /* pool_cap * n_nodes */
+    int32_t *rollover;
+    int64_t *bits;
+    int64_t *stamps;
+    int64_t *ekeys;
+    uint8_t *live;
+    Py_ssize_t pool_cap;
+    Py_ssize_t pool_len;
+    int32_t *free_list;
+    Py_ssize_t free_len;
+    int32_t *buckets; /* n_sets * assoc (bounded only) */
+    int32_t *bucket_len;
+    int64_t n_sets;
+    int64_t assoc;
+    int bounded;
+    int64_t tick;
+    int64_t n_alloc;
+    int64_t n_evict;
+} GTable;
+
+static void
+gtable_zero(GTable *t)
+{
+    memset(t, 0, sizeof(*t));
+}
+
+static void
+gtable_free(GTable *t)
+{
+    if (t->map.keys)
+        map_free(&t->map);
+    PyMem_Free(t->counters);
+    PyMem_Free(t->rollover);
+    PyMem_Free(t->bits);
+    PyMem_Free(t->stamps);
+    PyMem_Free(t->ekeys);
+    PyMem_Free(t->live);
+    PyMem_Free(t->free_list);
+    PyMem_Free(t->buckets);
+    PyMem_Free(t->bucket_len);
+    gtable_zero(t);
+}
+
+static int
+gtable_reserve(GTable *t, Py_ssize_t cap, int n_nodes)
+{
+    if (cap <= t->pool_cap)
+        return 0;
+    int32_t *counters =
+        PyMem_Realloc(t->counters, (size_t)cap * n_nodes * sizeof(int32_t));
+    if (!counters)
+        return -1;
+    t->counters = counters;
+    int32_t *rollover =
+        PyMem_Realloc(t->rollover, (size_t)cap * sizeof(int32_t));
+    if (!rollover)
+        return -1;
+    t->rollover = rollover;
+    int64_t *bits = PyMem_Realloc(t->bits, (size_t)cap * sizeof(int64_t));
+    if (!bits)
+        return -1;
+    t->bits = bits;
+    int64_t *stamps = PyMem_Realloc(t->stamps, (size_t)cap * sizeof(int64_t));
+    if (!stamps)
+        return -1;
+    t->stamps = stamps;
+    int64_t *ekeys = PyMem_Realloc(t->ekeys, (size_t)cap * sizeof(int64_t));
+    if (!ekeys)
+        return -1;
+    t->ekeys = ekeys;
+    uint8_t *live = PyMem_Realloc(t->live, (size_t)cap);
+    if (!live)
+        return -1;
+    t->live = live;
+    int32_t *free_list =
+        PyMem_Realloc(t->free_list, (size_t)cap * sizeof(int32_t));
+    if (!free_list)
+        return -1;
+    t->free_list = free_list;
+    t->pool_cap = cap;
+    return 0;
+}
+
+/* New zeroed entry (from the free list or the pool tail). */
+static int32_t
+gtable_new_entry(GTable *t, int n_nodes)
+{
+    int32_t e;
+    if (t->free_len > 0) {
+        e = t->free_list[--t->free_len];
+    }
+    else {
+        if (t->pool_len >= t->pool_cap) {
+            if (gtable_reserve(t, t->pool_cap * 2, n_nodes) < 0)
+                return -1;
+        }
+        e = (int32_t)t->pool_len++;
+    }
+    memset(t->counters + (size_t)e * n_nodes, 0,
+           (size_t)n_nodes * sizeof(int32_t));
+    t->rollover[e] = 0;
+    t->bits[e] = 0;
+    t->live[e] = 1;
+    return e;
+}
+
+/* PredictorTable.lookup_allocate for a key known to be absent. */
+static int32_t
+gtable_allocate(GTable *t, int64_t key, int n_nodes)
+{
+    if (t->bounded) {
+        int64_t sidx = key % t->n_sets;
+        int32_t *bucket = t->buckets + sidx * t->assoc;
+        int32_t blen = t->bucket_len[sidx];
+        if (blen >= t->assoc) {
+            /* victim = first strictly-minimal stamp, matching
+             * min(bucket, key=stamps.__getitem__) */
+            int32_t pos = 0;
+            int64_t best = t->stamps[bucket[0]];
+            for (int32_t j = 1; j < blen; j++) {
+                int64_t s = t->stamps[bucket[j]];
+                if (s < best) {
+                    best = s;
+                    pos = j;
+                }
+            }
+            int32_t victim = bucket[pos];
+            memmove(bucket + pos, bucket + pos + 1,
+                    (size_t)(blen - 1 - pos) * sizeof(int32_t));
+            blen--;
+            Py_ssize_t slot = map_find(&t->map, t->ekeys[victim]);
+            if (slot >= 0)
+                map_del_at(&t->map, slot);
+            t->live[victim] = 0;
+            t->free_list[t->free_len++] = victim;
+            t->n_evict++;
+        }
+        int32_t e = gtable_new_entry(t, n_nodes);
+        if (e < 0)
+            return -1;
+        bucket[blen] = e;
+        t->bucket_len[sidx] = blen + 1;
+        t->stamps[e] = t->tick++;
+        t->ekeys[e] = key;
+        if (map_put(&t->map, key, e, 0) < 0)
+            return -1;
+        t->n_alloc++;
+        return e;
+    }
+    int32_t e = gtable_new_entry(t, n_nodes);
+    if (e < 0)
+        return -1;
+    t->ekeys[e] = key;
+    if (map_put(&t->map, key, e, 0) < 0)
+        return -1;
+    t->n_alloc++;
+    return e;
+}
+
+/* Load one PredictorTable into native form.  Returns 0, or 1 for
+ * "outside the envelope: fall back" (no error set), or -1 with a
+ * Python error set. */
+static int
+gtable_load(GTable *t, PyObject *table, int n_nodes)
+{
+    int rc = -1;
+    PyObject *entries = NULL, *stamps = NULL, *set_keys = NULL;
+    PyObject *tmp = NULL;
+
+    entries = PyObject_GetAttrString(table, "_entries");
+    if (!entries)
+        goto fail;
+    if (!PyDict_CheckExact(entries))
+        goto envelope;
+
+    tmp = PyObject_GetAttrString(table, "_bounded");
+    if (!tmp)
+        goto fail;
+    t->bounded = PyObject_IsTrue(tmp);
+    Py_CLEAR(tmp);
+
+#define GET_I64(attr, dest)                                               \
+    do {                                                                  \
+        tmp = PyObject_GetAttrString(table, attr);                        \
+        if (!tmp)                                                         \
+            goto fail;                                                    \
+        int _of = 0;                                                      \
+        (dest) = as_i64(tmp, &_of);                                       \
+        Py_CLEAR(tmp);                                                    \
+        if (_of)                                                          \
+            goto envelope;                                                \
+    } while (0)
+
+    GET_I64("_n_sets", t->n_sets);
+    GET_I64("_assoc", t->assoc);
+    GET_I64("_tick", t->tick);
+    GET_I64("n_allocations", t->n_alloc);
+    GET_I64("n_evictions", t->n_evict);
+#undef GET_I64
+
+    if (t->bounded) {
+        if (t->n_sets <= 0 || t->assoc <= 0 || t->assoc > INT32_MAX
+            || t->n_sets > (int64_t)1 << 32)
+            goto envelope;
+        stamps = PyObject_GetAttrString(table, "_stamps");
+        set_keys = PyObject_GetAttrString(table, "_set_keys");
+        if (!stamps || !set_keys)
+            goto fail;
+        if (!PyDict_CheckExact(stamps) || !PyDict_CheckExact(set_keys))
+            goto envelope;
+        t->buckets =
+            PyMem_Malloc((size_t)(t->n_sets * t->assoc) * sizeof(int32_t));
+        t->bucket_len = PyMem_Calloc((size_t)t->n_sets, sizeof(int32_t));
+        if (!t->buckets || !t->bucket_len) {
+            PyErr_NoMemory();
+            goto fail;
+        }
+    }
+
+    Py_ssize_t n_entries = PyDict_Size(entries);
+    if (map_init(&t->map, n_entries + 8) < 0) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    if (gtable_reserve(t, n_entries + 16, n_nodes) < 0) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+
+    PyObject *keyobj, *entry;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(entries, &pos, &keyobj, &entry)) {
+        int of = 0;
+        int64_t key = as_i64(keyobj, &of);
+        if (of || key < 0)
+            goto envelope;
+        int32_t e = (int32_t)t->pool_len++;
+        t->ekeys[e] = key;
+        t->live[e] = 1;
+
+        tmp = PyObject_GetAttrString(entry, "counters");
+        if (!tmp)
+            goto fail;
+        if (!PyList_CheckExact(tmp) || PyList_GET_SIZE(tmp) != n_nodes)
+            goto envelope;
+        for (int j = 0; j < n_nodes; j++) {
+            int64_t v = as_i64(PyList_GET_ITEM(tmp, j), &of);
+            if (of || v < 0 || v > INT32_MAX)
+                goto envelope;
+            t->counters[(size_t)e * n_nodes + j] = (int32_t)v;
+        }
+        Py_CLEAR(tmp);
+
+        tmp = PyObject_GetAttrString(entry, "rollover");
+        if (!tmp)
+            goto fail;
+        int64_t ro = as_i64(tmp, &of);
+        Py_CLEAR(tmp);
+        if (of || ro < 0 || ro > INT32_MAX)
+            goto envelope;
+        t->rollover[e] = (int32_t)ro;
+
+        tmp = PyObject_GetAttrString(entry, "bits");
+        if (!tmp)
+            goto fail;
+        t->bits[e] = as_i64(tmp, &of);
+        Py_CLEAR(tmp);
+        if (of)
+            goto envelope;
+
+        if (t->bounded) {
+            PyObject *stampobj = PyDict_GetItem(stamps, keyobj);
+            if (!stampobj)
+                goto envelope;
+            t->stamps[e] = as_i64(stampobj, &of);
+            if (of)
+                goto envelope;
+        }
+        if (map_put(&t->map, key, e, 0) < 0) {
+            PyErr_NoMemory();
+            goto fail;
+        }
+    }
+
+    if (t->bounded) {
+        PyObject *sidxobj, *bucketlist;
+        pos = 0;
+        while (PyDict_Next(set_keys, &pos, &sidxobj, &bucketlist)) {
+            int of = 0;
+            int64_t sidx = as_i64(sidxobj, &of);
+            if (of || sidx < 0 || sidx >= t->n_sets)
+                goto envelope;
+            if (!PyList_CheckExact(bucketlist))
+                goto envelope;
+            Py_ssize_t blen = PyList_GET_SIZE(bucketlist);
+            if (blen > t->assoc)
+                goto envelope;
+            for (Py_ssize_t j = 0; j < blen; j++) {
+                int64_t k = as_i64(PyList_GET_ITEM(bucketlist, j), &of);
+                if (of)
+                    goto envelope;
+                Py_ssize_t slot = map_find(&t->map, k);
+                if (slot < 0)
+                    goto envelope;
+                t->buckets[sidx * t->assoc + j] = (int32_t)t->map.v1[slot];
+            }
+            t->bucket_len[sidx] = (int32_t)blen;
+        }
+    }
+
+    rc = 0;
+    goto done;
+envelope:
+    rc = 1;
+done:
+fail:
+    Py_XDECREF(tmp);
+    Py_XDECREF(entries);
+    Py_XDECREF(stamps);
+    Py_XDECREF(set_keys);
+    return rc;
+}
+
+/* Write native table state back into the PredictorTable (same dict
+ * objects, refilled).  Returns 0 / -1. */
+static int
+gtable_sync(GTable *t, PyObject *table, PyObject *factory, int n_nodes)
+{
+    int rc = -1;
+    PyObject *entries = NULL, *stamps = NULL, *set_keys = NULL;
+    PyObject *keyobj = NULL, *entry = NULL, *tmp = NULL;
+
+    entries = PyObject_GetAttrString(table, "_entries");
+    stamps = PyObject_GetAttrString(table, "_stamps");
+    set_keys = PyObject_GetAttrString(table, "_set_keys");
+    if (!entries || !stamps || !set_keys)
+        goto done;
+    PyDict_Clear(entries);
+    PyDict_Clear(stamps);
+    PyDict_Clear(set_keys);
+
+    for (Py_ssize_t e = 0; e < t->pool_len; e++) {
+        if (!t->live[e])
+            continue;
+        keyobj = PyLong_FromLongLong((long long)t->ekeys[e]);
+        if (!keyobj)
+            goto done;
+        entry = PyObject_CallObject(factory, NULL);
+        if (!entry)
+            goto done;
+        tmp = PyObject_GetAttrString(entry, "counters");
+        if (!tmp || !PyList_CheckExact(tmp)
+            || PyList_GET_SIZE(tmp) != n_nodes) {
+            if (tmp && !PyErr_Occurred())
+                PyErr_SetString(PyExc_TypeError,
+                                "entry factory produced unexpected counters");
+            goto done;
+        }
+        const int32_t *row = t->counters + (size_t)e * n_nodes;
+        for (int j = 0; j < n_nodes; j++) {
+            if (row[j] == 0)
+                continue; /* factory entries start at 0 */
+            PyObject *v = PyLong_FromLong((long)row[j]);
+            if (!v)
+                goto done;
+            PyList_SetItem(tmp, j, v); /* steals v */
+        }
+        Py_CLEAR(tmp);
+        if (t->rollover[e] != 0) {
+            tmp = PyLong_FromLong((long)t->rollover[e]);
+            if (!tmp || PyObject_SetAttrString(entry, "rollover", tmp) < 0)
+                goto done;
+            Py_CLEAR(tmp);
+        }
+        if (t->bits[e] != 0) {
+            tmp = PyLong_FromLongLong((long long)t->bits[e]);
+            if (!tmp || PyObject_SetAttrString(entry, "bits", tmp) < 0)
+                goto done;
+            Py_CLEAR(tmp);
+        }
+        if (PyDict_SetItem(entries, keyobj, entry) < 0)
+            goto done;
+        if (t->bounded) {
+            tmp = PyLong_FromLongLong((long long)t->stamps[e]);
+            if (!tmp || PyDict_SetItem(stamps, keyobj, tmp) < 0)
+                goto done;
+            Py_CLEAR(tmp);
+        }
+        Py_CLEAR(keyobj);
+        Py_CLEAR(entry);
+    }
+
+    if (t->bounded) {
+        for (int64_t s = 0; s < t->n_sets; s++) {
+            int32_t blen = t->bucket_len[s];
+            if (blen == 0)
+                continue;
+            PyObject *bucketlist = PyList_New(blen);
+            if (!bucketlist)
+                goto done;
+            for (int32_t j = 0; j < blen; j++) {
+                PyObject *k = PyLong_FromLongLong(
+                    (long long)t->ekeys[t->buckets[s * t->assoc + j]]);
+                if (!k) {
+                    Py_DECREF(bucketlist);
+                    goto done;
+                }
+                PyList_SET_ITEM(bucketlist, j, k);
+            }
+            keyobj = PyLong_FromLongLong((long long)s);
+            if (!keyobj
+                || PyDict_SetItem(set_keys, keyobj, bucketlist) < 0) {
+                Py_DECREF(bucketlist);
+                goto done;
+            }
+            Py_DECREF(bucketlist);
+            Py_CLEAR(keyobj);
+        }
+    }
+
+#define SET_I64(attr, value)                                              \
+    do {                                                                  \
+        tmp = PyLong_FromLongLong((long long)(value));                    \
+        if (!tmp || PyObject_SetAttrString(table, attr, tmp) < 0)         \
+            goto done;                                                    \
+        Py_CLEAR(tmp);                                                    \
+    } while (0)
+
+    SET_I64("_tick", t->tick);
+    SET_I64("n_allocations", t->n_alloc);
+    SET_I64("n_evictions", t->n_evict);
+#undef SET_I64
+
+    rc = 0;
+done:
+    Py_XDECREF(tmp);
+    Py_XDECREF(keyobj);
+    Py_XDECREF(entry);
+    Py_XDECREF(entries);
+    Py_XDECREF(stamps);
+    Py_XDECREF(set_keys);
+    return rc;
+}
+
+/* Load a MOSI state dict {block: (owner, sharers)} into a map.
+ * Returns 0 / 1 (envelope) / -1 (error). */
+static int
+mosi_load(I64Map *m, PyObject *state)
+{
+    if (!PyDict_CheckExact(state))
+        return 1;
+    if (map_init(m, PyDict_Size(state) + 8) < 0) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    PyObject *keyobj, *packed;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(state, &pos, &keyobj, &packed)) {
+        int of = 0;
+        int64_t block = as_i64(keyobj, &of);
+        if (of || block < 0)
+            return 1;
+        if (!PyTuple_CheckExact(packed) || PyTuple_GET_SIZE(packed) != 2)
+            return 1;
+        int64_t owner = as_i64(PyTuple_GET_ITEM(packed, 0), &of);
+        if (of)
+            return 1;
+        int64_t sharers = as_i64(PyTuple_GET_ITEM(packed, 1), &of);
+        if (of || sharers < 0)
+            return 1;
+        if (map_put(m, block, owner, sharers) < 0) {
+            PyErr_NoMemory();
+            return -1;
+        }
+    }
+    return 0;
+}
+
+/* Refill the MOSI state dict from the map.  Returns 0 / -1. */
+static int
+mosi_sync(I64Map *m, PyObject *state)
+{
+    PyDict_Clear(state);
+    for (Py_ssize_t i = 0; i < m->cap; i++) {
+        int64_t k = m->keys[i];
+        if (k == MAP_EMPTY || k == MAP_TOMB)
+            continue;
+        PyObject *keyobj = PyLong_FromLongLong((long long)k);
+        PyObject *packed = keyobj
+                               ? Py_BuildValue("(LL)", (long long)m->v1[i],
+                                               (long long)m->v2[i])
+                               : NULL;
+        if (!packed || PyDict_SetItem(state, keyobj, packed) < 0) {
+            Py_XDECREF(keyobj);
+            Py_XDECREF(packed);
+            return -1;
+        }
+        Py_DECREF(keyobj);
+        Py_DECREF(packed);
+    }
+    return 0;
+}
+
+/* GroupPredictor._train's decay branch (rollover wrap). */
+static void
+group_decay(GTable *t, int32_t e, int n_nodes, int32_t thr)
+{
+    t->rollover[e] = 0;
+    int64_t bits = 0;
+    int32_t *row = t->counters + (size_t)e * n_nodes;
+    for (int j = 0; j < n_nodes; j++) {
+        int32_t v = row[j];
+        if (v > 0) {
+            v--;
+            row[j] = v;
+        }
+        if (v > thr)
+            bits |= (int64_t)1 << j;
+    }
+    t->bits[e] = bits;
+}
+
+/* run_group's fused external-training flush. */
+static void
+group_flush(GTable *tables, uint64_t mask, int64_t fkey, int32_t freq,
+            int64_t count, int n_nodes, int32_t cmax, int32_t thr,
+            int32_t rperiod, int tdown)
+{
+    while (mask) {
+        uint64_t low = mask & (~mask + 1);
+        mask ^= low;
+        int node = __builtin_ctzll(low);
+        GTable *t = &tables[node];
+        Py_ssize_t slot = map_find(&t->map, fkey);
+        if (slot < 0)
+            continue;
+        int32_t e = (int32_t)t->map.v1[slot];
+        if (t->bounded)
+            t->stamps[e] = t->tick++;
+        int32_t *row = t->counters + (size_t)e * n_nodes;
+        for (int64_t r = 0; r < count; r++) {
+            int32_t c = row[freq];
+            if (c < cmax) {
+                row[freq] = c + 1;
+                if (c == thr)
+                    t->bits[e] |= (int64_t)1 << freq;
+            }
+            if (tdown) {
+                int32_t ro = t->rollover[e] + 1;
+                if (ro < rperiod)
+                    t->rollover[e] = ro;
+                else
+                    group_decay(t, e, n_nodes, thr);
+            }
+        }
+    }
+}
+
+static PyObject *
+group_replay(PyObject *self, PyObject *args)
+{
+    Py_buffer addr_b, pc_b, req_b, acc_b;
+    int n_nodes, block_shift, use_pc, gshift;
+    PyObject *tables_obj, *factories_obj, *state_obj;
+    int cmax_i, thr_i, rperiod_i, tdown;
+    double lat_mem, lat_dir, lat_ind, latency_sum;
+    long long block_mask_ll, control_ll, data_ll;
+    int want_out;
+
+    if (!PyArg_ParseTuple(
+            args, "y*y*y*y*iLiiiOOiiiiOdddLLdi", &addr_b, &pc_b, &req_b,
+            &acc_b, &n_nodes, &block_mask_ll, &block_shift, &use_pc,
+            &gshift, &tables_obj, &factories_obj, &cmax_i, &thr_i,
+            &rperiod_i, &tdown, &state_obj, &lat_mem, &lat_dir, &lat_ind,
+            &control_ll, &data_ll, &latency_sum, &want_out))
+        return NULL;
+
+    PyObject *result = NULL;
+    GTable *tables = NULL;
+    I64Map mosi;
+    mosi.keys = NULL;
+    double *lat_out = NULL;
+    int64_t *tb_out = NULL;
+    int fallback = 0;
+
+    Py_ssize_t nrec = req_b.len / (Py_ssize_t)sizeof(int32_t);
+    const int64_t block_mask = (int64_t)block_mask_ll;
+    const int64_t control = (int64_t)control_ll;
+    const int64_t data_size = (int64_t)data_ll;
+    const int32_t cmax = (int32_t)cmax_i;
+    const int32_t thr = (int32_t)thr_i;
+    const int32_t rperiod = (int32_t)rperiod_i;
+
+    if (addr_b.len != nrec * (Py_ssize_t)sizeof(int64_t)
+        || pc_b.len != nrec * (Py_ssize_t)sizeof(int64_t)
+        || acc_b.len != nrec
+        || !PyList_CheckExact(tables_obj)
+        || !PyList_CheckExact(factories_obj)
+        || PyList_GET_SIZE(tables_obj) != n_nodes
+        || PyList_GET_SIZE(factories_obj) != n_nodes || n_nodes <= 0
+        || n_nodes > 62) {
+        PyErr_SetString(PyExc_ValueError, "group_replay: bad arguments");
+        goto done;
+    }
+
+    tables = PyMem_Calloc((size_t)n_nodes, sizeof(GTable));
+    if (!tables) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (int i = 0; i < n_nodes; i++) {
+        int rc = gtable_load(&tables[i], PyList_GET_ITEM(tables_obj, i),
+                             n_nodes);
+        if (rc < 0)
+            goto done;
+        if (rc > 0) {
+            fallback = 1;
+            goto done;
+        }
+    }
+    {
+        int rc = mosi_load(&mosi, state_obj);
+        if (rc < 0)
+            goto done;
+        if (rc > 0) {
+            fallback = 1;
+            goto done;
+        }
+    }
+    if (want_out) {
+        lat_out = PyMem_Malloc((size_t)(nrec ? nrec : 1) * sizeof(double));
+        tb_out = PyMem_Malloc((size_t)(nrec ? nrec : 1) * sizeof(int64_t));
+        if (!lat_out || !tb_out) {
+            PyErr_NoMemory();
+            goto done;
+        }
+    }
+
+    {
+        const int64_t *addrs = addr_b.buf;
+        const int64_t *pcs = pc_b.buf;
+        const int32_t *reqs = req_b.buf;
+        const int8_t *accs = acc_b.buf;
+
+        int64_t indirections = 0;
+        int64_t request_sum = 0;
+        int64_t retry_sum = 0;
+        int64_t retries_total = 0;
+
+        /* Pending fused training batch. */
+        int64_t p_key = 0;
+        int32_t p_req = -1;
+        int32_t p_code = -1;
+        uint64_t p_mask = 0;
+        int64_t p_count = 0;
+
+        for (Py_ssize_t i = 0; i < nrec; i++) {
+            const int64_t address = addrs[i];
+            const int32_t requester = reqs[i];
+            const int32_t code = accs[i];
+            const int64_t block = address & block_mask;
+            const int64_t key = use_pc ? pcs[i] : (address >> gshift);
+            const int64_t home = (block >> block_shift) % n_nodes;
+            const uint64_t reqbit = (uint64_t)1 << requester;
+            const uint64_t minimal = reqbit | ((uint64_t)1 << home);
+            const uint64_t notreq = ~reqbit;
+
+            if (p_count
+                && (key != p_key || requester != p_req || code != p_code)) {
+                group_flush(tables, p_mask, p_key, p_req, p_count, n_nodes,
+                            cmax, thr, rperiod, tdown);
+                p_count = 0;
+            }
+
+            /* Predict. */
+            GTable *t = &tables[requester];
+            Py_ssize_t slot = map_find(&t->map, key);
+            int32_t entry = slot >= 0 ? (int32_t)t->map.v1[slot] : -1;
+            uint64_t destination;
+            if (entry >= 0) {
+                if (t->bounded)
+                    t->stamps[entry] = t->tick++;
+                destination = (uint64_t)t->bits[entry] | minimal;
+            }
+            else {
+                destination = minimal;
+            }
+
+            /* Order on the global MOSI state (apply_fast). */
+            int64_t owner;
+            uint64_t sharers;
+            Py_ssize_t mslot = map_find(&mosi, block);
+            if (mslot < 0) {
+                owner = -1;
+                sharers = 0;
+            }
+            else {
+                owner = mosi.v1[mslot];
+                sharers = (uint64_t)mosi.v2[mslot];
+            }
+            uint64_t required;
+            int64_t responder;
+            if (owner >= 0 && owner != requester) {
+                required = (uint64_t)1 << owner;
+                responder = owner;
+            }
+            else {
+                required = 0;
+                responder = -1;
+            }
+            if (code) {
+                required |= sharers & notreq;
+                if (map_put(&mosi, block, requester, 0) < 0) {
+                    PyErr_NoMemory();
+                    goto done;
+                }
+            }
+            else if (owner != requester) {
+                if (map_put(&mosi, block, owner,
+                            (int64_t)(sharers | reqbit)) < 0) {
+                    PyErr_NoMemory();
+                    goto done;
+                }
+            }
+
+            int64_t dcount = __builtin_popcountll(destination);
+            request_sum += dcount;
+            uint64_t external;
+            if ((required & ~destination) == 0) {
+                double lat = responder == -1 ? lat_mem : lat_dir;
+                latency_sum += lat;
+                external = destination & notreq;
+                if (want_out) {
+                    lat_out[i] = lat;
+                    tb_out[i] = (dcount - 1) * control + data_size;
+                }
+            }
+            else {
+                uint64_t corrected = required | minimal;
+                int64_t retry_messages =
+                    __builtin_popcountll(corrected) - 1;
+                uint64_t delivered = destination | corrected;
+                retry_sum += retry_messages;
+                retries_total += 1;
+                indirections++;
+                latency_sum += lat_ind;
+                external = delivered & notreq;
+                if (want_out) {
+                    lat_out[i] = lat_ind;
+                    tb_out[i] =
+                        (dcount - 1 + retry_messages) * control + data_size;
+                }
+            }
+
+            /* Data-response training at the requester. */
+            if (entry < 0 && required) {
+                entry = gtable_allocate(t, key, n_nodes);
+                if (entry < 0) {
+                    PyErr_NoMemory();
+                    goto done;
+                }
+            }
+            if (entry >= 0 && responder != -1) {
+                int32_t *row = t->counters + (size_t)entry * n_nodes;
+                int32_t c = row[responder];
+                if (c < cmax) {
+                    row[responder] = c + 1;
+                    if (c == thr)
+                        t->bits[entry] |= (int64_t)1 << responder;
+                }
+                if (tdown) {
+                    int32_t ro = t->rollover[entry] + 1;
+                    if (ro < rperiod)
+                        t->rollover[entry] = ro;
+                    else
+                        group_decay(t, entry, n_nodes, thr);
+                }
+            }
+
+            /* External-request training batch. */
+            if (p_count && external == p_mask) {
+                p_count++;
+            }
+            else {
+                if (p_count)
+                    group_flush(tables, p_mask, p_key, p_req, p_count,
+                                n_nodes, cmax, thr, rperiod, tdown);
+                p_key = key;
+                p_req = requester;
+                p_code = code;
+                p_mask = external;
+                p_count = 1;
+            }
+        }
+        if (p_count)
+            group_flush(tables, p_mask, p_key, p_req, p_count, n_nodes,
+                        cmax, thr, rperiod, tdown);
+
+        /* Write every piece of state back, then build the result. */
+        for (int i = 0; i < n_nodes; i++) {
+            if (gtable_sync(&tables[i], PyList_GET_ITEM(tables_obj, i),
+                            PyList_GET_ITEM(factories_obj, i), n_nodes)
+                < 0)
+                goto done;
+        }
+        if (mosi_sync(&mosi, state_obj) < 0)
+            goto done;
+
+        PyObject *lat_bytes = Py_None;
+        PyObject *tb_bytes = Py_None;
+        Py_INCREF(Py_None);
+        Py_INCREF(Py_None);
+        if (want_out) {
+            Py_DECREF(Py_None);
+            Py_DECREF(Py_None);
+            lat_bytes = PyBytes_FromStringAndSize(
+                (const char *)lat_out, nrec * (Py_ssize_t)sizeof(double));
+            tb_bytes = PyBytes_FromStringAndSize(
+                (const char *)tb_out, nrec * (Py_ssize_t)sizeof(int64_t));
+            if (!lat_bytes || !tb_bytes) {
+                Py_XDECREF(lat_bytes);
+                Py_XDECREF(tb_bytes);
+                goto done;
+            }
+        }
+        result = Py_BuildValue(
+            "LLLLLdNN", (long long)nrec, (long long)indirections,
+            (long long)request_sum, (long long)retry_sum,
+            (long long)retries_total, latency_sum, lat_bytes, tb_bytes);
+    }
+
+done:
+    if (fallback && !PyErr_Occurred()) {
+        result = Py_None;
+        Py_INCREF(Py_None);
+    }
+    if (tables) {
+        for (int i = 0; i < n_nodes; i++)
+            gtable_free(&tables[i]);
+        PyMem_Free(tables);
+    }
+    if (mosi.keys)
+        map_free(&mosi);
+    PyMem_Free(lat_out);
+    PyMem_Free(tb_out);
+    PyBuffer_Release(&addr_b);
+    PyBuffer_Release(&pc_b);
+    PyBuffer_Release(&req_b);
+    PyBuffer_Release(&acc_b);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* Collector: mirror of TraceCollector.process_chunk with the cache    */
+/* LRU arrays and MOSI map held natively across chunks.                */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    int n_procs;
+    int64_t block_mask;
+    int block_shift;
+    int64_t n1, n2;
+    int32_t a1, a2;
+    int64_t *l1; /* n_procs * n1 * a1, LRU-first packed */
+    int32_t *l1_len;
+    int64_t *l2;
+    int32_t *l2_len;
+    I64Map mosi;
+    int64_t *executed;
+    int64_t *at_last_miss;
+    int loaded;
+} NCollector;
+
+static void
+ncollector_dealloc(NCollector *self)
+{
+    PyMem_Free(self->l1);
+    PyMem_Free(self->l1_len);
+    PyMem_Free(self->l2);
+    PyMem_Free(self->l2_len);
+    PyMem_Free(self->executed);
+    PyMem_Free(self->at_last_miss);
+    if (self->mosi.keys)
+        map_free(&self->mosi);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+ncollector_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    int n_procs, block_shift;
+    long long block_mask;
+    long long n1, n2;
+    int a1, a2;
+    if (!PyArg_ParseTuple(args, "iLiLiLi", &n_procs, &block_mask,
+                          &block_shift, &n1, &a1, &n2, &a2))
+        return NULL;
+    if (n_procs <= 0 || n_procs > 62 || n1 <= 0 || n2 <= 0 || a1 <= 0
+        || a2 <= 0) {
+        PyErr_SetString(PyExc_ValueError, "Collector: bad geometry");
+        return NULL;
+    }
+    /* Keep the flat set arrays bounded (~1 GiB of int64 slots). */
+    if ((int64_t)n_procs * n1 * a1 > ((int64_t)1 << 27)
+        || (int64_t)n_procs * n2 * a2 > ((int64_t)1 << 27)) {
+        PyErr_SetString(PyExc_ValueError, "Collector: geometry too large");
+        return NULL;
+    }
+    NCollector *self = (NCollector *)type->tp_alloc(type, 0);
+    if (!self)
+        return NULL;
+    self->n_procs = n_procs;
+    self->block_mask = (int64_t)block_mask;
+    self->block_shift = block_shift;
+    self->n1 = (int64_t)n1;
+    self->n2 = (int64_t)n2;
+    self->a1 = a1;
+    self->a2 = a2;
+    self->mosi.keys = NULL;
+    self->loaded = 0;
+
+    size_t c1 = (size_t)n_procs * (size_t)n1;
+    size_t c2 = (size_t)n_procs * (size_t)n2;
+    self->l1 = PyMem_Malloc(c1 * (size_t)a1 * sizeof(int64_t));
+    self->l1_len = PyMem_Calloc(c1, sizeof(int32_t));
+    self->l2 = PyMem_Malloc(c2 * (size_t)a2 * sizeof(int64_t));
+    self->l2_len = PyMem_Calloc(c2, sizeof(int32_t));
+    self->executed = PyMem_Calloc((size_t)n_procs, sizeof(int64_t));
+    self->at_last_miss = PyMem_Calloc((size_t)n_procs, sizeof(int64_t));
+    if (!self->l1 || !self->l1_len || !self->l2 || !self->l2_len
+        || !self->executed || !self->at_last_miss) {
+        Py_DECREF(self);
+        return PyErr_NoMemory();
+    }
+    return (PyObject *)self;
+}
+
+/* Load one level's OrderedDict sets into the flat arrays.  raw is a
+ * list (per node) of lists (per set) of OrderedDicts whose iteration
+ * order is LRU-first.  Returns 0 / 1 (envelope) / -1 (error). */
+static int
+load_level(PyObject *raw, int n_procs, int64_t n_sets, int32_t assoc,
+           int64_t *slots, int32_t *lens)
+{
+    if (!PyList_CheckExact(raw) || PyList_GET_SIZE(raw) != n_procs)
+        return 1;
+    for (int node = 0; node < n_procs; node++) {
+        PyObject *sets = PyList_GET_ITEM(raw, node);
+        if (!PyList_CheckExact(sets) || PyList_GET_SIZE(sets) != n_sets)
+            return 1;
+        for (int64_t s = 0; s < n_sets; s++) {
+            PyObject *od = PyList_GET_ITEM(sets, s);
+            Py_ssize_t sz = PyObject_Size(od);
+            if (sz < 0)
+                return -1;
+            if (sz == 0)
+                continue;
+            if (sz > assoc)
+                return 1;
+            PyObject *it = PyObject_GetIter(od);
+            if (!it)
+                return -1;
+            int64_t *seg = slots + ((size_t)node * n_sets + s) * assoc;
+            int32_t count = 0;
+            PyObject *keyobj;
+            while ((keyobj = PyIter_Next(it)) != NULL) {
+                int of = 0;
+                int64_t block = as_i64(keyobj, &of);
+                Py_DECREF(keyobj);
+                if (of || count >= assoc) {
+                    Py_DECREF(it);
+                    return 1;
+                }
+                seg[count++] = block;
+            }
+            Py_DECREF(it);
+            if (PyErr_Occurred())
+                return -1;
+            lens[(size_t)node * n_sets + s] = count;
+        }
+    }
+    return 0;
+}
+
+static int
+load_counter_dict(PyObject *d, int n_procs, int64_t *dest)
+{
+    if (!PyDict_CheckExact(d) || PyDict_Size(d) != n_procs)
+        return 1;
+    for (int node = 0; node < n_procs; node++) {
+        PyObject *keyobj = PyLong_FromLong(node);
+        if (!keyobj)
+            return -1;
+        PyObject *v = PyDict_GetItem(d, keyobj);
+        Py_DECREF(keyobj);
+        if (!v)
+            return 1;
+        int of = 0;
+        dest[node] = as_i64(v, &of);
+        if (of)
+            return 1;
+    }
+    return 0;
+}
+
+static PyObject *
+ncollector_load(NCollector *self, PyObject *args)
+{
+    PyObject *l1_raw, *l2_raw, *blocks, *executed, *at_last;
+    if (!PyArg_ParseTuple(args, "OOOOO", &l1_raw, &l2_raw, &blocks,
+                          &executed, &at_last))
+        return NULL;
+    int rc = load_level(l1_raw, self->n_procs, self->n1, self->a1,
+                        self->l1, self->l1_len);
+    if (rc == 0)
+        rc = load_level(l2_raw, self->n_procs, self->n2, self->a2,
+                        self->l2, self->l2_len);
+    if (rc == 0) {
+        if (self->mosi.keys)
+            map_free(&self->mosi);
+        rc = mosi_load(&self->mosi, blocks);
+    }
+    if (rc == 0)
+        rc = load_counter_dict(executed, self->n_procs, self->executed);
+    if (rc == 0)
+        rc = load_counter_dict(at_last, self->n_procs, self->at_last_miss);
+    if (rc < 0)
+        return NULL;
+    if (rc > 0)
+        Py_RETURN_FALSE; /* envelope: caller uses the Python loop */
+    self->loaded = 1;
+    Py_RETURN_TRUE;
+}
+
+/* Linear scan of one packed LRU set.  Returns position or -1. */
+static inline int32_t
+set_find(const int64_t *seg, int32_t len, int64_t block)
+{
+    for (int32_t j = 0; j < len; j++)
+        if (seg[j] == block)
+            return j;
+    return -1;
+}
+
+/* OrderedDict.move_to_end: remove at pos, append at the MRU end. */
+static inline void
+set_move_to_end(int64_t *seg, int32_t len, int32_t pos)
+{
+    int64_t block = seg[pos];
+    memmove(seg + pos, seg + pos + 1,
+            (size_t)(len - 1 - pos) * sizeof(int64_t));
+    seg[len - 1] = block;
+}
+
+static inline void
+set_remove_at(int64_t *seg, int32_t *len, int32_t pos)
+{
+    memmove(seg + pos, seg + pos + 1,
+            (size_t)(*len - 1 - pos) * sizeof(int64_t));
+    (*len)--;
+}
+
+/* Growable miss-output buffers. */
+typedef struct {
+    int64_t *addr;
+    int64_t *pc;
+    int32_t *node;
+    int8_t *code;
+    int64_t *gap;
+    Py_ssize_t len, cap;
+} MissOut;
+
+static int
+missout_reserve(MissOut *o, Py_ssize_t cap)
+{
+    if (cap <= o->cap)
+        return 0;
+    int64_t *addr = PyMem_Realloc(o->addr, (size_t)cap * sizeof(int64_t));
+    if (!addr)
+        return -1;
+    o->addr = addr;
+    int64_t *pc = PyMem_Realloc(o->pc, (size_t)cap * sizeof(int64_t));
+    if (!pc)
+        return -1;
+    o->pc = pc;
+    int32_t *node = PyMem_Realloc(o->node, (size_t)cap * sizeof(int32_t));
+    if (!node)
+        return -1;
+    o->node = node;
+    int8_t *code = PyMem_Realloc(o->code, (size_t)cap);
+    if (!code)
+        return -1;
+    o->code = code;
+    int64_t *gap = PyMem_Realloc(o->gap, (size_t)cap * sizeof(int64_t));
+    if (!gap)
+        return -1;
+    o->gap = gap;
+    o->cap = cap;
+    return 0;
+}
+
+static PyObject *
+ncollector_process_chunk(NCollector *self, PyObject *args)
+{
+    PyObject *nodes_l, *addrs_obj, *pcs_l, *writes_l, *gaps_l;
+    if (!PyArg_ParseTuple(args, "OOOOO", &nodes_l, &addrs_obj, &pcs_l,
+                          &writes_l, &gaps_l))
+        return NULL;
+    if (!self->loaded) {
+        PyErr_SetString(PyExc_RuntimeError, "Collector: load() first");
+        return NULL;
+    }
+    if (!PyList_CheckExact(nodes_l) || !PyList_CheckExact(pcs_l)
+        || !PyList_CheckExact(writes_l) || !PyList_CheckExact(gaps_l))
+        Py_RETURN_NONE; /* envelope: caller uses the Python loop */
+    Py_ssize_t length = PyList_GET_SIZE(nodes_l);
+    if (PyList_GET_SIZE(pcs_l) != length
+        || PyList_GET_SIZE(writes_l) != length
+        || PyList_GET_SIZE(gaps_l) != length)
+        Py_RETURN_NONE;
+
+    /* Addresses: an int64 buffer (numpy chunk column) or a list. */
+    Py_buffer addr_buf;
+    const int64_t *addr_arr = NULL;
+    PyObject *addr_list = NULL;
+    addr_buf.buf = NULL;
+    if (PyObject_CheckBuffer(addrs_obj)
+        && PyObject_GetBuffer(addrs_obj, &addr_buf, PyBUF_CONTIG_RO) == 0) {
+        if (addr_buf.len == length * (Py_ssize_t)sizeof(int64_t)
+            && addr_buf.itemsize == (Py_ssize_t)sizeof(int64_t)) {
+            addr_arr = addr_buf.buf;
+        }
+        else {
+            PyBuffer_Release(&addr_buf);
+            addr_buf.buf = NULL;
+        }
+    }
+    else {
+        PyErr_Clear();
+    }
+    if (!addr_arr) {
+        if (!PyList_CheckExact(addrs_obj)
+            || PyList_GET_SIZE(addrs_obj) != length)
+            Py_RETURN_NONE;
+        addr_list = addrs_obj;
+    }
+
+#define RELEASE_ADDR()                                                     \
+    do {                                                                   \
+        if (addr_buf.buf)                                                  \
+            PyBuffer_Release(&addr_buf);                                   \
+    } while (0)
+
+    /* Node-range validation mirrors the Python loop's pre-check. */
+    const int n_procs = self->n_procs;
+    for (Py_ssize_t i = 0; i < length; i++) {
+        int of = 0;
+        int64_t node = as_i64(PyList_GET_ITEM(nodes_l, i), &of);
+        if (of || node < 0 || node >= n_procs) {
+            RELEASE_ADDR();
+            if (!of) {
+                PyErr_Format(PyExc_ValueError,
+                             "chunk contains nodes outside [0, %d)",
+                             n_procs);
+                return NULL;
+            }
+            Py_RETURN_NONE;
+        }
+    }
+
+    MissOut out;
+    memset(&out, 0, sizeof(out));
+    if (missout_reserve(&out, length > 16 ? length / 4 : 16) < 0) {
+        RELEASE_ADDR();
+        return PyErr_NoMemory();
+    }
+
+    const int64_t block_mask = self->block_mask;
+    const int block_shift = self->block_shift;
+    const int64_t n1 = self->n1, n2 = self->n2;
+    const int32_t a1 = self->a1, a2 = self->a2;
+    PyObject *result = NULL;
+
+    for (Py_ssize_t i = 0; i < length; i++) {
+        int of = 0;
+        int64_t node = as_i64(PyList_GET_ITEM(nodes_l, i), &of);
+        int64_t gap = as_i64(PyList_GET_ITEM(gaps_l, i), &of);
+        int64_t pc = as_i64(PyList_GET_ITEM(pcs_l, i), &of);
+        int64_t is_write = as_i64(PyList_GET_ITEM(writes_l, i), &of);
+        int64_t address =
+            addr_arr ? addr_arr[i]
+                     : as_i64(PyList_GET_ITEM(addr_list, i), &of);
+        if (of || address < 0) {
+            /* Outside the envelope mid-chunk cannot happen for real
+             * generator output; bail out loudly rather than guessing. */
+            PyErr_SetString(PyExc_OverflowError,
+                            "Collector: value outside int64 envelope");
+            goto done;
+        }
+
+        self->executed[node] += gap;
+        int64_t block = address & block_mask;
+        int64_t s1 = (block >> block_shift) % n1;
+        int64_t s2 = (block >> block_shift) % n2;
+
+        int64_t owner;
+        uint64_t sharers;
+        Py_ssize_t mslot = map_find(&self->mosi, block);
+        if (mslot < 0) {
+            owner = -1;
+            sharers = 0;
+        }
+        else {
+            owner = self->mosi.v1[mslot];
+            sharers = (uint64_t)self->mosi.v2[mslot];
+        }
+        int permitted;
+        if (is_write)
+            permitted = owner == node && !sharers;
+        else
+            permitted = owner == node || ((sharers >> node) & 1);
+
+        int64_t *l1_seg = self->l1 + ((size_t)node * n1 + s1) * a1;
+        int32_t *l1_len = &self->l1_len[(size_t)node * n1 + s1];
+        int64_t *l2_seg = self->l2 + ((size_t)node * n2 + s2) * a2;
+        int32_t *l2_len = &self->l2_len[(size_t)node * n2 + s2];
+
+        if (permitted) {
+            int32_t pos = set_find(l1_seg, *l1_len, block);
+            if (pos >= 0) {
+                set_move_to_end(l1_seg, *l1_len, pos);
+                int32_t p2 = set_find(l2_seg, *l2_len, block);
+                if (p2 >= 0)
+                    set_move_to_end(l2_seg, *l2_len, p2);
+                continue;
+            }
+            int32_t p2 = set_find(l2_seg, *l2_len, block);
+            if (p2 >= 0) {
+                set_move_to_end(l2_seg, *l2_len, p2);
+                if (*l1_len >= a1)
+                    set_remove_at(l1_seg, l1_len, 0);
+                l1_seg[(*l1_len)++] = block;
+                continue;
+            }
+        }
+
+        /* -- miss: record, apply MOSI, invalidate, fill ---------- */
+        int64_t done_instr = self->executed[node];
+        if (out.len >= out.cap
+            && missout_reserve(&out, out.cap * 2) < 0) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        out.gap[out.len] = done_instr - self->at_last_miss[node];
+        self->at_last_miss[node] = done_instr;
+        uint64_t required;
+        if (owner >= 0 && owner != node)
+            required = (uint64_t)1 << owner;
+        else
+            required = 0;
+        if (is_write) {
+            required |= sharers & ~((uint64_t)1 << node);
+            if (map_put(&self->mosi, block, node, 0) < 0) {
+                PyErr_NoMemory();
+                goto done;
+            }
+        }
+        else if (owner != node) {
+            if (map_put(&self->mosi, block, owner,
+                        (int64_t)(sharers | ((uint64_t)1 << node))) < 0) {
+                PyErr_NoMemory();
+                goto done;
+            }
+        }
+        out.addr[out.len] = block;
+        out.pc[out.len] = pc;
+        out.node[out.len] = (int32_t)node;
+        out.code[out.len] = is_write ? 1 : 0;
+        out.len++;
+
+        if (is_write && required) {
+            uint64_t remaining = required;
+            while (remaining) {
+                uint64_t low = remaining & (~remaining + 1);
+                int victim_node = __builtin_ctzll(low);
+                int64_t *vseg =
+                    self->l1 + ((size_t)victim_node * n1 + s1) * a1;
+                int32_t *vlen = &self->l1_len[(size_t)victim_node * n1 + s1];
+                int32_t vpos = set_find(vseg, *vlen, block);
+                if (vpos >= 0)
+                    set_remove_at(vseg, vlen, vpos);
+                vseg = self->l2 + ((size_t)victim_node * n2 + s2) * a2;
+                vlen = &self->l2_len[(size_t)victim_node * n2 + s2];
+                vpos = set_find(vseg, *vlen, block);
+                if (vpos >= 0)
+                    set_remove_at(vseg, vlen, vpos);
+                remaining ^= low;
+            }
+        }
+
+        int32_t p2 = set_find(l2_seg, *l2_len, block);
+        if (p2 >= 0) {
+            set_move_to_end(l2_seg, *l2_len, p2);
+        }
+        else {
+            if (*l2_len >= a2) {
+                int64_t victim = l2_seg[0];
+                set_remove_at(l2_seg, l2_len, 0);
+                int64_t vs1 = (victim >> block_shift) % n1;
+                int64_t *vseg = self->l1 + ((size_t)node * n1 + vs1) * a1;
+                int32_t *vlen = &self->l1_len[(size_t)node * n1 + vs1];
+                int32_t vpos = set_find(vseg, *vlen, victim);
+                if (vpos >= 0)
+                    set_remove_at(vseg, vlen, vpos);
+                Py_ssize_t vslot = map_find(&self->mosi, victim);
+                if (vslot >= 0) {
+                    int64_t vowner = self->mosi.v1[vslot];
+                    uint64_t vsharers = (uint64_t)self->mosi.v2[vslot];
+                    if (vowner == node) {
+                        self->mosi.v1[vslot] = -1;
+                    }
+                    else if ((vsharers >> node) & 1) {
+                        self->mosi.v2[vslot] = (int64_t)(
+                            vsharers & ~((uint64_t)1 << node));
+                    }
+                }
+            }
+            l2_seg[(*l2_len)++] = block;
+        }
+        int32_t p1 = set_find(l1_seg, *l1_len, block);
+        if (p1 >= 0) {
+            set_move_to_end(l1_seg, *l1_len, p1);
+        }
+        else {
+            if (*l1_len >= a1)
+                set_remove_at(l1_seg, l1_len, 0);
+            l1_seg[(*l1_len)++] = block;
+        }
+    }
+
+    result = Py_BuildValue(
+        "ny#y#y#y#y#", out.len, (const char *)out.addr,
+        out.len * (Py_ssize_t)sizeof(int64_t), (const char *)out.pc,
+        out.len * (Py_ssize_t)sizeof(int64_t), (const char *)out.node,
+        out.len * (Py_ssize_t)sizeof(int32_t), (const char *)out.code,
+        out.len, (const char *)out.gap,
+        out.len * (Py_ssize_t)sizeof(int64_t));
+
+done:
+    RELEASE_ADDR();
+#undef RELEASE_ADDR
+    PyMem_Free(out.addr);
+    PyMem_Free(out.pc);
+    PyMem_Free(out.node);
+    PyMem_Free(out.code);
+    PyMem_Free(out.gap);
+    return result;
+}
+
+/* Write the native cache/MOSI/counter state back into the Python
+ * structures (same objects, refilled in LRU order). */
+static int
+sync_level(PyObject *raw, int n_procs, int64_t n_sets, int32_t assoc,
+           const int64_t *slots, const int32_t *lens)
+{
+    for (int node = 0; node < n_procs; node++) {
+        PyObject *sets = PyList_GET_ITEM(raw, node);
+        for (int64_t s = 0; s < n_sets; s++) {
+            PyObject *od = PyList_GET_ITEM(sets, s);
+            int32_t len = lens[(size_t)node * n_sets + s];
+            Py_ssize_t pysz = PyObject_Size(od);
+            if (pysz < 0)
+                return -1;
+            if (pysz == 0 && len == 0)
+                continue;
+            PyObject *r = PyObject_CallMethod(od, "clear", NULL);
+            if (!r)
+                return -1;
+            Py_DECREF(r);
+            const int64_t *seg =
+                slots + ((size_t)node * n_sets + s) * assoc;
+            for (int32_t j = 0; j < len; j++) {
+                PyObject *keyobj = PyLong_FromLongLong((long long)seg[j]);
+                if (!keyobj)
+                    return -1;
+                int rc = PyObject_SetItem(od, keyobj, Py_None);
+                Py_DECREF(keyobj);
+                if (rc < 0)
+                    return -1;
+            }
+        }
+    }
+    return 0;
+}
+
+static int
+sync_counter_dict(PyObject *d, int n_procs, const int64_t *src)
+{
+    for (int node = 0; node < n_procs; node++) {
+        PyObject *keyobj = PyLong_FromLong(node);
+        PyObject *v = keyobj ? PyLong_FromLongLong((long long)src[node])
+                             : NULL;
+        if (!v || PyDict_SetItem(d, keyobj, v) < 0) {
+            Py_XDECREF(keyobj);
+            Py_XDECREF(v);
+            return -1;
+        }
+        Py_DECREF(keyobj);
+        Py_DECREF(v);
+    }
+    return 0;
+}
+
+static PyObject *
+ncollector_sync(NCollector *self, PyObject *args)
+{
+    PyObject *l1_raw, *l2_raw, *blocks, *executed, *at_last;
+    if (!PyArg_ParseTuple(args, "OOOOO", &l1_raw, &l2_raw, &blocks,
+                          &executed, &at_last))
+        return NULL;
+    if (!self->loaded) {
+        PyErr_SetString(PyExc_RuntimeError, "Collector: load() first");
+        return NULL;
+    }
+    if (sync_level(l1_raw, self->n_procs, self->n1, self->a1, self->l1,
+                   self->l1_len) < 0)
+        return NULL;
+    if (sync_level(l2_raw, self->n_procs, self->n2, self->a2, self->l2,
+                   self->l2_len) < 0)
+        return NULL;
+    if (mosi_sync(&self->mosi, blocks) < 0)
+        return NULL;
+    if (sync_counter_dict(executed, self->n_procs, self->executed) < 0)
+        return NULL;
+    if (sync_counter_dict(at_last, self->n_procs, self->at_last_miss) < 0)
+        return NULL;
+    self->loaded = 0;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef ncollector_methods[] = {
+    {"load", (PyCFunction)ncollector_load, METH_VARARGS,
+     "Adopt the Python-side cache/MOSI/counter state."},
+    {"process_chunk", (PyCFunction)ncollector_process_chunk, METH_VARARGS,
+     "Filter one reference chunk; returns (n_miss, 5 column bytes)."},
+    {"sync", (PyCFunction)ncollector_sync, METH_VARARGS,
+     "Write native state back into the Python-side structures."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject NCollectorType = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro.kernels._native.Collector",
+    .tp_basicsize = sizeof(NCollector),
+    .tp_dealloc = (destructor)ncollector_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Native chunk-collector session state.",
+    .tp_methods = ncollector_methods,
+    .tp_new = ncollector_new,
+};
+
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef native_methods[] = {
+    {"timing_pass", timing_pass, METH_VARARGS,
+     "Crossbar + simple-processor timing pass over outcome columns."},
+    {"group_replay", group_replay, METH_VARARGS,
+     "Fused Group-predictor multicast replay over trace columns."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.kernels._native",
+    "Compiled kernel backend (see repro.kernels for the ABI).",
+    -1,
+    native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    PyObject *m = PyModule_Create(&native_module);
+    if (!m)
+        return NULL;
+    if (PyType_Ready(&NCollectorType) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    Py_INCREF(&NCollectorType);
+    if (PyModule_AddObject(m, "Collector", (PyObject *)&NCollectorType)
+        < 0) {
+        Py_DECREF(&NCollectorType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(m, "ABI_VERSION", 1) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

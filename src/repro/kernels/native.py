@@ -1,0 +1,285 @@
+"""Marshalling glue between the kernel ABI and the C extension.
+
+Each function here checks the native envelope (node count, race
+probability, key-index shape, column dtypes), flattens the Python-side
+state into the argument shapes :mod:`repro.kernels._native` consumes,
+and folds the results back through the exact accounting statements the
+Python loops execute — so a native call is indistinguishable from the
+Python tier on every observable (ResultSet JSON, predictor tables,
+cache/MOSI state, hex-float timing goldens).
+
+Callers come through :mod:`repro.kernels` (``try_group_replay`` /
+``try_timing_pass`` / ``collector_session``), which has already
+established that the native tier is active.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.common import backend as _backend
+
+
+def _ext():
+    module = _backend.native_module()
+    if module is None:  # pragma: no cover - callers checked already
+        raise RuntimeError("native kernel extension is not importable")
+    return module
+
+
+# ----------------------------------------------------------------------
+# group_replay: repro.protocols.fused.run_group
+# ----------------------------------------------------------------------
+
+def group_replay(proto, trace, out=None) -> bool:
+    """Native fused Group replay.  False -> caller runs the Python loop.
+
+    Callers have established :func:`repro.protocols.fused.group_uniform`
+    (stock, identically-tuned GroupPredictors); the envelope on top of
+    that: zero race probability (the Python tier draws from a Mersenne
+    Twister the kernel does not replicate), <= 62 nodes (int64 bitmask
+    lanes), and a power-of-two index granularity (so ``address //
+    granularity`` is a shift — PredictorConfig validates this, checked
+    again here because the kernel relies on it).
+    """
+    if proto.race_probability:
+        return False
+    n = proto.config.n_processors
+    if n > 62:
+        return False
+    config = proto.predictor_config
+    use_pc = bool(config.use_pc_index)
+    gshift = 0
+    if not use_pc:
+        granularity = config.index_granularity
+        if (
+            granularity is None
+            or granularity <= 0
+            or granularity & (granularity - 1)
+        ):
+            return False
+        gshift = granularity.bit_length() - 1
+    block_size = proto.config.block_size
+    if block_size <= 0 or block_size & (block_size - 1):
+        return False
+
+    addresses = trace._addresses
+    pcs = trace._pcs
+    requesters = trace._requesters
+    accesses = trace._accesses
+    if (
+        addresses.itemsize != 8
+        or pcs.itemsize != 8
+        or requesters.itemsize != 4
+        or accesses.itemsize != 1
+    ):  # pragma: no cover - fixed typecodes on supported platforms
+        return False
+
+    predictors = proto._predictors
+    tables = [p._table for p in predictors]
+    factories = [t._entry_factory for t in tables]
+    first = predictors[0]
+    totals = proto.totals
+
+    result = _ext().group_replay(
+        addresses,
+        pcs,
+        requesters,
+        accesses,
+        n,
+        ~(block_size - 1),
+        block_size.bit_length() - 1,
+        1 if use_pc else 0,
+        gshift,
+        list(tables),
+        factories,
+        first._counter_max,
+        first._threshold,
+        first._rollover_period,
+        1 if first._train_down else 0,
+        proto.state._blocks,
+        proto._lat_memory,
+        proto._lat_direct,
+        proto._lat_indirect,
+        proto.traffic.control_bytes,
+        proto.traffic.data_bytes,
+        totals.latency_ns_sum,
+        0 if out is None else 1,
+    )
+    if result is None:
+        return False  # state outside the envelope; nothing was touched
+    (
+        misses,
+        indirections,
+        request_sum,
+        retry_sum,
+        retries_total,
+        latency_sum,
+        lat_bytes,
+        tb_bytes,
+    ) = result
+    if out is not None:
+        out.latency_ns.frombytes(lat_bytes)
+        out.transfer_bytes.frombytes(tb_bytes)
+    request_messages = request_sum - misses
+    traffic_bytes = (
+        (request_messages + retry_sum) * proto.traffic.control_bytes
+        + misses * proto.traffic.data_bytes
+    )
+    totals.add_batch(
+        misses, indirections, request_messages, 0, retry_sum,
+        misses, traffic_bytes, latency_sum, retries_total,
+    )
+    return True
+
+
+# ----------------------------------------------------------------------
+# timing_pass: TimingSimulator._timing_pass_simple
+# ----------------------------------------------------------------------
+
+def timing_pass(simulator, measured, out) -> bool:
+    """Native crossbar + simple-processor timing pass."""
+    from repro.timing.interconnect import CrossbarInterconnect
+    from repro.timing.processor import SimpleProcessorModel
+
+    interconnect = simulator.interconnect
+    processors = simulator.processors
+    per_ns = SimpleProcessorModel.INSTRUCTIONS_PER_NS
+    if type(interconnect) is not CrossbarInterconnect or not all(
+        type(p) is SimpleProcessorModel
+        and p.INSTRUCTIONS_PER_NS == per_ns
+        for p in processors
+    ):
+        return False
+    requesters = measured._requesters
+    instructions = measured._instructions
+    if (
+        requesters.itemsize != 4
+        or instructions.itemsize != 8
+        or len(out.latency_ns) != len(requesters)
+    ):  # pragma: no cover - lengths always match after the protocol pass
+        return False
+
+    clocks = array("d", [p.now_ns for p in processors])
+    link_free = array("d", interconnect._link_free)
+    total_queue_ns, carried = _ext().timing_pass(
+        requesters,
+        instructions,
+        out.latency_ns,
+        out.transfer_bytes,
+        clocks,
+        link_free,
+        float(interconnect._bandwidth),
+        float(per_ns),
+        float(interconnect.total_queue_ns),
+    )
+    for processor, clock in zip(processors, clocks):
+        processor.now_ns = clock
+    interconnect._link_free[:] = link_free
+    interconnect.bytes_carried += carried
+    interconnect.total_queue_ns = total_queue_ns
+    return True
+
+
+# ----------------------------------------------------------------------
+# collector: TraceCollector.process_chunk
+# ----------------------------------------------------------------------
+
+class _CollectorSession:
+    """Owns the cache/MOSI state natively while chunks stream through.
+
+    ``process_chunk`` lazily adopts (``load``) the Python-side state on
+    first use after a flush; ``flush`` writes it back (``sync``) so the
+    record-level APIs and inspection properties observe exactly what
+    the Python loop would have left behind.
+    """
+
+    __slots__ = ("_collector", "_native", "_l1", "_l2", "_loaded")
+
+    def __init__(self, collector, native_collector):
+        self._collector = collector
+        self._native = native_collector
+        hierarchies = collector._hierarchies
+        self._l1 = [h.l1.raw_sets for h in hierarchies]
+        self._l2 = [h.l2.raw_sets for h in hierarchies]
+        self._loaded = False
+
+    def _state_args(self):
+        collector = self._collector
+        return (
+            self._l1,
+            self._l2,
+            collector._global._blocks,
+            collector._instructions,
+            collector._instructions_at_last_miss,
+        )
+
+    def process_chunk(self, chunk) -> Optional[int]:
+        """Filter one chunk natively; None -> caller uses the Python loop
+        (state already flushed back)."""
+        if not self._loaded:
+            if not self._native.load(*self._state_args()):
+                return None  # state outside the envelope
+            self._loaded = True
+        addresses = chunk.addresses_np
+        if addresses is None:
+            addresses = chunk.addresses
+        result = self._native.process_chunk(
+            chunk.nodes, addresses, chunk.pcs, chunk.writes,
+            chunk.instructions,
+        )
+        if result is None:
+            self.flush()
+            return None
+        n_miss, addr_b, pc_b, node_b, code_b, gap_b = result
+        collector = self._collector
+        collector._references += len(chunk.nodes)
+        if n_miss:
+            blocks = array("q")
+            blocks.frombytes(addr_b)
+            pcs = array("q")
+            pcs.frombytes(pc_b)
+            nodes = array("i")
+            nodes.frombytes(node_b)
+            codes = array("b")
+            codes.frombytes(code_b)
+            gaps = array("q")
+            gaps.frombytes(gap_b)
+            collector._trace.extend_fields(blocks, pcs, nodes, codes, gaps)
+        return n_miss
+
+    def flush(self) -> None:
+        """Sync native state back into the Python-side structures."""
+        if self._loaded:
+            self._native.sync(*self._state_args())
+            self._loaded = False
+
+
+def make_collector_session(collector) -> Optional[_CollectorSession]:
+    """Build a native collector session, or None when ineligible."""
+    config = collector._config
+    n = config.n_processors
+    block_size = config.block_size
+    if (
+        n <= 0
+        or n > 62
+        or block_size <= 0
+        or block_size & (block_size - 1)
+        or not collector._hierarchies
+    ):
+        return None
+    h0 = collector._hierarchies[0]
+    try:
+        native_collector = _ext().Collector(
+            n,
+            ~(block_size - 1),
+            block_size.bit_length() - 1,
+            h0.l1.n_sets,
+            h0.l1.associativity,
+            h0.l2.n_sets,
+            h0.l2.associativity,
+        )
+    except ValueError:  # geometry outside the native envelope
+        return None
+    return _CollectorSession(collector, native_collector)

@@ -32,6 +32,7 @@ from repro.coherence.sufficiency import is_sufficient, minimal_set
 from repro.predictors.base import DestinationSetPredictor
 from repro.predictors.registry import create_predictor
 from repro.predictors.static import OraclePredictor
+from repro import kernels
 from repro.protocols import fused
 from repro.protocols.base import (
     CoherenceProtocol,
@@ -211,7 +212,8 @@ class MulticastSnoopingProtocol(CoherenceProtocol):
         if homogeneous and not self._needs_truth and fused.group_uniform(
             predictors
         ):
-            fused.run_group(self, trace, out)
+            if not kernels.try_group_replay(self, trace, out):
+                fused.run_group(self, trace, out)
             return
         kernel = (
             first_type.fused_kernel(predictors) if homogeneous else None

@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional
 
+from repro import kernels
 from repro.common.params import SystemConfig
 from repro.protocols.base import CoherenceProtocol, OutcomeColumns
 from repro.timing.interconnect import CrossbarInterconnect, Interconnect
@@ -157,17 +158,20 @@ class TimingSimulator:
         protocol._run_columns(measured, out)
 
         processors = self.processors
-        _, _, requesters, _, instructions = measured.boxed_columns()
         if type(self.interconnect) is CrossbarInterconnect and all(
             type(p) is SimpleProcessorModel
             and p.INSTRUCTIONS_PER_NS
             == SimpleProcessorModel.INSTRUCTIONS_PER_NS
             for p in processors
         ):
+            if kernels.try_timing_pass(self, measured, out):
+                return
+            _, _, requesters, _, instructions = measured.boxed_columns()
             self._timing_pass_simple(
                 requesters, instructions, out, processors
             )
             return
+        _, _, requesters, _, instructions = measured.boxed_columns()
         acquire = self.interconnect.acquire
         for requester, gap, transfer_bytes, base_ns in zip(
             requesters, instructions, out.transfer_bytes, out.latency_ns,

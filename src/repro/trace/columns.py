@@ -13,8 +13,11 @@ lists.  Both backends yield *identical* Python ints, so simulation
 results are byte-for-byte independent of the backend — the equivalence
 suite asserts this.
 
-Set ``REPRO_PURE_PYTHON=1`` in the environment to force the pure
-backend even when numpy is installed (CI runs both).
+Set ``REPRO_BACKEND=pure`` (or the deprecated back-compat alias
+``REPRO_PURE_PYTHON=1``) in the environment to force the pure backend
+even when numpy is installed (CI runs both); see
+:mod:`repro.common.backend` for the unified backend switch this
+column-level selection is one layer of.
 """
 
 from __future__ import annotations
@@ -22,7 +25,8 @@ from __future__ import annotations
 import os
 from typing import List, NamedTuple, Optional
 
-#: Environment variable that force-disables the numpy backend.
+#: Environment variable that force-disables the numpy backend
+#: (deprecated alias of ``REPRO_BACKEND=pure``).
 PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
 
 #: Bitmask columns need one bit per node in an int64 numpy lane.
@@ -37,7 +41,15 @@ def _import_numpy():
     return numpy
 
 
-_np = None if os.environ.get(PURE_PYTHON_ENV) else _import_numpy()
+def _env_forces_pure() -> bool:
+    return bool(
+        os.environ.get(PURE_PYTHON_ENV)
+        or os.environ.get("REPRO_BACKEND", "").strip().lower()
+        in ("pure", "python")
+    )
+
+
+_np = None if _env_forces_pure() else _import_numpy()
 
 
 def backend_name() -> str:
@@ -60,20 +72,40 @@ def set_backend(name: str) -> None:
 
     Intended for tests and benchmarks; raises if numpy is requested
     but not importable.  ``"auto"`` re-runs the import-time detection
-    (honouring :data:`PURE_PYTHON_ENV`).
+    (honouring ``REPRO_BACKEND`` and :data:`PURE_PYTHON_ENV`).
+
+    Pinning a column backend also pins the matching unified tier in
+    :mod:`repro.common.backend` ("python" -> pure, "numpy" -> numpy),
+    so the equivalence suites that parametrize over this function
+    compare the Python replay loops and never silently dispatch the
+    native kernels.
     """
+    _apply(name)
+    from repro.common import backend as _backend
+
+    _backend._sync_from_columns(name)
+
+
+def _apply(name: str) -> None:
+    """Low-level column switch (no unified-backend notification)."""
     global _np
     if name == "python":
         _np = None
-    elif name == "numpy":
+    elif name in ("numpy", "numpy-if-available"):
         numpy = _import_numpy()
         if numpy is None:
+            if name == "numpy-if-available":
+                _np = None
+                return
             raise RuntimeError("numpy backend requested but not importable")
         _np = numpy
     elif name == "auto":
-        _np = (
-            None if os.environ.get(PURE_PYTHON_ENV) else _import_numpy()
-        )
+        _np = None if _env_forces_pure() else _import_numpy()
+    elif name == "auto-numpy":
+        # Unified auto resolved to a non-pure tier: numpy when
+        # importable regardless of the pure-forcing env (the caller
+        # already decided the tier).
+        _np = _import_numpy()
     else:
         raise ValueError(f"unknown backend {name!r}")
 

@@ -1,0 +1,126 @@
+"""int64 overflow-safety at the kernel/column dtype edges.
+
+The vectorized column backend and the native kernels both carry
+destination-set bitmasks and predictor index keys in int64 lanes.
+These tests pin the width contract so the big-system mode cannot
+silently truncate:
+
+- :class:`DestinationSet` masks are exact Python ints at any node
+  count (bits above 16 — and above 62 — survive round-trips),
+- the numpy column path refuses node counts whose bitmasks would not
+  fit an int64 lane (``_MAX_NUMPY_NODES``) and falls back to the pure
+  path with identical values,
+- the native kernels decline (fall back to the Python tiers) rather
+  than truncate when node counts or table keys leave the int64
+  envelope.
+"""
+
+import pytest
+
+from repro.common.destset import DestinationSet, full_mask, popcount
+from repro.trace import columns as trace_columns
+
+
+BIG_NODE_COUNTS = (17, 33, 62, 63, 64, 128)
+
+
+@pytest.mark.parametrize("n_nodes", BIG_NODE_COUNTS)
+def test_destination_set_bits_width(n_nodes):
+    """Masks stay exact above 16 (and above 62) nodes."""
+    assert full_mask(n_nodes) == (1 << n_nodes) - 1
+    broadcast = DestinationSet.broadcast(n_nodes)
+    assert popcount(broadcast._bits) == n_nodes
+    top = n_nodes - 1
+    single = DestinationSet.of(n_nodes, top)
+    assert single._bits == 1 << top
+    assert list(single) == [top]
+    union = single.union(DestinationSet.of(n_nodes, 0))
+    assert union._bits == (1 << top) | 1
+    assert union.contains(top) and union.contains(0)
+
+
+def _derived(n_nodes, addresses, requesters):
+    from array import array
+
+    return trace_columns.derived_columns(
+        array("q", addresses),
+        array("q", [0] * len(addresses)),
+        array("i", requesters),
+        block_size=64,
+        n_processors=n_nodes,
+        key_granularity=1024,
+    )
+
+
+@pytest.mark.parametrize("n_nodes", (63, 64, 128))
+def test_numpy_columns_decline_wide_masks(n_nodes):
+    """Above 62 nodes the int64 lanes cannot hold a requester bit;
+    the numpy path must fall back, not truncate."""
+    if trace_columns.numpy_module() is None:
+        pytest.skip("numpy backend not active")
+    top = n_nodes - 1
+    derived = _derived(n_nodes, [1 << 40, 4096], [top, 0])
+    assert derived.reqbits[0] == 1 << top
+    assert derived.minimals[0] & (1 << top)
+    # Identical to the pure path.
+    trace_columns.set_backend("python")
+    try:
+        pure = _derived(n_nodes, [1 << 40, 4096], [top, 0])
+    finally:
+        trace_columns.set_backend("auto")
+    assert derived == pure
+
+
+def test_native_kernels_decline_wide_systems():
+    """Native kernels fall back (never truncate) past 62 nodes."""
+    from repro.common.params import SystemConfig
+    from repro import kernels
+
+    if not kernels.native_available():
+        pytest.skip("native kernel extension not built")
+    from repro.cache.pipeline import TraceCollector
+    from repro.kernels import native
+
+    config = SystemConfig(n_processors=64)
+    collector = TraceCollector(config)
+    assert native.make_collector_session(collector) is None
+
+    from repro.protocols.multicast import MulticastSnoopingProtocol
+    from repro.trace.trace import Trace
+
+    proto = MulticastSnoopingProtocol(config, "group")
+    assert not native.group_replay(
+        proto, Trace(n_processors=64), out=None
+    )
+
+
+def test_native_group_replay_declines_overflowing_keys():
+    """A predictor-table key outside int64 forces the Python tier.
+
+    The native loader must return the no-op fallback (leaving every
+    Python structure untouched) instead of truncating the key.
+    """
+    from repro.common.params import SystemConfig
+    from repro import kernels
+
+    if not kernels.native_available():
+        pytest.skip("native kernel extension not built")
+    from repro.common import backend as _backend
+    from repro.kernels import native
+    from repro.protocols.multicast import MulticastSnoopingProtocol
+    from repro.trace.trace import Trace
+
+    config = SystemConfig(n_processors=4)
+    proto = MulticastSnoopingProtocol(config, "group")
+    table = proto.predictors[0]._table
+    huge = 1 << 70  # beyond any int64 lane
+    entry = table.lookup_allocate(huge)
+    entry.counters[1] = 3
+    before = dict(table._entries)
+
+    trace = Trace(n_processors=4)
+    trace.append_fields(4096, 0, 2, 1, 10)
+    with _backend.use("pure"):
+        pass  # ensure backend module is initialised
+    assert not native.group_replay(proto, trace, out=None)
+    assert table._entries == before  # untouched by the declined call
