@@ -96,8 +96,19 @@ QUICK_REFERENCES = 8_000
 #: stay comparable across machines and commits regardless of whether
 #: the extension is built; the ``_native`` twins (plus the
 #: ``pre_native_baseline`` block) document the compiled tier's
-#: speedup on the same machine in the same run.
-NATIVE_BENCH_ENTRIES = ("protocol_multicast_group", "timing_runtime")
+#: speedup on the same machine in the same run.  One twin per
+#: compiled kernel: the five fused policy replays, both timing
+#: passes, and the 64-node scaling entry (which exercises the
+#: two-word destination-mask envelope).
+NATIVE_BENCH_ENTRIES = (
+    "protocol_multicast_group",
+    "protocol_multicast_owner",
+    "protocol_multicast_bifs",
+    "protocol_multicast_sticky",
+    "timing_runtime",
+    "timing_detailed",
+    "protocol_scale64",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -228,6 +239,32 @@ def _benchmarks(
         simulator.run(trace)
         return len(trace)
 
+    def timing_detailed() -> int:
+        # The detailed (bounded-outstanding-miss) processor model:
+        # its per-node min-heaps are the second compiled timing pass.
+        instance = make_protocol("group", config, predictor_config)
+        simulator = TimingSimulator(
+            config, instance, processor_model="detailed"
+        )
+        simulator.run(trace)
+        return len(trace)
+
+    def protocol_scale64() -> int:
+        # The ROADMAP big-system gate: Group replay on a 64-node
+        # machine, past the old single-word native envelope.  The
+        # 64-node trace is collected once (during the untimed warm-up
+        # call) and reused.
+        if "scale64" not in state:
+            scale_config = dataclasses.replace(config, n_processors=64)
+            scale_trace = create_workload(
+                workload, config=scale_config, seed=seed
+            ).collect(n_references).trace
+            state["scale64"] = (scale_config, scale_trace)
+        scale_config, scale_trace = state["scale64"]
+        instance = make_protocol("group", scale_config, predictor_config)
+        evaluate_protocol(instance, scale_trace, label="group")
+        return len(scale_trace)
+
     def timing_constrained_bw() -> int:
         # Timing throughput at a tenth of the configured link
         # bandwidth: the queueing/serialization arithmetic actually
@@ -348,7 +385,10 @@ def _benchmarks(
             lambda: protocol("sticky-spatial"),
         ),
         ("timing_runtime", timing_runtime),
+        ("timing_detailed", timing_detailed),
         ("timing_constrained_bw", timing_constrained_bw),
+        # Big-system scaling gate (ROADMAP): 64 nodes, two-word masks.
+        ("protocol_scale64", protocol_scale64),
         ("analysis_sharing", analysis_sharing),
         ("analysis_locality", analysis_locality),
         ("trace_stats", trace_stats),

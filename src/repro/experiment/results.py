@@ -51,6 +51,15 @@ class PerfStats:
     #: Unified simulation backend the sweep executed under
     #: (``pure``/``numpy``/``native``; see :mod:`repro.common.backend`).
     backend: str = ""
+    #: Native-kernel declines observed during the run, keyed
+    #: ``"<kernel>:<reason>"`` (see
+    #: :func:`repro.kernels.decline_counts`).  Empty on the Python
+    #: backends, and for parallel sweeps (workers count in their own
+    #: processes).  A nonzero tally explains a native run executing at
+    #: Python-tier speed.
+    native_declines: Dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def records_per_sec(self) -> float:
@@ -61,11 +70,18 @@ class PerfStats:
 
     def __str__(self) -> str:
         suffix = f", {self.backend} backend" if self.backend else ""
-        return (
+        text = (
             f"{self.records_processed:,} records in "
             f"{self.wall_seconds:.2f}s "
             f"({self.records_per_sec:,.0f} records/sec{suffix})"
         )
+        if self.native_declines:
+            tallies = ", ".join(
+                f"{key} x{count}"
+                for key, count in sorted(self.native_declines.items())
+            )
+            text += f"\nnative kernel declines: {tallies}"
+        return text
 
 
 @dataclasses.dataclass(frozen=True)

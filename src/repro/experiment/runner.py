@@ -29,6 +29,7 @@ import time
 import traceback as traceback_module
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import kernels as _kernels
 from repro.analysis.accuracy import prediction_accuracy
 from repro.common import backend as _backend
 from repro.evaluation.corpus import TraceCorpus
@@ -374,6 +375,7 @@ class Runner:
         failures: List[CellFailure] = []
         processed = 0
         started = time.perf_counter()
+        _kernels.reset_decline_counts()
         for job in jobs:
             job_records, job_processed, failure = run_cell(
                 spec, job, corpus
@@ -388,7 +390,11 @@ class Runner:
         if isinstance(corpus, PersistentTraceCorpus):
             stats.merge(corpus.cache_stats)
         return ResultSet(
-            spec, records, stats, PerfStats(processed, elapsed, _backend.backend_name()),
+            spec, records, stats,
+            PerfStats(
+                processed, elapsed, _backend.backend_name(),
+                _kernels.decline_counts(),
+            ),
             failures=failures,
         )
 
@@ -461,6 +467,9 @@ class Runner:
             if job.index in failures_by_index:
                 failures.append(failures_by_index[job.index])
         records = _normalize_runtime_records(spec, records)
+        # Worker processes keep their own decline tallies; only the
+        # serial path can report them (PerfStats.native_declines stays
+        # empty here by design).
         return ResultSet(
             spec, records, stats, PerfStats(processed, elapsed, _backend.backend_name()),
             failures=failures,

@@ -1,4 +1,4 @@
-"""The kernel ABI: the three replay hot loops behind one boundary.
+"""The kernel ABI: the replay hot loops behind one boundary.
 
 PRs 2-4 reshaped every hot path into narrow loops over flat int64
 columns.  This package names that shape as an explicit ABI so the
@@ -15,8 +15,9 @@ one without either side knowing about the other:
   byte sizes — plain ints and floats;
 - mutable simulation state at the boundary: the MOSI block map
   (``dict[block] -> (owner, sharers)``), predictor tables
-  (:class:`repro.predictors.base.PredictorTable` flat dicts), cache
-  set arrays, per-node clocks.
+  (:class:`repro.predictors.base.PredictorTable` flat dicts or the
+  sticky-spatial ``_entries`` dicts), cache set arrays, per-node
+  clocks and in-flight heaps.
 
 **Outputs** — :class:`repro.protocols.base.OutcomeColumns`
 (``latency_ns`` float64 + ``transfer_bytes`` int64, appended in trace
@@ -28,11 +29,19 @@ are mutated in place to the exact values the Python loops produce.
 
 - ``group_replay`` — the fused Group-predictor multicast replay
   (:func:`repro.protocols.fused.run_group`);
+- ``policy_replay`` — the fused replay for the other compiled
+  policies: Owner, Broadcast-if-shared, Owner-group, Sticky-spatial
+  (:func:`repro.protocols.fused.run_kernel` with each policy's
+  ``fused_kernel`` closures);
 - ``collector`` — the chunk-consuming cache/MOSI filter
   (:meth:`repro.cache.pipeline.TraceCollector.process_chunk`),
   session-based so cache state stays native across chunks;
 - ``timing_pass`` — the crossbar + simple-processor timing pass
-  (:meth:`repro.timing.system.TimingSimulator._timing_pass_simple`).
+  (:meth:`repro.timing.system.TimingSimulator._timing_pass_simple`);
+- ``timing_pass_detailed`` — the crossbar + detailed-processor pass
+  (bounded outstanding misses via per-node min-heaps), replicating
+  CPython's heapq op order so clocks and heap contents stay
+  bit-identical.
 
 **Backends.**  ``pure`` and ``numpy`` are the existing Python loops
 (they differ only in how derived columns are produced); ``native`` is
@@ -45,18 +54,46 @@ equivalence suites and ``tests/integration/test_kernel_abi.py``.
 The ``try_*`` entry points below are the dispatch seam: they return
 ``False``/``None`` when the native tier is inactive
 (:func:`repro.common.backend.native_active`) or the call is outside
-the native kernel's envelope (>62 nodes, nonzero race probability,
-non-power-of-two granularity, exotic predictor mixes), in which case
-the caller falls back to the Python loops.  Fallbacks are silent by
-design — eligibility is per call, and the Python tier is always
-correct.
+the native kernel's envelope (>128 replay nodes / >62 collector
+nodes, nonzero race probability, non-power-of-two granularity,
+exotic predictor mixes, int64-overflowing keys), in which case the
+caller falls back to the Python loops.  Fallbacks are *counted*, not
+silent: each decline increments a per-kernel/per-reason counter
+(:func:`decline_counts`) that the experiment runner snapshots into
+``ResultSet.perf`` so a decline is visible as more than an
+unexplained slowdown.  Eligibility is per call, and the Python tier
+is always correct.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.common import backend as _backend
+
+#: Decline tallies keyed ``"<kernel>:<reason>"`` — e.g.
+#: ``"policy_replay:envelope"``.  Reasons: ``envelope`` (geometry,
+#: dtype, or predictor mix outside the compiled envelope),
+#: ``overflow`` (runtime values the int64/uint128 lanes cannot carry),
+#: ``race-probability`` (the Python tier draws random numbers the
+#: kernel does not replicate).
+_declines: Dict[str, int] = {}
+
+
+def record_decline(kernel: str, reason: str) -> None:
+    """Count one native-kernel decline (kernel fell back to Python)."""
+    key = f"{kernel}:{reason}"
+    _declines[key] = _declines.get(key, 0) + 1
+
+
+def decline_counts() -> Dict[str, int]:
+    """Snapshot of decline tallies since the last reset."""
+    return dict(_declines)
+
+
+def reset_decline_counts() -> None:
+    """Zero the decline tallies (runner calls this per run)."""
+    _declines.clear()
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -87,13 +124,37 @@ def try_group_replay(proto, trace, out=None) -> bool:
     return native.group_replay(proto, trace, out)
 
 
+def try_policy_replay(proto, trace, out=None) -> bool:
+    """Run a non-Group fused policy replay natively; False -> fall back.
+
+    Callers have already established a homogeneous predictor list with
+    a fused kernel (Owner, Broadcast-if-shared, Owner-group, or
+    Sticky-spatial); this adds the native envelope checks and the
+    table-state round-trip.
+    """
+    if not _backend.native_active():
+        return False
+    from repro.kernels import native
+
+    return native.policy_replay(proto, trace, out)
+
+
 def try_timing_pass(simulator, measured, out) -> bool:
-    """Run the crossbar timing pass natively; False -> fall back."""
+    """Run the crossbar+simple timing pass natively; False -> fall back."""
     if not _backend.native_active():
         return False
     from repro.kernels import native
 
     return native.timing_pass(simulator, measured, out)
+
+
+def try_timing_pass_detailed(simulator, measured, out) -> bool:
+    """Run the crossbar+detailed timing pass natively; False -> fall back."""
+    if not _backend.native_active():
+        return False
+    from repro.kernels import native
+
+    return native.timing_pass_detailed(simulator, measured, out)
 
 
 def collector_session(collector) -> Optional[object]:

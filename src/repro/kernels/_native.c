@@ -1,9 +1,14 @@
-/* repro.kernels._native — compiled backend for the three replay hot
- * loops (the kernel ABI in repro/kernels/__init__.py):
+/* repro.kernels._native — compiled backend for the replay hot loops
+ * (the kernel ABI in repro/kernels/__init__.py):
  *
- *   group_replay — mirror of repro.protocols.fused.run_group
- *   timing_pass  — mirror of TimingSimulator._timing_pass_simple
- *   Collector    — mirror of TraceCollector.process_chunk
+ *   policy_replay        — mirror of repro.protocols.fused.run_group /
+ *                          run_kernel for the five compiled policies
+ *                          (Group, Owner, Broadcast-if-shared,
+ *                          Owner-group, Sticky-spatial)
+ *   timing_pass          — mirror of TimingSimulator._timing_pass_simple
+ *   timing_pass_detailed — the same crossbar pass with the detailed
+ *                          (bounded-outstanding-miss) processor model
+ *   Collector            — mirror of TraceCollector.process_chunk
  *
  * The contract is byte identity with the Python loops: every integer
  * update, LRU stamp, eviction choice and IEEE-754 double operation is
@@ -11,13 +16,16 @@
  * state and the hex-float timing goldens come out identical.  The
  * equivalence suites are the oracle.
  *
- * Envelope: node counts <= 62 (bitmasks live in one int64 lane, like
- * the numpy column backend), non-negative addresses/pcs (the trace
- * container's documented invariant), power-of-two granularity
- * (validated by PredictorConfig).  Callers in repro/kernels/native.py
- * check the envelope and fall back to the Python tiers otherwise;
- * functions here return None (without touching any Python state) when
- * they meet state outside it, e.g. a key that overflows int64.
+ * Envelope: replay destination-set bitmasks are carried in two uint64
+ * words, so policy_replay accepts node counts <= 128; the chunk
+ * collector keeps the original <= 62-node single-lane envelope (its
+ * sharer masks live in one int64 map value).  Addresses/pcs are
+ * non-negative (the trace container's documented invariant) and the
+ * index granularity is a power of two (validated by PredictorConfig).
+ * Callers in repro/kernels/native.py check the envelope and fall back
+ * to the Python tiers otherwise; functions here return None (without
+ * touching any Python state) when they meet state outside it, e.g. a
+ * key that overflows int64.
  */
 
 #define PY_SSIZE_T_CLEAN
@@ -39,6 +47,7 @@ typedef struct {
     int64_t *keys;
     int64_t *v1;
     int64_t *v2;
+    int64_t *v3; /* third lane: high sharer word for wide MOSI state */
     Py_ssize_t cap;  /* power of two */
     Py_ssize_t used; /* live entries */
     Py_ssize_t fill; /* live + tombstones */
@@ -62,10 +71,12 @@ map_init(I64Map *m, Py_ssize_t expect)
     m->keys = PyMem_Malloc((size_t)cap * sizeof(int64_t));
     m->v1 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
     m->v2 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
-    if (!m->keys || !m->v1 || !m->v2) {
+    m->v3 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
+    if (!m->keys || !m->v1 || !m->v2 || !m->v3) {
         PyMem_Free(m->keys);
         PyMem_Free(m->v1);
         PyMem_Free(m->v2);
+        PyMem_Free(m->v3);
         m->keys = NULL;
         return -1;
     }
@@ -83,6 +94,7 @@ map_free(I64Map *m)
     PyMem_Free(m->keys);
     PyMem_Free(m->v1);
     PyMem_Free(m->v2);
+    PyMem_Free(m->v3);
     m->keys = NULL;
 }
 
@@ -101,7 +113,8 @@ map_find(const I64Map *m, int64_t key)
     }
 }
 
-static int map_put(I64Map *m, int64_t key, int64_t v1, int64_t v2);
+static int map_put3(I64Map *m, int64_t key, int64_t v1, int64_t v2,
+                    int64_t v3);
 
 static int
 map_grow(I64Map *m)
@@ -113,7 +126,7 @@ map_grow(I64Map *m)
     for (Py_ssize_t i = 0; i < m->cap; i++) {
         int64_t k = m->keys[i];
         if (k != MAP_EMPTY && k != MAP_TOMB) {
-            if (map_put(&bigger, k, m->v1[i], m->v2[i]) < 0) {
+            if (map_put3(&bigger, k, m->v1[i], m->v2[i], m->v3[i]) < 0) {
                 map_free(&bigger);
                 return -1;
             }
@@ -125,7 +138,7 @@ map_grow(I64Map *m)
 }
 
 static int
-map_put(I64Map *m, int64_t key, int64_t v1, int64_t v2)
+map_put3(I64Map *m, int64_t key, int64_t v1, int64_t v2, int64_t v3)
 {
     if ((m->fill + 1) * 10 >= m->cap * 7) {
         if (map_grow(m) < 0)
@@ -139,6 +152,7 @@ map_put(I64Map *m, int64_t key, int64_t v1, int64_t v2)
         if (k == key) {
             m->v1[i] = v1;
             m->v2[i] = v2;
+            m->v3[i] = v3;
             return 0;
         }
         if (k == MAP_TOMB) {
@@ -155,11 +169,18 @@ map_put(I64Map *m, int64_t key, int64_t v1, int64_t v2)
             m->keys[i] = key;
             m->v1[i] = v1;
             m->v2[i] = v2;
+            m->v3[i] = v3;
             m->used++;
             return 0;
         }
         i = (i + 1) & mask;
     }
+}
+
+static int
+map_put(I64Map *m, int64_t key, int64_t v1, int64_t v2)
+{
+    return map_put3(m, key, v1, v2, 0);
 }
 
 static void
@@ -183,6 +204,108 @@ as_i64(PyObject *obj, int *overflow)
         return 0;
     }
     return (int64_t)v;
+}
+
+/* Exact non-negative value < 2^128 from a PyLong into two uint64
+ * words (the two-lane destination-set representation).  Returns 0,
+ * 1 for "outside the envelope: fall back" (no error set), or -1 with
+ * a Python error set. */
+static int
+as_u128(PyObject *obj, uint64_t *lo, uint64_t *hi)
+{
+    int of = 0;
+    long long v = PyLong_AsLongLongAndOverflow(obj, &of);
+    if (of == 0) {
+        if (v == -1 && PyErr_Occurred()) {
+            PyErr_Clear();
+            return 1; /* not an integer */
+        }
+        if (v < 0)
+            return 1;
+        *lo = (uint64_t)v;
+        *hi = 0;
+        return 0;
+    }
+    if (of < 0)
+        return 1;
+    /* Overflow can only happen for a real int, so PyNumber shifts are
+     * safe from here on. */
+    int rc = -1;
+    PyObject *shift = NULL, *hiobj = NULL, *topobj = NULL;
+    shift = PyLong_FromLong(64);
+    if (!shift)
+        goto done;
+    hiobj = PyNumber_Rshift(obj, shift);
+    if (!hiobj)
+        goto done;
+    topobj = PyNumber_Rshift(hiobj, shift);
+    if (!topobj)
+        goto done;
+    int top = PyObject_IsTrue(topobj);
+    if (top < 0)
+        goto done;
+    if (top) {
+        rc = 1; /* >= 2^128 */
+        goto done;
+    }
+    *hi = PyLong_AsUnsignedLongLongMask(hiobj);
+    *lo = PyLong_AsUnsignedLongLongMask(obj);
+    if (PyErr_Occurred()) {
+        PyErr_Clear();
+        rc = 1;
+        goto done;
+    }
+    rc = 0;
+done:
+    Py_XDECREF(shift);
+    Py_XDECREF(hiobj);
+    Py_XDECREF(topobj);
+    return rc;
+}
+
+/* Rebuild the PyLong (lo | hi << 64).  NULL with an error set on
+ * failure. */
+static PyObject *
+u128_to_pylong(uint64_t lo, uint64_t hi)
+{
+    if (hi == 0)
+        return PyLong_FromUnsignedLongLong((unsigned long long)lo);
+    PyObject *hiobj = PyLong_FromUnsignedLongLong((unsigned long long)hi);
+    PyObject *shift = hiobj ? PyLong_FromLong(64) : NULL;
+    PyObject *shifted = shift ? PyNumber_Lshift(hiobj, shift) : NULL;
+    PyObject *loobj =
+        shifted ? PyLong_FromUnsignedLongLong((unsigned long long)lo) : NULL;
+    PyObject *result = loobj ? PyNumber_Or(shifted, loobj) : NULL;
+    Py_XDECREF(hiobj);
+    Py_XDECREF(shift);
+    Py_XDECREF(shifted);
+    Py_XDECREF(loobj);
+    return result;
+}
+
+/* Two-lane bitmask helpers (nodes 0..63 in lo, 64..127 in hi). */
+static inline void
+bit128_set(uint64_t *lo, uint64_t *hi, int node)
+{
+    if (node < 64)
+        *lo |= (uint64_t)1 << node;
+    else
+        *hi |= (uint64_t)1 << (node - 64);
+}
+
+static inline int64_t
+popcount128(uint64_t lo, uint64_t hi)
+{
+    return (int64_t)(__builtin_popcountll(lo) + __builtin_popcountll(hi));
+}
+
+/* Python's floored %, for sticky-spatial neighbour indexes which can
+ * be -1 (m is always > 0 here). */
+static inline int64_t
+floormod64(int64_t x, int64_t m)
+{
+    int64_t r = x % m;
+    return r < 0 ? r + m : r;
 }
 
 /* ------------------------------------------------------------------ */
@@ -253,14 +376,181 @@ done:
 }
 
 /* ------------------------------------------------------------------ */
-/* group_replay: mirror of repro.protocols.fused.run_group.            */
+/* timing_pass_detailed: the crossbar pass with the detailed           */
+/* (bounded-outstanding-miss) processor model.  The per-processor      */
+/* min-heaps replicate CPython's heapq sift algorithms exactly so the  */
+/* heap lists written back compare equal element-for-element.          */
 /* ------------------------------------------------------------------ */
 
+static void
+heap_siftdown(double *h, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    double newitem = h[pos];
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        double parent = h[parentpos];
+        if (newitem < parent) {
+            h[pos] = parent;
+            pos = parentpos;
+            continue;
+        }
+        break;
+    }
+    h[pos] = newitem;
+}
+
+static void
+heap_siftup(double *h, Py_ssize_t endpos, Py_ssize_t pos)
+{
+    Py_ssize_t startpos = pos;
+    double newitem = h[pos];
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos && !(h[childpos] < h[rightpos]))
+            childpos = rightpos;
+        h[pos] = h[childpos];
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    h[pos] = newitem;
+    heap_siftdown(h, startpos, pos);
+}
+
+static void
+heappush_d(double *h, int32_t *len, double item)
+{
+    h[*len] = item;
+    (*len)++;
+    heap_siftdown(h, 0, (Py_ssize_t)*len - 1);
+}
+
+static double
+heappop_d(double *h, int32_t *len)
+{
+    double lastelt = h[--(*len)];
+    if (*len) {
+        double returnitem = h[0];
+        h[0] = lastelt;
+        heap_siftup(h, (Py_ssize_t)*len, 0);
+        return returnitem;
+    }
+    return lastelt;
+}
+
+static PyObject *
+timing_pass_detailed(PyObject *self, PyObject *args)
+{
+    Py_buffer req, instr, lat, tb, clocks, link, heaps, hlens;
+    int max_out;
+    double bandwidth, per_ns, queue_ns;
+
+    if (!PyArg_ParseTuple(args, "y*y*y*y*w*w*w*w*iddd", &req, &instr,
+                          &lat, &tb, &clocks, &link, &heaps, &hlens,
+                          &max_out, &bandwidth, &per_ns, &queue_ns))
+        return NULL;
+
+    PyObject *result = NULL;
+    Py_ssize_t n = lat.len / (Py_ssize_t)sizeof(double);
+    Py_ssize_t nodes = clocks.len / (Py_ssize_t)sizeof(double);
+    if (req.len != n * (Py_ssize_t)sizeof(int32_t)
+        || instr.len != n * (Py_ssize_t)sizeof(int64_t)
+        || tb.len != n * (Py_ssize_t)sizeof(int64_t)
+        || link.len != nodes * (Py_ssize_t)sizeof(double)
+        || hlens.len != nodes * (Py_ssize_t)sizeof(int32_t)
+        || heaps.len != nodes * max_out * (Py_ssize_t)sizeof(double)
+        || max_out <= 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "timing_pass_detailed: column length mismatch");
+        goto done;
+    }
+
+    {
+        const int32_t *reqs = req.buf;
+        const int64_t *gaps = instr.buf;
+        const double *lats = lat.buf;
+        const int64_t *tbs = tb.buf;
+        double *clk = clocks.buf;
+        double *lnk = link.buf;
+        double *heap_base = heaps.buf;
+        int32_t *hlen = hlens.buf;
+        int64_t carried = 0;
+
+        for (Py_ssize_t i = 0; i < n; i++) {
+            int32_t r = reqs[i];
+            if (r < 0 || r >= nodes) {
+                PyErr_SetString(
+                    PyExc_ValueError,
+                    "timing_pass_detailed: requester out of range");
+                goto done;
+            }
+            double *h = heap_base + (Py_ssize_t)r * max_out;
+            int32_t *len = &hlen[r];
+            if (*len < 0 || *len > max_out) {
+                PyErr_SetString(
+                    PyExc_ValueError,
+                    "timing_pass_detailed: heap length out of range");
+                goto done;
+            }
+            /* ProcessorModel.compute + DetailedProcessorModel.issue_miss */
+            clk[r] += (double)gaps[i] / per_ns;
+            while (*len && h[0] <= clk[r])
+                heappop_d(h, len);
+            while (*len >= max_out) {
+                double v = heappop_d(h, len);
+                if (v > clk[r])
+                    clk[r] = v;
+            }
+            double issue = clk[r];
+            /* CrossbarInterconnect.acquire */
+            double free_ns = lnk[r];
+            double start = issue >= free_ns ? issue : free_ns;
+            queue_ns += start - issue;
+            double finish = start + (double)tbs[i] / bandwidth;
+            lnk[r] = finish;
+            carried += tbs[i];
+            double link_delay = finish - issue;
+            double base = lats[i];
+            double completion =
+                issue + (base > link_delay ? base : link_delay);
+            /* DetailedProcessorModel.complete_miss */
+            heappush_d(h, len, completion);
+        }
+        result = Py_BuildValue("dL", queue_ns, (long long)carried);
+    }
+
+done:
+    PyBuffer_Release(&req);
+    PyBuffer_Release(&instr);
+    PyBuffer_Release(&lat);
+    PyBuffer_Release(&tb);
+    PyBuffer_Release(&clocks);
+    PyBuffer_Release(&link);
+    PyBuffer_Release(&heaps);
+    PyBuffer_Release(&hlens);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* policy_replay: mirror of repro.protocols.fused.run_group /          */
+/* run_kernel for the five compiled predictor policies.                */
+/* ------------------------------------------------------------------ */
+
+/* Entry payload kinds for the shared PredictorTable pool. */
+#define PT_GROUP 0 /* counters[n_nodes], rollover, bits (two lanes) */
+#define PT_OWNER 1 /* owner, valid */
+#define PT_BIFS 2  /* counter */
+
 typedef struct {
-    I64Map map;        /* key -> pool index (v1; v2 unused) */
-    int32_t *counters; /* pool_cap * n_nodes */
-    int32_t *rollover;
-    int64_t *bits;
+    I64Map map; /* key -> pool index (v1; v2/v3 unused) */
+    int kind;
+    int32_t *counters; /* PT_GROUP: pool_cap * n_nodes */
+    int32_t *rollover; /* PT_GROUP */
+    uint64_t *bits_lo; /* PT_GROUP */
+    uint64_t *bits_hi; /* PT_GROUP */
+    int32_t *owner;    /* PT_OWNER */
+    uint8_t *valid;    /* PT_OWNER */
+    int32_t *counter;  /* PT_BIFS */
     int64_t *stamps;
     int64_t *ekeys;
     uint8_t *live;
@@ -291,7 +581,11 @@ gtable_free(GTable *t)
         map_free(&t->map);
     PyMem_Free(t->counters);
     PyMem_Free(t->rollover);
-    PyMem_Free(t->bits);
+    PyMem_Free(t->bits_lo);
+    PyMem_Free(t->bits_hi);
+    PyMem_Free(t->owner);
+    PyMem_Free(t->valid);
+    PyMem_Free(t->counter);
     PyMem_Free(t->stamps);
     PyMem_Free(t->ekeys);
     PyMem_Free(t->live);
@@ -306,20 +600,46 @@ gtable_reserve(GTable *t, Py_ssize_t cap, int n_nodes)
 {
     if (cap <= t->pool_cap)
         return 0;
-    int32_t *counters =
-        PyMem_Realloc(t->counters, (size_t)cap * n_nodes * sizeof(int32_t));
-    if (!counters)
-        return -1;
-    t->counters = counters;
-    int32_t *rollover =
-        PyMem_Realloc(t->rollover, (size_t)cap * sizeof(int32_t));
-    if (!rollover)
-        return -1;
-    t->rollover = rollover;
-    int64_t *bits = PyMem_Realloc(t->bits, (size_t)cap * sizeof(int64_t));
-    if (!bits)
-        return -1;
-    t->bits = bits;
+    if (t->kind == PT_GROUP) {
+        int32_t *counters = PyMem_Realloc(
+            t->counters, (size_t)cap * n_nodes * sizeof(int32_t));
+        if (!counters)
+            return -1;
+        t->counters = counters;
+        int32_t *rollover =
+            PyMem_Realloc(t->rollover, (size_t)cap * sizeof(int32_t));
+        if (!rollover)
+            return -1;
+        t->rollover = rollover;
+        uint64_t *bits_lo =
+            PyMem_Realloc(t->bits_lo, (size_t)cap * sizeof(uint64_t));
+        if (!bits_lo)
+            return -1;
+        t->bits_lo = bits_lo;
+        uint64_t *bits_hi =
+            PyMem_Realloc(t->bits_hi, (size_t)cap * sizeof(uint64_t));
+        if (!bits_hi)
+            return -1;
+        t->bits_hi = bits_hi;
+    }
+    else if (t->kind == PT_OWNER) {
+        int32_t *owner =
+            PyMem_Realloc(t->owner, (size_t)cap * sizeof(int32_t));
+        if (!owner)
+            return -1;
+        t->owner = owner;
+        uint8_t *valid = PyMem_Realloc(t->valid, (size_t)cap);
+        if (!valid)
+            return -1;
+        t->valid = valid;
+    }
+    else {
+        int32_t *counter =
+            PyMem_Realloc(t->counter, (size_t)cap * sizeof(int32_t));
+        if (!counter)
+            return -1;
+        t->counter = counter;
+    }
     int64_t *stamps = PyMem_Realloc(t->stamps, (size_t)cap * sizeof(int64_t));
     if (!stamps)
         return -1;
@@ -356,10 +676,20 @@ gtable_new_entry(GTable *t, int n_nodes)
         }
         e = (int32_t)t->pool_len++;
     }
-    memset(t->counters + (size_t)e * n_nodes, 0,
-           (size_t)n_nodes * sizeof(int32_t));
-    t->rollover[e] = 0;
-    t->bits[e] = 0;
+    if (t->kind == PT_GROUP) {
+        memset(t->counters + (size_t)e * n_nodes, 0,
+               (size_t)n_nodes * sizeof(int32_t));
+        t->rollover[e] = 0;
+        t->bits_lo[e] = 0;
+        t->bits_hi[e] = 0;
+    }
+    else if (t->kind == PT_OWNER) {
+        t->owner[e] = 0;
+        t->valid[e] = 0;
+    }
+    else {
+        t->counter[e] = 0;
+    }
     t->live[e] = 1;
     return e;
 }
@@ -498,35 +828,71 @@ gtable_load(GTable *t, PyObject *table, int n_nodes)
         t->ekeys[e] = key;
         t->live[e] = 1;
 
-        tmp = PyObject_GetAttrString(entry, "counters");
-        if (!tmp)
-            goto fail;
-        if (!PyList_CheckExact(tmp) || PyList_GET_SIZE(tmp) != n_nodes)
-            goto envelope;
-        for (int j = 0; j < n_nodes; j++) {
-            int64_t v = as_i64(PyList_GET_ITEM(tmp, j), &of);
-            if (of || v < 0 || v > INT32_MAX)
+        if (t->kind == PT_GROUP) {
+            tmp = PyObject_GetAttrString(entry, "counters");
+            if (!tmp)
+                goto fail;
+            if (!PyList_CheckExact(tmp) || PyList_GET_SIZE(tmp) != n_nodes)
                 goto envelope;
-            t->counters[(size_t)e * n_nodes + j] = (int32_t)v;
+            for (int j = 0; j < n_nodes; j++) {
+                int64_t v = as_i64(PyList_GET_ITEM(tmp, j), &of);
+                if (of || v < 0 || v > INT32_MAX)
+                    goto envelope;
+                t->counters[(size_t)e * n_nodes + j] = (int32_t)v;
+            }
+            Py_CLEAR(tmp);
+
+            tmp = PyObject_GetAttrString(entry, "rollover");
+            if (!tmp)
+                goto fail;
+            int64_t ro = as_i64(tmp, &of);
+            Py_CLEAR(tmp);
+            if (of || ro < 0 || ro > INT32_MAX)
+                goto envelope;
+            t->rollover[e] = (int32_t)ro;
+
+            tmp = PyObject_GetAttrString(entry, "bits");
+            if (!tmp)
+                goto fail;
+            uint64_t blo = 0, bhi = 0;
+            int brc = as_u128(tmp, &blo, &bhi);
+            Py_CLEAR(tmp);
+            if (brc < 0)
+                goto fail;
+            if (brc > 0)
+                goto envelope;
+            t->bits_lo[e] = blo;
+            t->bits_hi[e] = bhi;
         }
-        Py_CLEAR(tmp);
+        else if (t->kind == PT_OWNER) {
+            tmp = PyObject_GetAttrString(entry, "owner");
+            if (!tmp)
+                goto fail;
+            int64_t ov = as_i64(tmp, &of);
+            Py_CLEAR(tmp);
+            if (of || ov < 0 || ov >= n_nodes)
+                goto envelope;
+            t->owner[e] = (int32_t)ov;
 
-        tmp = PyObject_GetAttrString(entry, "rollover");
-        if (!tmp)
-            goto fail;
-        int64_t ro = as_i64(tmp, &of);
-        Py_CLEAR(tmp);
-        if (of || ro < 0 || ro > INT32_MAX)
-            goto envelope;
-        t->rollover[e] = (int32_t)ro;
-
-        tmp = PyObject_GetAttrString(entry, "bits");
-        if (!tmp)
-            goto fail;
-        t->bits[e] = as_i64(tmp, &of);
-        Py_CLEAR(tmp);
-        if (of)
-            goto envelope;
+            tmp = PyObject_GetAttrString(entry, "valid");
+            if (!tmp)
+                goto fail;
+            int truth = PyObject_IsTrue(tmp);
+            Py_CLEAR(tmp);
+            if (truth < 0)
+                goto fail;
+            t->valid[e] = (uint8_t)truth;
+        }
+        else {
+            tmp = PyObject_GetAttrString(entry, "counter");
+            if (!tmp)
+                goto fail;
+            int64_t cv = as_i64(tmp, &of);
+            Py_CLEAR(tmp);
+            if (of || cv < 0 || cv > INT32_MAX)
+                goto envelope;
+            t->counter[e] = (int32_t)cv;
+        }
 
         if (t->bounded) {
             PyObject *stampobj = PyDict_GetItem(stamps, keyobj);
@@ -608,35 +974,59 @@ gtable_sync(GTable *t, PyObject *table, PyObject *factory, int n_nodes)
         entry = PyObject_CallObject(factory, NULL);
         if (!entry)
             goto done;
-        tmp = PyObject_GetAttrString(entry, "counters");
-        if (!tmp || !PyList_CheckExact(tmp)
-            || PyList_GET_SIZE(tmp) != n_nodes) {
-            if (tmp && !PyErr_Occurred())
-                PyErr_SetString(PyExc_TypeError,
-                                "entry factory produced unexpected counters");
-            goto done;
-        }
-        const int32_t *row = t->counters + (size_t)e * n_nodes;
-        for (int j = 0; j < n_nodes; j++) {
-            if (row[j] == 0)
-                continue; /* factory entries start at 0 */
-            PyObject *v = PyLong_FromLong((long)row[j]);
-            if (!v)
+        if (t->kind == PT_GROUP) {
+            tmp = PyObject_GetAttrString(entry, "counters");
+            if (!tmp || !PyList_CheckExact(tmp)
+                || PyList_GET_SIZE(tmp) != n_nodes) {
+                if (tmp && !PyErr_Occurred())
+                    PyErr_SetString(
+                        PyExc_TypeError,
+                        "entry factory produced unexpected counters");
                 goto done;
-            PyList_SetItem(tmp, j, v); /* steals v */
-        }
-        Py_CLEAR(tmp);
-        if (t->rollover[e] != 0) {
-            tmp = PyLong_FromLong((long)t->rollover[e]);
-            if (!tmp || PyObject_SetAttrString(entry, "rollover", tmp) < 0)
-                goto done;
+            }
+            const int32_t *row = t->counters + (size_t)e * n_nodes;
+            for (int j = 0; j < n_nodes; j++) {
+                if (row[j] == 0)
+                    continue; /* factory entries start at 0 */
+                PyObject *v = PyLong_FromLong((long)row[j]);
+                if (!v)
+                    goto done;
+                PyList_SetItem(tmp, j, v); /* steals v */
+            }
             Py_CLEAR(tmp);
+            if (t->rollover[e] != 0) {
+                tmp = PyLong_FromLong((long)t->rollover[e]);
+                if (!tmp
+                    || PyObject_SetAttrString(entry, "rollover", tmp) < 0)
+                    goto done;
+                Py_CLEAR(tmp);
+            }
+            if (t->bits_lo[e] != 0 || t->bits_hi[e] != 0) {
+                tmp = u128_to_pylong(t->bits_lo[e], t->bits_hi[e]);
+                if (!tmp || PyObject_SetAttrString(entry, "bits", tmp) < 0)
+                    goto done;
+                Py_CLEAR(tmp);
+            }
         }
-        if (t->bits[e] != 0) {
-            tmp = PyLong_FromLongLong((long long)t->bits[e]);
-            if (!tmp || PyObject_SetAttrString(entry, "bits", tmp) < 0)
+        else if (t->kind == PT_OWNER) {
+            if (t->owner[e] != 0) {
+                tmp = PyLong_FromLong((long)t->owner[e]);
+                if (!tmp || PyObject_SetAttrString(entry, "owner", tmp) < 0)
+                    goto done;
+                Py_CLEAR(tmp);
+            }
+            if (t->valid[e]
+                && PyObject_SetAttrString(entry, "valid", Py_True) < 0)
                 goto done;
-            Py_CLEAR(tmp);
+        }
+        else {
+            if (t->counter[e] != 0) {
+                tmp = PyLong_FromLong((long)t->counter[e]);
+                if (!tmp
+                    || PyObject_SetAttrString(entry, "counter", tmp) < 0)
+                    goto done;
+                Py_CLEAR(tmp);
+            }
         }
         if (PyDict_SetItem(entries, keyobj, entry) < 0)
             goto done;
@@ -702,10 +1092,12 @@ done:
     return rc;
 }
 
-/* Load a MOSI state dict {block: (owner, sharers)} into a map.
+/* Load a MOSI state dict {block: (owner, sharers)} into a map.  The
+ * sharer mask spans v2 (low word) and v3 (high word); allow_wide=0
+ * keeps the collector's original single-lane (<= 62-node) envelope.
  * Returns 0 / 1 (envelope) / -1 (error). */
 static int
-mosi_load(I64Map *m, PyObject *state)
+mosi_load(I64Map *m, PyObject *state, int n_nodes, int allow_wide)
 {
     if (!PyDict_CheckExact(state))
         return 1;
@@ -723,12 +1115,17 @@ mosi_load(I64Map *m, PyObject *state)
         if (!PyTuple_CheckExact(packed) || PyTuple_GET_SIZE(packed) != 2)
             return 1;
         int64_t owner = as_i64(PyTuple_GET_ITEM(packed, 0), &of);
-        if (of)
+        if (of || owner < -1 || owner >= n_nodes)
             return 1;
-        int64_t sharers = as_i64(PyTuple_GET_ITEM(packed, 1), &of);
-        if (of || sharers < 0)
+        uint64_t sh_lo = 0, sh_hi = 0;
+        int rc = as_u128(PyTuple_GET_ITEM(packed, 1), &sh_lo, &sh_hi);
+        if (rc < 0)
+            return -1;
+        if (rc > 0)
             return 1;
-        if (map_put(m, block, owner, sharers) < 0) {
+        if (!allow_wide && (sh_hi != 0 || sh_lo > (uint64_t)INT64_MAX))
+            return 1;
+        if (map_put3(m, block, owner, (int64_t)sh_lo, (int64_t)sh_hi) < 0) {
             PyErr_NoMemory();
             return -1;
         }
@@ -746,10 +1143,15 @@ mosi_sync(I64Map *m, PyObject *state)
         if (k == MAP_EMPTY || k == MAP_TOMB)
             continue;
         PyObject *keyobj = PyLong_FromLongLong((long long)k);
-        PyObject *packed = keyobj
-                               ? Py_BuildValue("(LL)", (long long)m->v1[i],
-                                               (long long)m->v2[i])
-                               : NULL;
+        PyObject *ownerobj =
+            keyobj ? PyLong_FromLongLong((long long)m->v1[i]) : NULL;
+        PyObject *sharersobj =
+            ownerobj ? u128_to_pylong((uint64_t)m->v2[i], (uint64_t)m->v3[i])
+                     : NULL;
+        PyObject *packed =
+            sharersobj ? PyTuple_Pack(2, ownerobj, sharersobj) : NULL;
+        Py_XDECREF(ownerobj);
+        Py_XDECREF(sharersobj);
         if (!packed || PyDict_SetItem(state, keyobj, packed) < 0) {
             Py_XDECREF(keyobj);
             Py_XDECREF(packed);
@@ -766,7 +1168,7 @@ static void
 group_decay(GTable *t, int32_t e, int n_nodes, int32_t thr)
 {
     t->rollover[e] = 0;
-    int64_t bits = 0;
+    uint64_t lo = 0, hi = 0;
     int32_t *row = t->counters + (size_t)e * n_nodes;
     for (int j = 0; j < n_nodes; j++) {
         int32_t v = row[j];
@@ -775,68 +1177,341 @@ group_decay(GTable *t, int32_t e, int n_nodes, int32_t thr)
             row[j] = v;
         }
         if (v > thr)
-            bits |= (int64_t)1 << j;
+            bit128_set(&lo, &hi, j);
     }
-    t->bits[e] = bits;
+    t->bits_lo[e] = lo;
+    t->bits_hi[e] = hi;
 }
 
-/* run_group's fused external-training flush. */
+/* GroupPredictor._train for one training event at `node`. */
 static void
-group_flush(GTable *tables, uint64_t mask, int64_t fkey, int32_t freq,
-            int64_t count, int n_nodes, int32_t cmax, int32_t thr,
-            int32_t rperiod, int tdown)
+group_train(GTable *t, int32_t e, int32_t node, int n_nodes, int32_t cmax,
+            int32_t thr, int32_t rperiod, int tdown)
 {
-    while (mask) {
-        uint64_t low = mask & (~mask + 1);
-        mask ^= low;
-        int node = __builtin_ctzll(low);
-        GTable *t = &tables[node];
-        Py_ssize_t slot = map_find(&t->map, fkey);
-        if (slot < 0)
-            continue;
-        int32_t e = (int32_t)t->map.v1[slot];
-        if (t->bounded)
-            t->stamps[e] = t->tick++;
-        int32_t *row = t->counters + (size_t)e * n_nodes;
-        for (int64_t r = 0; r < count; r++) {
-            int32_t c = row[freq];
-            if (c < cmax) {
-                row[freq] = c + 1;
-                if (c == thr)
-                    t->bits[e] |= (int64_t)1 << freq;
-            }
-            if (tdown) {
-                int32_t ro = t->rollover[e] + 1;
-                if (ro < rperiod)
-                    t->rollover[e] = ro;
-                else
-                    group_decay(t, e, n_nodes, thr);
+    int32_t *row = t->counters + (size_t)e * n_nodes;
+    int32_t c = row[node];
+    if (c < cmax) {
+        row[node] = c + 1;
+        if (c == thr)
+            bit128_set(&t->bits_lo[e], &t->bits_hi[e], node);
+    }
+    if (tdown) {
+        int32_t ro = t->rollover[e] + 1;
+        if (ro < rperiod)
+            t->rollover[e] = ro;
+        else
+            group_decay(t, e, n_nodes, thr);
+    }
+}
+
+/* The compiled policy ids, mirrored in repro/kernels/native.py. */
+#define POLICY_GROUP 0
+#define POLICY_OWNER 1
+#define POLICY_BIFS 2
+#define POLICY_OWNER_GROUP 3
+#define POLICY_STICKY 4
+
+/* The fused external-training flush (FusedKernel.train_external) for
+ * one pending batch, iterating set bits lowest-first across the two
+ * mask lanes exactly like the Python closures.  tA is the policy's
+ * primary table array; tB is the group half of Owner-group. */
+static void
+policy_flush(int policy, GTable *tA, GTable *tB, uint64_t mask_lo,
+             uint64_t mask_hi, int64_t fkey, int32_t freq, int32_t fcode,
+             int64_t count, int n_nodes, int32_t cmax, int32_t thr,
+             int32_t rperiod, int tdown)
+{
+    if (policy == POLICY_OWNER && !fcode)
+        return; /* owner training ignores external read requests */
+    for (int word = 0; word < 2; word++) {
+        uint64_t mask = word ? mask_hi : mask_lo;
+        int base = word ? 64 : 0;
+        while (mask) {
+            uint64_t low = mask & (~mask + 1);
+            mask ^= low;
+            int node = base + __builtin_ctzll(low);
+            GTable *t = &tA[node];
+            Py_ssize_t slot;
+            int32_t e;
+            switch (policy) {
+            case POLICY_GROUP:
+                slot = map_find(&t->map, fkey);
+                if (slot < 0)
+                    break;
+                e = (int32_t)t->map.v1[slot];
+                if (t->bounded)
+                    t->stamps[e] = t->tick++;
+                for (int64_t r = 0; r < count; r++)
+                    group_train(t, e, freq, n_nodes, cmax, thr, rperiod,
+                                tdown);
+                break;
+            case POLICY_OWNER:
+                slot = map_find(&t->map, fkey);
+                if (slot < 0)
+                    break;
+                e = (int32_t)t->map.v1[slot];
+                if (t->bounded)
+                    t->stamps[e] = t->tick++;
+                t->owner[e] = freq;
+                t->valid[e] = 1;
+                break;
+            case POLICY_BIFS:
+                slot = map_find(&t->map, fkey);
+                if (slot < 0)
+                    break;
+                e = (int32_t)t->map.v1[slot];
+                if (t->bounded)
+                    t->stamps[e] = t->tick++;
+                {
+                    int64_t total = (int64_t)t->counter[e] + count;
+                    t->counter[e] = total < cmax ? (int32_t)total : cmax;
+                }
+                break;
+            case POLICY_OWNER_GROUP:
+                if (fcode) {
+                    slot = map_find(&t->map, fkey);
+                    if (slot >= 0) {
+                        e = (int32_t)t->map.v1[slot];
+                        if (t->bounded)
+                            t->stamps[e] = t->tick++;
+                        t->owner[e] = freq;
+                        t->valid[e] = 1;
+                    }
+                }
+                {
+                    GTable *g = &tB[node];
+                    slot = map_find(&g->map, fkey);
+                    if (slot < 0)
+                        break;
+                    e = (int32_t)g->map.v1[slot];
+                    if (g->bounded)
+                        g->stamps[e] = g->tick++;
+                    for (int64_t r = 0; r < count; r++)
+                        group_train(g, e, freq, n_nodes, cmax, thr, rperiod,
+                                    tdown);
+                }
+                break;
             }
         }
     }
 }
 
+/* Sticky-spatial's direct-mapped entry pool: index -> (tag, bits).
+ * Replacement rewrites in place, so pool order stays the Python
+ * dict's insertion order. */
+typedef struct {
+    I64Map map; /* index -> pool slot (v1) */
+    int64_t *idxs;
+    int64_t *tags;
+    uint64_t *bits_lo;
+    uint64_t *bits_hi;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+    int64_t n_alloc;
+    int64_t n_repl;
+} STable;
+
+static void
+stable_free(STable *st)
+{
+    if (st->map.keys)
+        map_free(&st->map);
+    PyMem_Free(st->idxs);
+    PyMem_Free(st->tags);
+    PyMem_Free(st->bits_lo);
+    PyMem_Free(st->bits_hi);
+    memset(st, 0, sizeof(*st));
+}
+
+static int
+stable_reserve(STable *st, Py_ssize_t cap)
+{
+    if (cap <= st->cap)
+        return 0;
+    int64_t *idxs = PyMem_Realloc(st->idxs, (size_t)cap * sizeof(int64_t));
+    if (!idxs)
+        return -1;
+    st->idxs = idxs;
+    int64_t *tags = PyMem_Realloc(st->tags, (size_t)cap * sizeof(int64_t));
+    if (!tags)
+        return -1;
+    st->tags = tags;
+    uint64_t *bits_lo =
+        PyMem_Realloc(st->bits_lo, (size_t)cap * sizeof(uint64_t));
+    if (!bits_lo)
+        return -1;
+    st->bits_lo = bits_lo;
+    uint64_t *bits_hi =
+        PyMem_Realloc(st->bits_hi, (size_t)cap * sizeof(uint64_t));
+    if (!bits_hi)
+        return -1;
+    st->bits_hi = bits_hi;
+    st->cap = cap;
+    return 0;
+}
+
+static int
+stable_append(STable *st, int64_t idx, int64_t tag, uint64_t lo,
+              uint64_t hi)
+{
+    if (st->len >= st->cap
+        && stable_reserve(st, st->cap ? st->cap * 2 : 64) < 0)
+        return -1;
+    Py_ssize_t s = st->len++;
+    st->idxs[s] = idx;
+    st->tags[s] = tag;
+    st->bits_lo[s] = lo;
+    st->bits_hi[s] = hi;
+    return map_put(&st->map, idx, (int64_t)s, 0);
+}
+
+/* Load one StickySpatialPredictor.  Returns 0 / 1 (envelope) / -1. */
+static int
+stable_load(STable *st, PyObject *predictor)
+{
+    int rc = -1;
+    PyObject *entries = NULL, *tmp = NULL;
+
+    entries = PyObject_GetAttrString(predictor, "_entries");
+    if (!entries)
+        goto fail;
+    if (!PyDict_CheckExact(entries))
+        goto envelope;
+
+    int of = 0;
+    tmp = PyObject_GetAttrString(predictor, "n_allocations");
+    if (!tmp)
+        goto fail;
+    st->n_alloc = as_i64(tmp, &of);
+    Py_CLEAR(tmp);
+    if (of)
+        goto envelope;
+    tmp = PyObject_GetAttrString(predictor, "n_replacements");
+    if (!tmp)
+        goto fail;
+    st->n_repl = as_i64(tmp, &of);
+    Py_CLEAR(tmp);
+    if (of)
+        goto envelope;
+
+    Py_ssize_t n_entries = PyDict_Size(entries);
+    if (map_init(&st->map, n_entries + 8) < 0) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    if (stable_reserve(st, n_entries + 16) < 0) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+
+    PyObject *keyobj, *packed;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(entries, &pos, &keyobj, &packed)) {
+        int64_t idx = as_i64(keyobj, &of);
+        if (of || idx < 0)
+            goto envelope;
+        if (!PyTuple_CheckExact(packed) || PyTuple_GET_SIZE(packed) != 2)
+            goto envelope;
+        int64_t tag = as_i64(PyTuple_GET_ITEM(packed, 0), &of);
+        if (of || tag < 0)
+            goto envelope;
+        uint64_t blo = 0, bhi = 0;
+        int brc = as_u128(PyTuple_GET_ITEM(packed, 1), &blo, &bhi);
+        if (brc < 0)
+            goto fail;
+        if (brc > 0)
+            goto envelope;
+        if (stable_append(st, idx, tag, blo, bhi) < 0) {
+            PyErr_NoMemory();
+            goto fail;
+        }
+    }
+
+    rc = 0;
+    goto done;
+envelope:
+    rc = 1;
+done:
+fail:
+    Py_XDECREF(tmp);
+    Py_XDECREF(entries);
+    return rc;
+}
+
+/* Refill the predictor's entry dict and stat counters.  0 / -1. */
+static int
+stable_sync(STable *st, PyObject *predictor)
+{
+    int rc = -1;
+    PyObject *entries = NULL, *keyobj = NULL, *packed = NULL, *tmp = NULL;
+
+    entries = PyObject_GetAttrString(predictor, "_entries");
+    if (!entries)
+        goto done;
+    PyDict_Clear(entries);
+    for (Py_ssize_t s = 0; s < st->len; s++) {
+        keyobj = PyLong_FromLongLong((long long)st->idxs[s]);
+        if (!keyobj)
+            goto done;
+        PyObject *tagobj = PyLong_FromLongLong((long long)st->tags[s]);
+        PyObject *bitsobj =
+            tagobj ? u128_to_pylong(st->bits_lo[s], st->bits_hi[s]) : NULL;
+        packed = bitsobj ? PyTuple_Pack(2, tagobj, bitsobj) : NULL;
+        Py_XDECREF(tagobj);
+        Py_XDECREF(bitsobj);
+        if (!packed || PyDict_SetItem(entries, keyobj, packed) < 0)
+            goto done;
+        Py_CLEAR(keyobj);
+        Py_CLEAR(packed);
+    }
+
+    tmp = PyLong_FromLongLong((long long)st->n_alloc);
+    if (!tmp || PyObject_SetAttrString(predictor, "n_allocations", tmp) < 0)
+        goto done;
+    Py_CLEAR(tmp);
+    tmp = PyLong_FromLongLong((long long)st->n_repl);
+    if (!tmp
+        || PyObject_SetAttrString(predictor, "n_replacements", tmp) < 0)
+        goto done;
+    Py_CLEAR(tmp);
+
+    rc = 0;
+done:
+    Py_XDECREF(tmp);
+    Py_XDECREF(keyobj);
+    Py_XDECREF(packed);
+    Py_XDECREF(entries);
+    return rc;
+}
+
 static PyObject *
-group_replay(PyObject *self, PyObject *args)
+policy_replay(PyObject *self, PyObject *args)
 {
     Py_buffer addr_b, pc_b, req_b, acc_b;
-    int n_nodes, block_shift, use_pc, gshift;
-    PyObject *tables_obj, *factories_obj, *state_obj;
+    int policy, n_nodes, block_shift, use_pc, gshift;
+    PyObject *tablesA_obj, *factoriesA_obj, *tablesB_obj, *factoriesB_obj;
+    PyObject *sticky_obj, *state_obj;
     int cmax_i, thr_i, rperiod_i, tdown;
+    int sticky_unbounded, sticky_shift;
+    long long sticky_entries_ll;
     double lat_mem, lat_dir, lat_ind, latency_sum;
     long long block_mask_ll, control_ll, data_ll;
     int want_out;
 
     if (!PyArg_ParseTuple(
-            args, "y*y*y*y*iLiiiOOiiiiOdddLLdi", &addr_b, &pc_b, &req_b,
-            &acc_b, &n_nodes, &block_mask_ll, &block_shift, &use_pc,
-            &gshift, &tables_obj, &factories_obj, &cmax_i, &thr_i,
-            &rperiod_i, &tdown, &state_obj, &lat_mem, &lat_dir, &lat_ind,
+            args, "iy*y*y*y*iLiiiOOOOiiiiOiLiOdddLLdi", &policy, &addr_b,
+            &pc_b, &req_b, &acc_b, &n_nodes, &block_mask_ll, &block_shift,
+            &use_pc, &gshift, &tablesA_obj, &factoriesA_obj, &tablesB_obj,
+            &factoriesB_obj, &cmax_i, &thr_i, &rperiod_i, &tdown,
+            &sticky_obj, &sticky_unbounded, &sticky_entries_ll,
+            &sticky_shift, &state_obj, &lat_mem, &lat_dir, &lat_ind,
             &control_ll, &data_ll, &latency_sum, &want_out))
         return NULL;
 
     PyObject *result = NULL;
-    GTable *tables = NULL;
+    GTable *tablesA = NULL;
+    GTable *tablesB = NULL;
+    STable *stables = NULL;
     I64Map mosi;
     mosi.keys = NULL;
     double *lat_out = NULL;
@@ -850,36 +1525,92 @@ group_replay(PyObject *self, PyObject *args)
     const int32_t cmax = (int32_t)cmax_i;
     const int32_t thr = (int32_t)thr_i;
     const int32_t rperiod = (int32_t)rperiod_i;
+    const int64_t sticky_entries = (int64_t)sticky_entries_ll;
 
-    if (addr_b.len != nrec * (Py_ssize_t)sizeof(int64_t)
-        || pc_b.len != nrec * (Py_ssize_t)sizeof(int64_t)
-        || acc_b.len != nrec
-        || !PyList_CheckExact(tables_obj)
-        || !PyList_CheckExact(factories_obj)
-        || PyList_GET_SIZE(tables_obj) != n_nodes
-        || PyList_GET_SIZE(factories_obj) != n_nodes || n_nodes <= 0
-        || n_nodes > 62) {
-        PyErr_SetString(PyExc_ValueError, "group_replay: bad arguments");
+    int ok = addr_b.len == nrec * (Py_ssize_t)sizeof(int64_t)
+             && pc_b.len == nrec * (Py_ssize_t)sizeof(int64_t)
+             && acc_b.len == nrec && n_nodes > 0 && n_nodes <= 128
+             && policy >= POLICY_GROUP && policy <= POLICY_STICKY;
+    if (ok) {
+        if (policy == POLICY_STICKY)
+            ok = PyList_CheckExact(sticky_obj)
+                 && PyList_GET_SIZE(sticky_obj) == n_nodes
+                 && (sticky_unbounded || sticky_entries > 0)
+                 && sticky_shift >= 0;
+        else
+            ok = PyList_CheckExact(tablesA_obj)
+                 && PyList_CheckExact(factoriesA_obj)
+                 && PyList_GET_SIZE(tablesA_obj) == n_nodes
+                 && PyList_GET_SIZE(factoriesA_obj) == n_nodes;
+        if (ok && policy == POLICY_OWNER_GROUP)
+            ok = PyList_CheckExact(tablesB_obj)
+                 && PyList_CheckExact(factoriesB_obj)
+                 && PyList_GET_SIZE(tablesB_obj) == n_nodes
+                 && PyList_GET_SIZE(factoriesB_obj) == n_nodes;
+    }
+    if (!ok) {
+        PyErr_SetString(PyExc_ValueError, "policy_replay: bad arguments");
         goto done;
     }
 
-    tables = PyMem_Calloc((size_t)n_nodes, sizeof(GTable));
-    if (!tables) {
-        PyErr_NoMemory();
-        goto done;
+    if (policy == POLICY_STICKY) {
+        stables = PyMem_Calloc((size_t)n_nodes, sizeof(STable));
+        if (!stables) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        for (int i = 0; i < n_nodes; i++) {
+            int rc =
+                stable_load(&stables[i], PyList_GET_ITEM(sticky_obj, i));
+            if (rc < 0)
+                goto done;
+            if (rc > 0) {
+                fallback = 1;
+                goto done;
+            }
+        }
     }
-    for (int i = 0; i < n_nodes; i++) {
-        int rc = gtable_load(&tables[i], PyList_GET_ITEM(tables_obj, i),
-                             n_nodes);
-        if (rc < 0)
+    else {
+        int kindA = policy == POLICY_GROUP
+                        ? PT_GROUP
+                        : (policy == POLICY_BIFS ? PT_BIFS : PT_OWNER);
+        tablesA = PyMem_Calloc((size_t)n_nodes, sizeof(GTable));
+        if (!tablesA) {
+            PyErr_NoMemory();
             goto done;
-        if (rc > 0) {
-            fallback = 1;
-            goto done;
+        }
+        for (int i = 0; i < n_nodes; i++) {
+            tablesA[i].kind = kindA;
+            int rc = gtable_load(&tablesA[i],
+                                 PyList_GET_ITEM(tablesA_obj, i), n_nodes);
+            if (rc < 0)
+                goto done;
+            if (rc > 0) {
+                fallback = 1;
+                goto done;
+            }
+        }
+        if (policy == POLICY_OWNER_GROUP) {
+            tablesB = PyMem_Calloc((size_t)n_nodes, sizeof(GTable));
+            if (!tablesB) {
+                PyErr_NoMemory();
+                goto done;
+            }
+            for (int i = 0; i < n_nodes; i++) {
+                tablesB[i].kind = PT_GROUP;
+                int rc = gtable_load(
+                    &tablesB[i], PyList_GET_ITEM(tablesB_obj, i), n_nodes);
+                if (rc < 0)
+                    goto done;
+                if (rc > 0) {
+                    fallback = 1;
+                    goto done;
+                }
+            }
         }
     }
     {
-        int rc = mosi_load(&mosi, state_obj);
+        int rc = mosi_load(&mosi, state_obj, n_nodes, /*allow_wide=*/1);
         if (rc < 0)
             goto done;
         if (rc > 0) {
@@ -902,16 +1633,34 @@ group_replay(PyObject *self, PyObject *args)
         const int32_t *reqs = req_b.buf;
         const int8_t *accs = acc_b.buf;
 
+        /* Broadcast-if-shared's full destination set. */
+        uint64_t full_lo, full_hi;
+        if (n_nodes >= 128) {
+            full_lo = ~(uint64_t)0;
+            full_hi = ~(uint64_t)0;
+        }
+        else if (n_nodes >= 64) {
+            full_lo = ~(uint64_t)0;
+            full_hi = n_nodes > 64
+                          ? (((uint64_t)1 << (n_nodes - 64)) - 1)
+                          : 0;
+        }
+        else {
+            full_lo = ((uint64_t)1 << n_nodes) - 1;
+            full_hi = 0;
+        }
+
         int64_t indirections = 0;
         int64_t request_sum = 0;
         int64_t retry_sum = 0;
         int64_t retries_total = 0;
 
-        /* Pending fused training batch. */
+        /* Pending fused training batch (never engages for sticky,
+         * whose kernel has no train_external). */
         int64_t p_key = 0;
         int32_t p_req = -1;
         int32_t p_code = -1;
-        uint64_t p_mask = 0;
+        uint64_t p_lo = 0, p_hi = 0;
         int64_t p_count = 0;
 
         for (Py_ssize_t i = 0; i < nrec; i++) {
@@ -920,91 +1669,162 @@ group_replay(PyObject *self, PyObject *args)
             const int32_t code = accs[i];
             const int64_t block = address & block_mask;
             const int64_t key = use_pc ? pcs[i] : (address >> gshift);
-            const int64_t home = (block >> block_shift) % n_nodes;
-            const uint64_t reqbit = (uint64_t)1 << requester;
-            const uint64_t minimal = reqbit | ((uint64_t)1 << home);
-            const uint64_t notreq = ~reqbit;
+            const int32_t home = (int32_t)((block >> block_shift) % n_nodes);
+            uint64_t reqbit_lo = 0, reqbit_hi = 0;
+            bit128_set(&reqbit_lo, &reqbit_hi, requester);
+            uint64_t minimal_lo = reqbit_lo, minimal_hi = reqbit_hi;
+            bit128_set(&minimal_lo, &minimal_hi, home);
+            const uint64_t notreq_lo = ~reqbit_lo;
+            const uint64_t notreq_hi = ~reqbit_hi;
 
             if (p_count
                 && (key != p_key || requester != p_req || code != p_code)) {
-                group_flush(tables, p_mask, p_key, p_req, p_count, n_nodes,
-                            cmax, thr, rperiod, tdown);
+                policy_flush(policy, tablesA, tablesB, p_lo, p_hi, p_key,
+                             p_req, p_code, p_count, n_nodes, cmax, thr,
+                             rperiod, tdown);
                 p_count = 0;
             }
 
-            /* Predict. */
-            GTable *t = &tables[requester];
-            Py_ssize_t slot = map_find(&t->map, key);
-            int32_t entry = slot >= 0 ? (int32_t)t->map.v1[slot] : -1;
-            uint64_t destination;
-            if (entry >= 0) {
-                if (t->bounded)
-                    t->stamps[entry] = t->tick++;
-                destination = (uint64_t)t->bits[entry] | minimal;
+            /* FusedKernel.predict (destination = prediction | minimal). */
+            uint64_t dest_lo = minimal_lo, dest_hi = minimal_hi;
+            int32_t scratch = -1; /* predict's entry, reused by response */
+            switch (policy) {
+            case POLICY_GROUP: {
+                GTable *t = &tablesA[requester];
+                Py_ssize_t slot = map_find(&t->map, key);
+                if (slot >= 0) {
+                    scratch = (int32_t)t->map.v1[slot];
+                    if (t->bounded)
+                        t->stamps[scratch] = t->tick++;
+                    dest_lo |= t->bits_lo[scratch];
+                    dest_hi |= t->bits_hi[scratch];
+                }
+                break;
             }
-            else {
-                destination = minimal;
+            case POLICY_OWNER: {
+                GTable *t = &tablesA[requester];
+                Py_ssize_t slot = map_find(&t->map, key);
+                if (slot >= 0) {
+                    scratch = (int32_t)t->map.v1[slot];
+                    if (t->bounded)
+                        t->stamps[scratch] = t->tick++;
+                    if (t->valid[scratch])
+                        bit128_set(&dest_lo, &dest_hi, t->owner[scratch]);
+                }
+                break;
+            }
+            case POLICY_BIFS: {
+                GTable *t = &tablesA[requester];
+                Py_ssize_t slot = map_find(&t->map, key);
+                if (slot >= 0) {
+                    scratch = (int32_t)t->map.v1[slot];
+                    if (t->bounded)
+                        t->stamps[scratch] = t->tick++;
+                    if (t->counter[scratch] > 1) {
+                        dest_lo |= full_lo;
+                        dest_hi |= full_hi;
+                    }
+                }
+                break;
+            }
+            case POLICY_OWNER_GROUP: {
+                GTable *t =
+                    code ? &tablesB[requester] : &tablesA[requester];
+                Py_ssize_t slot = map_find(&t->map, key);
+                if (slot >= 0) {
+                    int32_t e = (int32_t)t->map.v1[slot];
+                    if (t->bounded)
+                        t->stamps[e] = t->tick++;
+                    if (code) {
+                        dest_lo |= t->bits_lo[e];
+                        dest_hi |= t->bits_hi[e];
+                    }
+                    else if (t->valid[e]) {
+                        bit128_set(&dest_lo, &dest_hi, t->owner[e]);
+                    }
+                }
+                break;
+            }
+            default: { /* POLICY_STICKY: three neighbouring entries */
+                STable *st = &stables[requester];
+                int64_t bn = address >> sticky_shift;
+                for (int d = -1; d <= 1; d++) {
+                    int64_t nb = bn + d;
+                    int64_t idx = sticky_unbounded
+                                      ? nb
+                                      : floormod64(nb, sticky_entries);
+                    Py_ssize_t slot = map_find(&st->map, idx);
+                    if (slot >= 0) {
+                        Py_ssize_t s = (Py_ssize_t)st->map.v1[slot];
+                        dest_lo |= st->bits_lo[s];
+                        dest_hi |= st->bits_hi[s];
+                    }
+                }
+                break;
+            }
             }
 
             /* Order on the global MOSI state (apply_fast). */
             int64_t owner;
-            uint64_t sharers;
+            uint64_t sh_lo, sh_hi;
             Py_ssize_t mslot = map_find(&mosi, block);
             if (mslot < 0) {
                 owner = -1;
-                sharers = 0;
+                sh_lo = 0;
+                sh_hi = 0;
             }
             else {
                 owner = mosi.v1[mslot];
-                sharers = (uint64_t)mosi.v2[mslot];
+                sh_lo = (uint64_t)mosi.v2[mslot];
+                sh_hi = (uint64_t)mosi.v3[mslot];
             }
-            uint64_t required;
+            uint64_t req_lo = 0, req_hi = 0;
             int64_t responder;
             if (owner >= 0 && owner != requester) {
-                required = (uint64_t)1 << owner;
+                bit128_set(&req_lo, &req_hi, (int)owner);
                 responder = owner;
             }
             else {
-                required = 0;
                 responder = -1;
             }
             if (code) {
-                required |= sharers & notreq;
-                if (map_put(&mosi, block, requester, 0) < 0) {
+                req_lo |= sh_lo & notreq_lo;
+                req_hi |= sh_hi & notreq_hi;
+                if (map_put3(&mosi, block, requester, 0, 0) < 0) {
                     PyErr_NoMemory();
                     goto done;
                 }
             }
             else if (owner != requester) {
-                if (map_put(&mosi, block, owner,
-                            (int64_t)(sharers | reqbit)) < 0) {
+                if (map_put3(&mosi, block, owner,
+                             (int64_t)(sh_lo | reqbit_lo),
+                             (int64_t)(sh_hi | reqbit_hi)) < 0) {
                     PyErr_NoMemory();
                     goto done;
                 }
             }
 
-            int64_t dcount = __builtin_popcountll(destination);
+            int64_t dcount = popcount128(dest_lo, dest_hi);
             request_sum += dcount;
-            uint64_t external;
-            if ((required & ~destination) == 0) {
+            uint64_t del_lo = dest_lo, del_hi = dest_hi;
+            if (((req_lo & ~dest_lo) | (req_hi & ~dest_hi)) == 0) {
                 double lat = responder == -1 ? lat_mem : lat_dir;
                 latency_sum += lat;
-                external = destination & notreq;
                 if (want_out) {
                     lat_out[i] = lat;
                     tb_out[i] = (dcount - 1) * control + data_size;
                 }
             }
             else {
-                uint64_t corrected = required | minimal;
-                int64_t retry_messages =
-                    __builtin_popcountll(corrected) - 1;
-                uint64_t delivered = destination | corrected;
+                uint64_t cor_lo = req_lo | minimal_lo;
+                uint64_t cor_hi = req_hi | minimal_hi;
+                int64_t retry_messages = popcount128(cor_lo, cor_hi) - 1;
+                del_lo |= cor_lo;
+                del_hi |= cor_hi;
                 retry_sum += retry_messages;
                 retries_total += 1;
                 indirections++;
                 latency_sum += lat_ind;
-                external = delivered & notreq;
                 if (want_out) {
                     lat_out[i] = lat_ind;
                     tb_out[i] =
@@ -1013,55 +1833,197 @@ group_replay(PyObject *self, PyObject *args)
             }
 
             /* Data-response training at the requester. */
-            if (entry < 0 && required) {
-                entry = gtable_allocate(t, key, n_nodes);
-                if (entry < 0) {
-                    PyErr_NoMemory();
-                    goto done;
+            int allocate = (req_lo | req_hi) != 0;
+            switch (policy) {
+            case POLICY_GROUP: {
+                GTable *t = &tablesA[requester];
+                int32_t e = scratch;
+                if (e < 0 && allocate) {
+                    e = gtable_allocate(t, key, n_nodes);
+                    if (e < 0) {
+                        PyErr_NoMemory();
+                        goto done;
+                    }
                 }
+                if (e >= 0 && responder != -1)
+                    group_train(t, e, (int32_t)responder, n_nodes, cmax,
+                                thr, rperiod, tdown);
+                break;
             }
-            if (entry >= 0 && responder != -1) {
-                int32_t *row = t->counters + (size_t)entry * n_nodes;
-                int32_t c = row[responder];
-                if (c < cmax) {
-                    row[responder] = c + 1;
-                    if (c == thr)
-                        t->bits[entry] |= (int64_t)1 << responder;
+            case POLICY_OWNER: {
+                GTable *t = &tablesA[requester];
+                int32_t e = scratch;
+                if (e < 0) {
+                    if (!allocate)
+                        break;
+                    e = gtable_allocate(t, key, n_nodes);
+                    if (e < 0) {
+                        PyErr_NoMemory();
+                        goto done;
+                    }
                 }
-                if (tdown) {
-                    int32_t ro = t->rollover[entry] + 1;
-                    if (ro < rperiod)
-                        t->rollover[entry] = ro;
-                    else
-                        group_decay(t, entry, n_nodes, thr);
+                if (responder == -1) {
+                    t->valid[e] = 0;
                 }
+                else {
+                    t->owner[e] = (int32_t)responder;
+                    t->valid[e] = 1;
+                }
+                break;
+            }
+            case POLICY_BIFS: {
+                GTable *t = &tablesA[requester];
+                int32_t e = scratch;
+                if (e < 0) {
+                    if (!allocate)
+                        break;
+                    e = gtable_allocate(t, key, n_nodes);
+                    if (e < 0) {
+                        PyErr_NoMemory();
+                        goto done;
+                    }
+                }
+                if (responder == -1 && !allocate) {
+                    if (t->counter[e] > 0)
+                        t->counter[e]--;
+                }
+                else if (t->counter[e] < cmax) {
+                    t->counter[e]++;
+                }
+                break;
+            }
+            case POLICY_OWNER_GROUP: {
+                GTable *t = &tablesA[requester];
+                Py_ssize_t slot = map_find(&t->map, key);
+                int32_t e = -1;
+                if (slot >= 0) {
+                    e = (int32_t)t->map.v1[slot];
+                    if (t->bounded)
+                        t->stamps[e] = t->tick++;
+                }
+                else if (allocate) {
+                    e = gtable_allocate(t, key, n_nodes);
+                    if (e < 0) {
+                        PyErr_NoMemory();
+                        goto done;
+                    }
+                }
+                if (e >= 0) {
+                    if (responder == -1) {
+                        t->valid[e] = 0;
+                    }
+                    else {
+                        t->owner[e] = (int32_t)responder;
+                        t->valid[e] = 1;
+                    }
+                }
+                GTable *g = &tablesB[requester];
+                slot = map_find(&g->map, key);
+                e = -1;
+                if (slot >= 0) {
+                    e = (int32_t)g->map.v1[slot];
+                    if (g->bounded)
+                        g->stamps[e] = g->tick++;
+                }
+                else if (allocate) {
+                    e = gtable_allocate(g, key, n_nodes);
+                    if (e < 0) {
+                        PyErr_NoMemory();
+                        goto done;
+                    }
+                }
+                if (e >= 0 && responder != -1)
+                    group_train(g, e, (int32_t)responder, n_nodes, cmax,
+                                thr, rperiod, tdown);
+                break;
+            }
+            default:
+                break; /* sticky train_response is a no-op */
             }
 
-            /* External-request training batch. */
-            if (p_count && external == p_mask) {
-                p_count++;
+            if (policy == POLICY_STICKY) {
+                /* Directory truth training (train_truth). */
+                uint64_t tr_lo = req_lo, tr_hi = req_hi;
+                bit128_set(&tr_lo, &tr_hi, home);
+                STable *st = &stables[requester];
+                int64_t bn = address >> sticky_shift;
+                int64_t idx = sticky_unbounded
+                                  ? bn
+                                  : floormod64(bn, sticky_entries);
+                Py_ssize_t slot = map_find(&st->map, idx);
+                if (slot < 0) {
+                    if (stable_append(st, idx, bn, tr_lo, tr_hi) < 0) {
+                        PyErr_NoMemory();
+                        goto done;
+                    }
+                    st->n_alloc++;
+                }
+                else {
+                    Py_ssize_t s = (Py_ssize_t)st->map.v1[slot];
+                    if (st->tags[s] == bn) {
+                        st->bits_lo[s] |= tr_lo;
+                        st->bits_hi[s] |= tr_hi;
+                    }
+                    else {
+                        st->tags[s] = bn;
+                        st->bits_lo[s] = tr_lo;
+                        st->bits_hi[s] = tr_hi;
+                        st->n_repl++;
+                    }
+                }
             }
             else {
-                if (p_count)
-                    group_flush(tables, p_mask, p_key, p_req, p_count,
-                                n_nodes, cmax, thr, rperiod, tdown);
-                p_key = key;
-                p_req = requester;
-                p_code = code;
-                p_mask = external;
-                p_count = 1;
+                /* External-request training batch. */
+                uint64_t ext_lo = del_lo & notreq_lo;
+                uint64_t ext_hi = del_hi & notreq_hi;
+                if (p_count && ext_lo == p_lo && ext_hi == p_hi) {
+                    p_count++;
+                }
+                else {
+                    if (p_count)
+                        policy_flush(policy, tablesA, tablesB, p_lo, p_hi,
+                                     p_key, p_req, p_code, p_count, n_nodes,
+                                     cmax, thr, rperiod, tdown);
+                    p_key = key;
+                    p_req = requester;
+                    p_code = code;
+                    p_lo = ext_lo;
+                    p_hi = ext_hi;
+                    p_count = 1;
+                }
             }
         }
         if (p_count)
-            group_flush(tables, p_mask, p_key, p_req, p_count, n_nodes,
-                        cmax, thr, rperiod, tdown);
+            policy_flush(policy, tablesA, tablesB, p_lo, p_hi, p_key,
+                         p_req, p_code, p_count, n_nodes, cmax, thr,
+                         rperiod, tdown);
 
         /* Write every piece of state back, then build the result. */
-        for (int i = 0; i < n_nodes; i++) {
-            if (gtable_sync(&tables[i], PyList_GET_ITEM(tables_obj, i),
-                            PyList_GET_ITEM(factories_obj, i), n_nodes)
-                < 0)
-                goto done;
+        if (policy == POLICY_STICKY) {
+            for (int i = 0; i < n_nodes; i++) {
+                if (stable_sync(&stables[i],
+                                PyList_GET_ITEM(sticky_obj, i)) < 0)
+                    goto done;
+            }
+        }
+        else {
+            for (int i = 0; i < n_nodes; i++) {
+                if (gtable_sync(&tablesA[i],
+                                PyList_GET_ITEM(tablesA_obj, i),
+                                PyList_GET_ITEM(factoriesA_obj, i), n_nodes)
+                    < 0)
+                    goto done;
+            }
+            if (policy == POLICY_OWNER_GROUP) {
+                for (int i = 0; i < n_nodes; i++) {
+                    if (gtable_sync(&tablesB[i],
+                                    PyList_GET_ITEM(tablesB_obj, i),
+                                    PyList_GET_ITEM(factoriesB_obj, i),
+                                    n_nodes)
+                        < 0)
+                        goto done;
+                }
+            }
         }
         if (mosi_sync(&mosi, state_obj) < 0)
             goto done;
@@ -1094,10 +2056,20 @@ done:
         result = Py_None;
         Py_INCREF(Py_None);
     }
-    if (tables) {
+    if (tablesA) {
         for (int i = 0; i < n_nodes; i++)
-            gtable_free(&tables[i]);
-        PyMem_Free(tables);
+            gtable_free(&tablesA[i]);
+        PyMem_Free(tablesA);
+    }
+    if (tablesB) {
+        for (int i = 0; i < n_nodes; i++)
+            gtable_free(&tablesB[i]);
+        PyMem_Free(tablesB);
+    }
+    if (stables) {
+        for (int i = 0; i < n_nodes; i++)
+            stable_free(&stables[i]);
+        PyMem_Free(stables);
     }
     if (mosi.keys)
         map_free(&mosi);
@@ -1279,7 +2251,8 @@ ncollector_load(NCollector *self, PyObject *args)
     if (rc == 0) {
         if (self->mosi.keys)
             map_free(&self->mosi);
-        rc = mosi_load(&self->mosi, blocks);
+        rc = mosi_load(&self->mosi, blocks, self->n_procs,
+                       /*allow_wide=*/0);
     }
     if (rc == 0)
         rc = load_counter_dict(executed, self->n_procs, self->executed);
@@ -1724,8 +2697,11 @@ static PyTypeObject NCollectorType = {
 static PyMethodDef native_methods[] = {
     {"timing_pass", timing_pass, METH_VARARGS,
      "Crossbar + simple-processor timing pass over outcome columns."},
-    {"group_replay", group_replay, METH_VARARGS,
-     "Fused Group-predictor multicast replay over trace columns."},
+    {"timing_pass_detailed", timing_pass_detailed, METH_VARARGS,
+     "Crossbar + detailed-processor timing pass over outcome columns."},
+    {"policy_replay", policy_replay, METH_VARARGS,
+     "Fused multicast replay over trace columns for one of the five"
+     " compiled predictor policies."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -1754,7 +2730,13 @@ PyInit__native(void)
         Py_DECREF(m);
         return NULL;
     }
-    if (PyModule_AddIntConstant(m, "ABI_VERSION", 1) < 0) {
+    if (PyModule_AddIntConstant(m, "ABI_VERSION", 2) < 0
+        || PyModule_AddIntConstant(m, "POLICY_GROUP", POLICY_GROUP) < 0
+        || PyModule_AddIntConstant(m, "POLICY_OWNER", POLICY_OWNER) < 0
+        || PyModule_AddIntConstant(m, "POLICY_BIFS", POLICY_BIFS) < 0
+        || PyModule_AddIntConstant(m, "POLICY_OWNER_GROUP",
+                                   POLICY_OWNER_GROUP) < 0
+        || PyModule_AddIntConstant(m, "POLICY_STICKY", POLICY_STICKY) < 0) {
         Py_DECREF(m);
         return NULL;
     }

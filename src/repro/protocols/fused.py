@@ -324,7 +324,16 @@ def run_group(proto, trace: Trace, out=None) -> None:
 
 
 def run_kernel(proto, trace: Trace, kernel, out=None) -> None:
-    """Semi-fused replay through a policy's :class:`FusedKernel`."""
+    """Semi-fused replay through a policy's :class:`FusedKernel`.
+
+    This loop is the Python oracle for the native ``policy_replay``
+    kernel (:func:`repro.kernels.try_policy_replay` dispatches there
+    first when the native tier is active): every closure call, MOSI
+    update, and accounting statement here has a byte-identical
+    compiled twin, so the dispatch site in
+    :meth:`MulticastSnoopingProtocol._run_columns` can swap them
+    freely per call.
+    """
     addresses = trace.boxed_column("addresses")
     requesters = trace.boxed_column("requesters")
     accesses = trace.boxed_column("accesses")

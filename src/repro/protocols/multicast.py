@@ -221,7 +221,8 @@ class MulticastSnoopingProtocol(CoherenceProtocol):
         if kernel is not None and (
             not self._needs_truth or kernel.train_truth is not None
         ):
-            fused.run_kernel(self, trace, kernel, out)
+            if not kernels.try_policy_replay(self, trace, out):
+                fused.run_kernel(self, trace, kernel, out)
             return
         fused.run_generic(self, trace, out)
 

@@ -171,6 +171,11 @@ class TimingSimulator:
                 requesters, instructions, out, processors
             )
             return
+        if type(self.interconnect) is CrossbarInterconnect and all(
+            type(p) is DetailedProcessorModel for p in processors
+        ):
+            if kernels.try_timing_pass_detailed(self, measured, out):
+                return
         _, _, requesters, _, instructions = measured.boxed_columns()
         acquire = self.interconnect.acquire
         for requester, gap, transfer_bytes, base_ns in zip(

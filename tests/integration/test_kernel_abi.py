@@ -1,7 +1,8 @@
 """Kernel-ABI conformance: every backend, every kernel, same bytes.
 
-:mod:`repro.kernels` names the three replay hot loops (group replay,
-chunk collector, timing pass) as an explicit ABI with three registered
+:mod:`repro.kernels` names the replay hot loops (group + policy
+replays, chunk collector, simple + detailed timing passes) as an
+explicit ABI with three registered
 backends — ``pure``, ``numpy``, ``native``.  The contract is that the
 unified backend switch (:mod:`repro.common.backend`) selects *speed
 only*: every kernel must produce byte-identical traces, totals,
@@ -28,7 +29,10 @@ from test_columnar_equivalence import _predictor_table_state
 
 N_REFERENCES = 2_500
 WORKLOAD = "oltp"
-PROTOCOL_LABELS = ("directory", "broadcast-snooping", *PAPER_POLICIES)
+PROTOCOL_LABELS = (
+    "directory", "broadcast-snooping", *PAPER_POLICIES, "sticky-spatial"
+)
+PROCESSOR_MODELS = ("simple", "detailed")
 
 ALL_BACKENDS = _backend.BACKENDS  # pure, numpy, native
 
@@ -70,15 +74,19 @@ def reference():
                 if hasattr(protocol, "predictors")
                 else None
             )
-            simulator = TimingSimulator(
-                config, make_protocol(label, config, PredictorConfig())
-            )
-            runtime = simulator.run(trace[:])
+            runtimes = {}
+            for model in PROCESSOR_MODELS:
+                simulator = TimingSimulator(
+                    config,
+                    make_protocol(label, config, PredictorConfig()),
+                    processor_model=model,
+                )
+                runtimes[model] = simulator.run(trace[:])
             runs[label] = (
                 protocol.totals,
                 tables,
                 dict(protocol.state._blocks),
-                runtime,
+                runtimes,
             )
     finally:
         _backend.set_backend("auto")
@@ -110,16 +118,22 @@ def test_replay_kernel_conformance(unified_backend, reference, label):
     assert protocol.state._blocks == blocks
 
 
+@pytest.mark.parametrize("model", PROCESSOR_MODELS)
 @pytest.mark.parametrize("label", PROTOCOL_LABELS)
-def test_timing_kernel_conformance(unified_backend, reference, label):
-    """The timing-pass kernel reproduces the exact RuntimeResult."""
+def test_timing_kernel_conformance(
+    unified_backend, reference, label, model
+):
+    """The timing-pass kernels reproduce the exact RuntimeResult for
+    both processor models."""
     trace = reference["trace"][:]
     config = SystemConfig()
     simulator = TimingSimulator(
-        config, make_protocol(label, config, PredictorConfig())
+        config,
+        make_protocol(label, config, PredictorConfig()),
+        processor_model=model,
     )
     runtime = simulator.run(trace)
-    assert runtime == reference["runs"][label][3]
+    assert runtime == reference["runs"][label][3][model]
 
 
 def test_backend_registry_shape():

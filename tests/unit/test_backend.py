@@ -1,0 +1,82 @@
+"""Unified backend switch: explicit-native build hint + decline tallies.
+
+``REPRO_BACKEND=native`` on a machine without the compiled extension
+must warn once — with the build command — then fall back to the
+fastest Python tier (``auto`` stays silent by design).  Native-kernel
+declines are counted per kernel and per reason so a native run that
+fell back mid-sweep is visible in ``ResultSet.perf`` rather than just
+slower.
+"""
+
+import warnings
+
+import pytest
+
+from repro import kernels
+from repro.common import backend as _backend
+from repro.experiment.results import PerfStats
+
+
+@pytest.fixture
+def unbuilt_native(monkeypatch):
+    """Pretend the compiled extension is absent, warning state fresh."""
+    monkeypatch.setattr(_backend, "_native_module", None)
+    monkeypatch.setattr(_backend, "_warned_native_missing", False)
+    monkeypatch.delenv(_backend.PURE_PYTHON_ENV, raising=False)
+    monkeypatch.setenv(_backend.BACKEND_ENV, "native")
+
+
+def test_explicit_native_unbuilt_warns_once_with_build_hint(
+    unbuilt_native,
+):
+    with pytest.warns(RuntimeWarning) as caught:
+        resolved = _backend.resolve_env()
+    assert resolved in ("numpy", "pure")
+    assert len(caught) == 1
+    message = str(caught[0].message)
+    assert "python -m repro.kernels.build" in message
+    # Warned once per process: a second resolve stays silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert _backend.resolve_env() in ("numpy", "pure")
+
+
+def test_auto_with_unbuilt_native_stays_silent(
+    unbuilt_native, monkeypatch
+):
+    monkeypatch.setenv(_backend.BACKEND_ENV, "auto")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert _backend.resolve_env() in ("numpy", "pure")
+
+
+def test_decline_counters_tally_per_kernel_and_reason():
+    kernels.reset_decline_counts()
+    try:
+        kernels.record_decline("policy_replay", "envelope")
+        kernels.record_decline("policy_replay", "envelope")
+        kernels.record_decline("timing_pass_detailed", "envelope")
+        kernels.record_decline("group_replay", "overflow")
+        assert kernels.decline_counts() == {
+            "policy_replay:envelope": 2,
+            "timing_pass_detailed:envelope": 1,
+            "group_replay:overflow": 1,
+        }
+        # Snapshots are copies, not views.
+        snapshot = kernels.decline_counts()
+        snapshot["policy_replay:envelope"] = 99
+        assert kernels.decline_counts()["policy_replay:envelope"] == 2
+    finally:
+        kernels.reset_decline_counts()
+    assert kernels.decline_counts() == {}
+
+
+def test_perf_stats_render_decline_tallies():
+    perf = PerfStats(
+        1000, 2.0, "native", {"policy_replay:envelope": 3}
+    )
+    text = str(perf)
+    assert "native backend" in text
+    assert "policy_replay:envelope x3" in text
+    # No decline line when the tally is empty.
+    assert "declines" not in str(PerfStats(1000, 2.0, "native"))

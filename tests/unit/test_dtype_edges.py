@@ -10,10 +10,14 @@ silently truncate:
 - the numpy column path refuses node counts whose bitmasks would not
   fit an int64 lane (``_MAX_NUMPY_NODES``) and falls back to the pure
   path with identical values,
-- the native kernels decline (fall back to the Python tiers) rather
-  than truncate when node counts or table keys leave the int64
-  envelope.
+- the native replay kernels accept 63-128-node geometries (two
+  uint64 destination-set lanes) byte-identically to the Python tier,
+  and decline (fall back, never truncate) past 128 nodes or when
+  table keys leave the int64 envelope; the native collector keeps its
+  single-word <= 62 envelope.
 """
+
+import random
 
 import pytest
 
@@ -22,6 +26,10 @@ from repro.trace import columns as trace_columns
 
 
 BIG_NODE_COUNTS = (17, 33, 62, 63, 64, 128)
+
+#: Geometries inside the two-lane native replay envelope but past the
+#: old single-word one.
+WIDE_NATIVE_NODE_COUNTS = (63, 64, 128)
 
 
 @pytest.mark.parametrize("n_nodes", BIG_NODE_COUNTS)
@@ -71,8 +79,87 @@ def test_numpy_columns_decline_wide_masks(n_nodes):
     assert derived == pure
 
 
-def test_native_kernels_decline_wide_systems():
-    """Native kernels fall back (never truncate) past 62 nodes."""
+def _wide_trace(n_nodes, records=400, seed=7):
+    from repro.trace.trace import Trace
+
+    rng = random.Random(seed)
+    trace = Trace(n_processors=n_nodes)
+    for _ in range(records):
+        block = rng.randrange(48) * 64
+        trace.append_fields(
+            block + rng.randrange(64),
+            rng.randrange(1 << 20),
+            rng.randrange(n_nodes),
+            rng.randrange(2),
+            rng.randrange(50),
+        )
+    return trace
+
+
+def _table_snapshot(proto):
+    snap = []
+    for predictor in proto.predictors:
+        table = getattr(predictor, "_table", None)
+        if table is None:  # sticky-spatial keeps a raw entry dict
+            snap.append((
+                dict(predictor._entries),
+                predictor.n_allocations,
+                predictor.n_replacements,
+            ))
+            continue
+        snap.append({
+            key: tuple(
+                getattr(entry, name)
+                for name in type(entry).__slots__
+            )
+            for key, entry in table._entries.items()
+        })
+    return snap
+
+
+@pytest.mark.parametrize("n_nodes", WIDE_NATIVE_NODE_COUNTS)
+@pytest.mark.parametrize("label", ("group", "owner", "sticky-spatial"))
+def test_native_replay_accepts_wide_systems(label, n_nodes):
+    """63-128-node replays run natively, byte-identical to Python."""
+    from repro.common.params import SystemConfig
+    from repro import kernels
+
+    if not kernels.native_available():
+        pytest.skip("native kernel extension not built")
+    from repro.common import backend as _backend
+    from repro.kernels import native
+    from repro.protocols.base import OutcomeColumns
+    from repro.protocols.multicast import MulticastSnoopingProtocol
+
+    config = SystemConfig(n_processors=n_nodes)
+    trace = _wide_trace(n_nodes)
+
+    proto_native = MulticastSnoopingProtocol(config, label)
+    out_native = OutcomeColumns()
+    if label == "group":
+        accepted = native.group_replay(proto_native, trace, out_native)
+    else:
+        accepted = native.policy_replay(proto_native, trace, out_native)
+    assert accepted  # inside the widened envelope: no decline
+
+    proto_pure = MulticastSnoopingProtocol(config, label)
+    out_pure = OutcomeColumns()
+    with _backend.use("pure"):
+        proto_pure._run_columns(trace, out_pure)
+
+    assert out_native.latency_ns.tobytes() == out_pure.latency_ns.tobytes()
+    assert (
+        out_native.transfer_bytes.tobytes()
+        == out_pure.transfer_bytes.tobytes()
+    )
+    assert proto_native.totals == proto_pure.totals
+    assert proto_native.state._blocks == proto_pure.state._blocks
+    assert _table_snapshot(proto_native) == _table_snapshot(proto_pure)
+
+
+def test_native_kernels_decline_past_envelope():
+    """Replay falls back (never truncates) past 128 nodes; the
+    single-word collector keeps its 62-node envelope."""
     from repro.common.params import SystemConfig
     from repro import kernels
 
@@ -88,10 +175,13 @@ def test_native_kernels_decline_wide_systems():
     from repro.protocols.multicast import MulticastSnoopingProtocol
     from repro.trace.trace import Trace
 
-    proto = MulticastSnoopingProtocol(config, "group")
+    wide = SystemConfig(n_processors=129)
+    proto = MulticastSnoopingProtocol(wide, "group")
+    kernels.reset_decline_counts()
     assert not native.group_replay(
-        proto, Trace(n_processors=64), out=None
+        proto, Trace(n_processors=129), out=None
     )
+    assert kernels.decline_counts().get("group_replay:envelope") == 1
 
 
 def test_native_group_replay_declines_overflowing_keys():
