@@ -189,7 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
     work.add_argument("fabric_dir", help="fabric directory (shared mount)")
     work.add_argument(
         "--workers", type=_positive_int, default=1,
-        help="local worker processes (default 1)",
+        help="local workers (default 1)",
+    )
+    work.add_argument(
+        "--threads", action="store_true",
+        help=(
+            "run the workers as threads in one process sharing an "
+            "in-memory trace corpus (best with the GIL-releasing "
+            "native kernels) instead of separate processes"
+        ),
     )
     work.add_argument(
         "--max-cells", type=_positive_int, default=None,
@@ -345,8 +353,19 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=None,
         help=(
-            "worker processes for independent cells "
+            "workers for independent cells "
             "(default: adaptive, one per CPU core)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("auto", "threads", "processes"),
+        default="auto",
+        help=(
+            "parallel executor: threads share one in-memory trace "
+            "corpus (best with the GIL-releasing native kernels), "
+            "processes fork one worker per cell (default: threads "
+            "when the native backend is active, else processes)"
         ),
     )
     _add_cache_arguments(parser)
@@ -438,7 +457,9 @@ def _apply_axes(
 
 def _run_spec(args: argparse.Namespace, spec: ExperimentSpec) -> ResultSet:
     runner = Runner(
-        jobs=getattr(args, "jobs", 1), cache_dir=_cache_dir(args)
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=_cache_dir(args),
+        executor=getattr(args, "executor", None),
     )
     return runner.run(spec)
 
@@ -684,13 +705,17 @@ def _cmd_work(args: argparse.Namespace) -> None:
         follow=args.follow,
     )
     print(
-        f"work {args.fabric_dir}: {args.workers} worker(s), "
+        f"work {args.fabric_dir}: {args.workers} "
+        + ("thread" if args.threads else "worker")
+        + "(s), "
         f"lease ttl {options.lease_ttl:g}s"
         + (f", max {args.max_cells} cell(s) each"
            if args.max_cells else "")
         + (", follow mode" if args.follow else "")
     )
-    run_worker_pool(args.fabric_dir, args.workers, options)
+    run_worker_pool(
+        args.fabric_dir, args.workers, options, threads=args.threads
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:

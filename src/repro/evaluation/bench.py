@@ -9,7 +9,16 @@ chunk-consuming cache/MOSI filter, no trace cache) and reports
 *references* per second.  The ``sweep_inprocess``/``fabric_overhead``
 pair runs one identical warm-cache sweep through the in-process
 runner and through the distributed fabric (queue, claims, store,
-reassembly); their gap prices the fabric's dispatch machinery.
+reassembly); their gap prices the fabric's dispatch machinery.  The
+``sweep_threads_1``/``sweep_threads_4`` pair runs one identical
+multi-cell sweep through the thread executor over a shared in-memory
+corpus at one and at :data:`SWEEP_THREADS` worker threads; their
+ratio is the thread-scaling ``parallel_efficiency`` block — near 1×
+under the GIL-bound Python tiers, multi-core under the native
+kernels, which release the GIL around their compute phases.  All
+four sweep entries run on the *selected* backend (they benchmark the
+execution machinery, not a pinned Python tier) and record their
+``executor``/``threads``/``backend`` alongside the throughput.
 
 Two artifacts build on this module:
 
@@ -28,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
+import os
 import pathlib
 import platform
 import shutil
@@ -110,6 +120,21 @@ NATIVE_BENCH_ENTRIES = (
     "protocol_scale64",
 )
 
+#: Worker threads for the ``sweep_threads_4`` scaling entry.
+SWEEP_THREADS = 4
+
+#: Entries pinned to the *selected* backend rather than the Python
+#: tier: they price execution machinery (runner dispatch, fabric
+#: overhead, thread scaling), so they must measure the backend the
+#: user actually sweeps with.  Each records its ``executor`` /
+#: ``threads`` / ``backend`` in the report entry.
+SWEEP_EXECUTION_ENTRIES = {
+    "sweep_inprocess": {"executor": "serial", "threads": 1},
+    "fabric_overhead": {"executor": "fabric", "threads": 1},
+    "sweep_threads_1": {"executor": "threads", "threads": 1},
+    "sweep_threads_4": {"executor": "threads", "threads": SWEEP_THREADS},
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class BenchResult:
@@ -119,6 +144,9 @@ class BenchResult:
     records: int
     seconds: float
     calibration_score: float
+    #: Execution metadata (executor/threads/backend) for the sweep
+    #: entries; None for the plain replay benchmarks.
+    extra: Optional[dict] = None
 
     @property
     def records_per_sec(self) -> float:
@@ -136,13 +164,16 @@ class BenchResult:
         return self.records_per_sec / self.calibration_score
 
     def to_dict(self) -> dict:
-        return {
+        entry = {
             "name": self.name,
             "records": self.records,
             "seconds": round(self.seconds, 6),
             "records_per_sec": round(self.records_per_sec, 1),
             "calibrated": round(self.calibrated, 4),
         }
+        if self.extra:
+            entry.update(self.extra)
+        return entry
 
 
 def calibration_score(loops: int = 200_000) -> float:
@@ -349,6 +380,50 @@ def _benchmarks(
         Runner(jobs=1, cache_dir=_shared_traces()).run(spec)
         return spec.n_jobs * len(trace)
 
+    # -- thread scaling -----------------------------------------------
+    # `sweep_threads_1` / `sweep_threads_4` run the *same* eight-cell
+    # sweep (two seeds x four fused policies) through the thread
+    # executor over one pre-warmed in-memory corpus; the throughput
+    # ratio is the thread-scaling factor the parallel_efficiency
+    # block reports.  Trace generation happens once, in the untimed
+    # warm-up call.
+    def _thread_corpus():
+        if "thread_corpus" not in state:
+            from repro.evaluation.corpus import TraceCorpus
+
+            corpus = TraceCorpus(config)
+            for thread_seed in (seed, seed + 1):
+                corpus.collect(workload, n_references, thread_seed)
+            state["thread_corpus"] = corpus
+        return state["thread_corpus"]
+
+    def _thread_spec():
+        from repro.experiment.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            workloads=(workload,),
+            kind="tradeoff",
+            n_references=n_references,
+            seeds=(seed, seed + 1),
+            policies=(
+                "owner",
+                "group",
+                "broadcast-if-shared",
+                "sticky-spatial",
+            ),
+            predictor_config=predictor_config,
+            system_config=config,
+        )
+
+    def sweep_threads(n_threads: int) -> int:
+        from repro.experiment.runner import Runner
+
+        spec = _thread_spec()
+        Runner(
+            jobs=n_threads, executor="threads", corpus=_thread_corpus()
+        ).run(spec)
+        return spec.n_jobs * len(trace)
+
     def fabric_overhead() -> int:
         from repro.fabric import FabricCoordinator, FabricWorker
 
@@ -394,6 +469,8 @@ def _benchmarks(
         ("trace_stats", trace_stats),
         ("sweep_inprocess", sweep_inprocess),
         ("fabric_overhead", fabric_overhead),
+        ("sweep_threads_1", lambda: sweep_threads(1)),
+        ("sweep_threads_4", lambda: sweep_threads(SWEEP_THREADS)),
     ]
 
 
@@ -430,13 +507,26 @@ def run_suite(
     # measure the pure floor); under the native backend the regular
     # entries run on the fastest *Python* tier so the cross-commit
     # trajectory stays comparable and the native twins have a
-    # same-report denominator.
+    # same-report denominator.  The sweep/fabric/thread entries
+    # instead run on the *selected* backend — they benchmark the
+    # execution machinery (SWEEP_EXECUTION_ENTRIES) — and stamp the
+    # executor/threads/backend they ran with into their report entry.
     unified = _backend.backend_name()
     if unified == "native":
         python_tier = "numpy" if _backend._numpy_available() else "pure"
     else:
         python_tier = unified
-    timed = [(name, pinned(fn, python_tier)) for name, fn in suite]
+    timed = [
+        (
+            name,
+            pinned(
+                fn,
+                unified if name in SWEEP_EXECUTION_ENTRIES
+                else python_tier,
+            ),
+        )
+        for name, fn in suite
+    ]
     if unified == "native":
         by_name = dict(suite)
         timed += [
@@ -445,7 +535,12 @@ def run_suite(
         ]
     for name, function in timed:
         records, seconds = _time_best(function, repeats)
-        results.append(BenchResult(name, records, seconds, score))
+        extra = None
+        if name in SWEEP_EXECUTION_ENTRIES:
+            extra = dict(
+                SWEEP_EXECUTION_ENTRIES[name], backend=unified
+            )
+        results.append(BenchResult(name, records, seconds, score, extra))
 
     report = {
         "format": BENCH_FORMAT,
@@ -459,6 +554,29 @@ def run_suite(
         "calibration_kops": round(score, 1),
         "benchmarks": [r.to_dict() for r in results],
     }
+    by_result = {r.name: r for r in results}
+    threads_1 = by_result.get("sweep_threads_1")
+    threads_4 = by_result.get("sweep_threads_4")
+    if threads_1 is not None and threads_4 is not None:
+        speedup = (
+            threads_4.records_per_sec / threads_1.records_per_sec
+            if threads_1.records_per_sec
+            else 0.0
+        )
+        report["parallel_efficiency"] = {
+            "executor": "threads",
+            "backend": unified,
+            "threads": SWEEP_THREADS,
+            "cpus": os.cpu_count() or 1,
+            "sweep_threads_1_records_per_sec": round(
+                threads_1.records_per_sec, 1
+            ),
+            "sweep_threads_4_records_per_sec": round(
+                threads_4.records_per_sec, 1
+            ),
+            "speedup": round(speedup, 2),
+            "efficiency": round(speedup / SWEEP_THREADS, 3),
+        }
     if unified == "native":
         natives = {}
         by_result = {r.name: r for r in results}
@@ -518,6 +636,13 @@ def check_against_baseline(
     current = {b["name"]: b for b in report.get("benchmarks", ())}
     for entry in baseline.get("benchmarks", ()):
         name = entry["name"]
+        if entry.get("threads", 1) > 1:
+            # Multi-thread scaling entries measure machine topology
+            # (core count, GIL contention pattern), not engine speed;
+            # calibration does not transfer across core counts, so CI
+            # gates them with the parallel_efficiency assertion on a
+            # known runner instead.
+            continue
         reference = entry.get("calibrated", 0.0)
         observed = current.get(name, {}).get("calibrated")
         if observed is None:
@@ -594,4 +719,13 @@ def render_report(report: dict) -> str:
                 f"records/sec): "
                 f"{native[f'{name}_native_speedup']:.2f}x"
             )
+    efficiency = report.get("parallel_efficiency")
+    if efficiency:
+        lines.append(
+            f"thread scaling ({efficiency['backend']} backend, "
+            f"{efficiency['threads']} threads on "
+            f"{efficiency['cpus']} CPU(s)): "
+            f"{efficiency['speedup']:.2f}x speedup, "
+            f"{efficiency['efficiency']:.0%} parallel efficiency"
+        )
     return "\n".join(lines)

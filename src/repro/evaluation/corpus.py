@@ -10,6 +10,7 @@ identical request stream.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.cache.pipeline import CollectionResult
@@ -30,6 +31,8 @@ class TraceCorpus:
     def __init__(self, config: Optional[SystemConfig] = None):
         self.config = config if config is not None else SystemConfig()
         self._cache: Dict[Tuple[str, int, int], CollectionResult] = {}
+        self._cache_lock = threading.Lock()
+        self._key_locks: Dict[Tuple[str, int, int], threading.Lock] = {}
 
     def collect(
         self,
@@ -37,11 +40,26 @@ class TraceCorpus:
         n_references: int = DEFAULT_REFERENCES,
         seed: int = 42,
     ) -> CollectionResult:
-        """Trace plus counters for ``workload`` (cached)."""
+        """Trace plus counters for ``workload`` (cached).
+
+        Generate-once under concurrency: one corpus is shared by every
+        thread of a threaded sweep, so a miss is generated under a
+        per-key lock — the first requester runs the pipeline, later
+        requesters for the same key block until the result lands, and
+        distinct workloads still generate in parallel.
+        """
         key = (workload, n_references, seed)
-        if key not in self._cache:
-            self._cache[key] = self._generate(workload, n_references, seed)
-        return self._cache[key]
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        with self._cache_lock:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            result = self._cache.get(key)
+            if result is None:
+                result = self._generate(workload, n_references, seed)
+                self._cache[key] = result
+        return result
 
     def _generate(
         self, workload: str, n_references: int, seed: int

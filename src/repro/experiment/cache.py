@@ -21,6 +21,7 @@ import hashlib
 import json
 import os
 import pathlib
+import threading
 from typing import Optional, Union
 
 from repro.cache.pipeline import CollectionResult
@@ -109,6 +110,10 @@ class TraceCache:
     def __init__(self, root: PathLike):
         self.root = pathlib.Path(root)
         self.stats = CacheStats()
+        # Threaded sweeps share one cache across cells; the counter
+        # read-modify-writes below are not atomic once kernels drop
+        # the GIL, so they serialize here.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -164,9 +169,11 @@ class TraceCache:
                 trace = read_trace(trace_path, trusted=True)
                 self._heal_binary(trace, binary_path)
         except (OSError, ValueError, KeyError):
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
         return CollectionResult(
             trace=trace,
             instructions={

@@ -1,21 +1,28 @@
-"""Spec execution: serial or process-parallel fan-out.
+"""Spec execution: serial, thread-parallel, or process-parallel fan-out.
 
 :class:`Runner` expands an :class:`ExperimentSpec` into independent
 jobs — one per (workload, seed, configuration label) cell — and
-executes them either in process (``jobs=1`` — bit-identical to the
-historical hand-rolled loops) or across a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Both paths run the
-same :func:`execute_job` function, and results are reassembled in
+executes them in process (``jobs=1`` — bit-identical to the
+historical hand-rolled loops), across a
+:class:`concurrent.futures.ThreadPoolExecutor`
+(``executor="threads"``), or across a
+:class:`concurrent.futures.ProcessPoolExecutor`
+(``executor="processes"``).  Every path runs the same
+:func:`execute_job` function, and results are reassembled in
 canonical job order, so a parallel run produces a :class:`ResultSet`
 equal to the serial one.
 
-Per-label cells keep the pool saturated even for single-workload
-sweeps (a one-workload Figure 5 panel is six independent cells).
-Trace generation is shared, not repeated: a parallel run first warms
-the on-disk cache with one task per unique (workload, seed), then the
-label cells load the memoized trace.  Runtime sweeps evaluate raw
-per-label results in the cells and normalize (directory=100,
-snooping=100) during reassembly.
+Threads vs processes: the native kernels release the GIL around their
+compute phases, so with the native backend active threaded cells run
+concurrently on one shared in-memory :class:`TraceCorpus` — zero
+pickling, zero per-cell disk loads — and ``executor=None`` resolves
+to threads in that case.  The pure/numpy tiers hold the GIL for the
+whole replay, so they default to the process pool, which shares
+traces through the on-disk cache instead (a warm phase generates one
+task per unique (workload, seed), then the label cells load the
+memoized trace).  Runtime sweeps evaluate raw per-label results in
+the cells and normalize (directory=100, snooping=100) during
+reassembly.
 """
 
 from __future__ import annotations
@@ -321,15 +328,24 @@ class Runner:
     """Executes :class:`ExperimentSpec` instances.
 
     ``jobs=1`` runs everything in the calling process; ``jobs>1`` fans
-    the spec's per-label cells out over worker processes;
-    ``jobs=None`` resolves adaptively to one worker per CPU core
-    (:func:`default_jobs`).  Pass
-    ``cache_dir`` to persist (and reuse) collected traces on disk, or
-    a pre-built ``corpus`` to share in-memory traces with other serial
-    work.  An injected corpus is a single-process object, so it
-    requires ``jobs=1``; multi-process runs share traces through
-    ``cache_dir`` (an ephemeral directory is used when none is
-    configured, so traces are still generated only once per run).
+    the spec's per-label cells out over workers; ``jobs=None``
+    resolves adaptively to one worker per CPU core
+    (:func:`default_jobs`).
+
+    ``executor`` picks the worker kind: ``"threads"`` shares one
+    in-memory :class:`TraceCorpus` across a thread pool (scales only
+    when the native backend is active — its kernels release the GIL
+    around compute), ``"processes"`` is the historical process pool,
+    and ``None`` resolves to threads when the native backend is
+    active and to processes otherwise.
+
+    Pass ``cache_dir`` to persist (and reuse) collected traces on
+    disk, or a pre-built ``corpus`` to share in-memory traces with
+    other work.  An injected corpus is a single-process object: the
+    thread executor shares it directly, while the process executor
+    rejects it — multi-process runs share traces through ``cache_dir``
+    (an ephemeral directory is used when none is configured, so traces
+    are still generated only once per run).
     """
 
     def __init__(
@@ -337,27 +353,42 @@ class Runner:
         jobs: Optional[int] = 1,
         cache_dir: Optional[PathLike] = None,
         corpus: Optional[TraceCorpus] = None,
+        executor: Optional[str] = None,
     ):
         if jobs is None:
             jobs = default_jobs()
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if executor not in (None, "auto", "threads", "processes"):
+            raise ValueError(
+                "executor must be 'threads', 'processes', or None"
+            )
         self.jobs = jobs
         self.cache_dir = (
             os.fspath(cache_dir) if cache_dir is not None else None
         )
         self.corpus = corpus
+        self.executor = None if executor == "auto" else executor
 
     # ------------------------------------------------------------------
+    def resolved_executor(self) -> str:
+        """The worker kind ``run`` will use when ``jobs > 1``."""
+        if self.executor is not None:
+            return self.executor
+        return "threads" if _backend.native_active() else "processes"
+
     def run(self, spec: ExperimentSpec) -> ResultSet:
         """Execute ``spec`` and return its :class:`ResultSet`."""
         jobs = spec.expand()
         if self.jobs == 1 or len(jobs) <= 1:
             return self._run_serial(spec, jobs)
+        if self.resolved_executor() == "threads":
+            return self._run_threads(spec, jobs)
         if self.corpus is not None:
             raise ValueError(
                 "an injected corpus cannot be shared across worker "
-                "processes; use cache_dir (or jobs=1) instead"
+                "processes; use cache_dir, jobs=1, or "
+                "executor='threads' instead"
             )
         return self._run_parallel(spec, jobs)
 
@@ -389,6 +420,81 @@ class Runner:
         stats = CacheStats()
         if isinstance(corpus, PersistentTraceCorpus):
             stats.merge(corpus.cache_stats)
+        return ResultSet(
+            spec, records, stats,
+            PerfStats(
+                processed, elapsed, _backend.backend_name(),
+                _kernels.decline_counts(),
+            ),
+            failures=failures,
+        )
+
+    def _run_threads(
+        self, spec: ExperimentSpec, jobs: Tuple[Job, ...]
+    ) -> ResultSet:
+        """Fan cells out over threads sharing one in-memory corpus.
+
+        Every thread replays against the same :class:`TraceCorpus`
+        object — no pickling, no per-cell disk loads.  Generate-once
+        is enforced by the corpus' per-key locks; a warm phase still
+        submits one task per unique (workload, seed) first so
+        distinct traces generate concurrently instead of the label
+        cells serializing behind whichever generation a thread picked
+        up first.  Reassembly is in canonical job order, so the
+        result set equals the serial one byte for byte.
+        """
+        corpus = self._make_corpus(spec)
+        by_index: Dict[int, List[ResultRecord]] = {}
+        failures_by_index: Dict[int, CellFailure] = {}
+        processed = 0
+        started = time.perf_counter()
+        _kernels.reset_decline_counts()
+        cells = []  # unique (workload, seed), canonical order
+        for job in jobs:
+            if (job.workload, job.seed) not in cells:
+                cells.append((job.workload, job.seed))
+
+        def warm(workload: str, seed: int) -> None:
+            # Generation failures surface through the per-cell path.
+            try:
+                corpus.trace(workload, spec.n_references, seed)
+            except Exception:  # noqa: BLE001 - the cells re-raise
+                pass
+
+        max_workers = min(self.jobs, len(jobs))
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            warm_futures = [
+                pool.submit(warm, workload, seed)
+                for workload, seed in cells
+            ]
+            concurrent.futures.wait(warm_futures)
+            futures = {
+                pool.submit(run_cell, spec, job, corpus): job.index
+                for job in jobs
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                job_records, job_processed, failure = future.result()
+                by_index[index] = job_records
+                if failure is not None:
+                    failures_by_index[index] = failure
+                processed += job_processed
+        elapsed = time.perf_counter() - started
+        records: List[ResultRecord] = []
+        failures: List[CellFailure] = []
+        for job in jobs:  # reassemble in canonical order
+            records.extend(by_index[job.index])
+            if job.index in failures_by_index:
+                failures.append(failures_by_index[job.index])
+        records = _normalize_runtime_records(spec, records)
+        stats = CacheStats()
+        if isinstance(corpus, PersistentTraceCorpus):
+            stats.merge(corpus.cache_stats)
+        # Threads share the process-wide decline tally (now
+        # lock-guarded), so unlike the process pool this parallel
+        # path reports native declines exactly like the serial one.
         return ResultSet(
             spec, records, stats,
             PerfStats(
@@ -480,10 +586,13 @@ def run_experiment(
     spec: ExperimentSpec,
     jobs: Optional[int] = 1,
     cache_dir: Optional[PathLike] = None,
+    executor: Optional[str] = None,
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`Runner`.
 
     ``jobs=None`` resolves to :func:`default_jobs` (one worker per
-    CPU core).
+    CPU core); ``executor`` as on :class:`Runner`.
     """
-    return Runner(jobs=jobs, cache_dir=cache_dir).run(spec)
+    return Runner(
+        jobs=jobs, cache_dir=cache_dir, executor=executor
+    ).run(spec)

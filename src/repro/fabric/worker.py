@@ -59,6 +59,32 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
+class CorpusRegistry:
+    """Spec-digest → corpus map, shareable across worker threads.
+
+    A thread pool of workers passes one registry to every
+    :class:`FabricWorker` so all threads replay out of a single
+    in-memory memoized corpus (the corpus itself generates each trace
+    exactly once under its per-key locks); process pools let each
+    worker default to a private registry.
+    """
+
+    def __init__(self, traces_dir: PathLike):
+        self.traces_dir = traces_dir
+        self._corpora: Dict[str, TraceCorpus] = {}
+        self._lock = threading.Lock()
+
+    def corpus(self, spec: ExperimentSpec) -> TraceCorpus:
+        """The (persistent) corpus for ``spec``, created once."""
+        digest = spec.digest()
+        with self._lock:
+            corpus = self._corpora.get(digest)
+            if corpus is None:
+                corpus = make_corpus(spec.system_config, self.traces_dir)
+                self._corpora[digest] = corpus
+            return corpus
+
+
 class FabricWorker:
     """One claim-execute-store loop over a fabric directory."""
 
@@ -71,6 +97,7 @@ class FabricWorker:
         max_cells: Optional[int] = None,
         follow: bool = False,
         poll_interval: float = 0.2,
+        corpora: Optional[CorpusRegistry] = None,
     ):
         self.layout = FabricLayout(fabric_dir).ensure()
         self.queue = WorkQueue(
@@ -83,7 +110,11 @@ class FabricWorker:
         self.follow = follow
         self.poll_interval = poll_interval
         self._specs: Dict[str, ExperimentSpec] = {}
-        self._corpora: Dict[str, TraceCorpus] = {}
+        self._corpora = (
+            corpora
+            if corpora is not None
+            else CorpusRegistry(self.layout.traces)
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> int:
@@ -175,16 +206,10 @@ class FabricWorker:
 
     def _corpus(self, spec: ExperimentSpec) -> TraceCorpus:
         # One persistent corpus per spec digest: in-memory memoization
-        # within this worker, the fabric's shared traces/ dir across
-        # workers and hosts.
-        digest = spec.digest()
-        corpus = self._corpora.get(digest)
-        if corpus is None:
-            corpus = make_corpus(
-                spec.system_config, self.layout.traces
-            )
-            self._corpora[digest] = corpus
-        return corpus
+        # within this worker (shared across a thread pool via the
+        # registry), the fabric's shared traces/ dir across workers
+        # and hosts.
+        return self._corpora.corpus(spec)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -214,17 +239,50 @@ def run_worker_pool(
     fabric_dir: PathLike,
     n_workers: int,
     options: Optional[WorkerOptions] = None,
+    threads: bool = False,
 ) -> None:
-    """Run ``n_workers`` local worker processes; blocks until all exit.
+    """Run ``n_workers`` local workers; blocks until all exit.
 
     ``n_workers=1`` runs in-process (no fork cost, easier debugging);
     larger pools use one OS process per worker so cells execute with
     true parallelism, mirroring the in-process runner's pool.
+
+    ``threads=True`` instead runs every worker as a thread of *this*
+    process, all sharing one in-memory trace corpus through a
+    :class:`CorpusRegistry` — no fork, no per-worker trace loads.
+    Thread workers scale when the native kernels (which release the
+    GIL around their compute phases) carry the replay; under the pure
+    Python tier they serialize on the GIL and only overlap I/O.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     options = options or WorkerOptions()
     fabric_dir = os.fspath(fabric_dir)
+    if threads and n_workers > 1:
+        registry = CorpusRegistry(FabricLayout(fabric_dir).ensure().traces)
+        base_id = default_worker_id()
+        workers = [
+            FabricWorker(
+                fabric_dir,
+                worker_id=f"{base_id}-t{index}",
+                lease_ttl=options.lease_ttl,
+                max_attempts=options.max_attempts,
+                max_cells=options.max_cells,
+                follow=options.follow,
+                poll_interval=options.poll_interval,
+                corpora=registry,
+            )
+            for index in range(n_workers)
+        ]
+        pool = [
+            threading.Thread(target=worker.run, daemon=True)
+            for worker in workers
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        return
     if n_workers == 1:
         _worker_entry(fabric_dir, options)
         return

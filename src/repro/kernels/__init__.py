@@ -67,6 +67,7 @@ is always correct.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.common import backend as _backend
@@ -76,24 +77,32 @@ from repro.common import backend as _backend
 #: dtype, or predictor mix outside the compiled envelope),
 #: ``overflow`` (runtime values the int64/uint128 lanes cannot carry),
 #: ``race-probability`` (the Python tier draws random numbers the
-#: kernel does not replicate).
+#: kernel does not replicate).  The tally is process-wide and sweep
+#: cells may replay on threads, so every access goes through
+#: ``_declines_lock`` — the read-modify-write in
+#: :func:`record_decline` is not atomic once the native kernels drop
+#: the GIL around their compute phases.
 _declines: Dict[str, int] = {}
+_declines_lock = threading.Lock()
 
 
 def record_decline(kernel: str, reason: str) -> None:
     """Count one native-kernel decline (kernel fell back to Python)."""
     key = f"{kernel}:{reason}"
-    _declines[key] = _declines.get(key, 0) + 1
+    with _declines_lock:
+        _declines[key] = _declines.get(key, 0) + 1
 
 
 def decline_counts() -> Dict[str, int]:
     """Snapshot of decline tallies since the last reset."""
-    return dict(_declines)
+    with _declines_lock:
+        return dict(_declines)
 
 
 def reset_decline_counts() -> None:
     """Zero the decline tallies (runner calls this per run)."""
-    _declines.clear()
+    with _declines_lock:
+        _declines.clear()
 
 
 def available_backends() -> Tuple[str, ...]:

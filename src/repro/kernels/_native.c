@@ -26,6 +26,16 @@
  * to the Python tiers otherwise; functions here return None (without
  * touching any Python state) when they meet state outside it, e.g. a
  * key that overflows int64.
+ *
+ * Threading: every kernel runs in three phases — marshal Python state
+ * into C buffers (GIL held), pure-C compute inside
+ * Py_BEGIN_ALLOW_THREADS/Py_END_ALLOW_THREADS, and write-back (GIL
+ * reacquired).  The compute phases touch no Python objects and
+ * allocate only through the PyMem_Raw* family (the GIL-requiring
+ * PyMem_* tier must not be called without the GIL); errors discovered
+ * mid-compute set a flag and raise after the GIL is back.  Concurrent
+ * calls share no module state, so sweep cells can replay on threads
+ * in parallel.
  */
 
 #define PY_SSIZE_T_CLEAN
@@ -68,15 +78,15 @@ map_init(I64Map *m, Py_ssize_t expect)
     Py_ssize_t cap = 16;
     while (cap < expect * 2)
         cap <<= 1;
-    m->keys = PyMem_Malloc((size_t)cap * sizeof(int64_t));
-    m->v1 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
-    m->v2 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
-    m->v3 = PyMem_Malloc((size_t)cap * sizeof(int64_t));
+    m->keys = PyMem_RawMalloc((size_t)cap * sizeof(int64_t));
+    m->v1 = PyMem_RawMalloc((size_t)cap * sizeof(int64_t));
+    m->v2 = PyMem_RawMalloc((size_t)cap * sizeof(int64_t));
+    m->v3 = PyMem_RawMalloc((size_t)cap * sizeof(int64_t));
     if (!m->keys || !m->v1 || !m->v2 || !m->v3) {
-        PyMem_Free(m->keys);
-        PyMem_Free(m->v1);
-        PyMem_Free(m->v2);
-        PyMem_Free(m->v3);
+        PyMem_RawFree(m->keys);
+        PyMem_RawFree(m->v1);
+        PyMem_RawFree(m->v2);
+        PyMem_RawFree(m->v3);
         m->keys = NULL;
         return -1;
     }
@@ -91,10 +101,10 @@ map_init(I64Map *m, Py_ssize_t expect)
 static void
 map_free(I64Map *m)
 {
-    PyMem_Free(m->keys);
-    PyMem_Free(m->v1);
-    PyMem_Free(m->v2);
-    PyMem_Free(m->v3);
+    PyMem_RawFree(m->keys);
+    PyMem_RawFree(m->v1);
+    PyMem_RawFree(m->v2);
+    PyMem_RawFree(m->v3);
     m->keys = NULL;
 }
 
@@ -341,13 +351,14 @@ timing_pass(PyObject *self, PyObject *args)
         double *lnk = link.buf;
         Py_ssize_t nodes = clocks.len / (Py_ssize_t)sizeof(double);
         int64_t carried = 0;
+        int bad = 0;
 
+        Py_BEGIN_ALLOW_THREADS
         for (Py_ssize_t i = 0; i < n; i++) {
             int32_t r = reqs[i];
             if (r < 0 || r >= nodes) {
-                PyErr_SetString(PyExc_ValueError,
-                                "timing_pass: requester out of range");
-                goto done;
+                bad = 1;
+                break;
             }
             double issue = clk[r] + (double)gaps[i] / per_ns;
             double free_ns = lnk[r];
@@ -361,6 +372,12 @@ timing_pass(PyObject *self, PyObject *args)
             double completion =
                 issue + (base > link_delay ? base : link_delay);
             clk[r] = issue >= completion ? issue : completion;
+        }
+        Py_END_ALLOW_THREADS
+        if (bad) {
+            PyErr_SetString(PyExc_ValueError,
+                            "timing_pass: requester out of range");
+            goto done;
         }
         result = Py_BuildValue("dL", queue_ns, (long long)carried);
     }
@@ -475,22 +492,20 @@ timing_pass_detailed(PyObject *self, PyObject *args)
         double *heap_base = heaps.buf;
         int32_t *hlen = hlens.buf;
         int64_t carried = 0;
+        int bad = 0;
 
+        Py_BEGIN_ALLOW_THREADS
         for (Py_ssize_t i = 0; i < n; i++) {
             int32_t r = reqs[i];
             if (r < 0 || r >= nodes) {
-                PyErr_SetString(
-                    PyExc_ValueError,
-                    "timing_pass_detailed: requester out of range");
-                goto done;
+                bad = 1;
+                break;
             }
             double *h = heap_base + (Py_ssize_t)r * max_out;
             int32_t *len = &hlen[r];
             if (*len < 0 || *len > max_out) {
-                PyErr_SetString(
-                    PyExc_ValueError,
-                    "timing_pass_detailed: heap length out of range");
-                goto done;
+                bad = 2;
+                break;
             }
             /* ProcessorModel.compute + DetailedProcessorModel.issue_miss */
             clk[r] += (double)gaps[i] / per_ns;
@@ -515,6 +530,14 @@ timing_pass_detailed(PyObject *self, PyObject *args)
                 issue + (base > link_delay ? base : link_delay);
             /* DetailedProcessorModel.complete_miss */
             heappush_d(h, len, completion);
+        }
+        Py_END_ALLOW_THREADS
+        if (bad) {
+            PyErr_SetString(
+                PyExc_ValueError,
+                bad == 1 ? "timing_pass_detailed: requester out of range"
+                         : "timing_pass_detailed: heap length out of range");
+            goto done;
         }
         result = Py_BuildValue("dL", queue_ns, (long long)carried);
     }
@@ -579,19 +602,19 @@ gtable_free(GTable *t)
 {
     if (t->map.keys)
         map_free(&t->map);
-    PyMem_Free(t->counters);
-    PyMem_Free(t->rollover);
-    PyMem_Free(t->bits_lo);
-    PyMem_Free(t->bits_hi);
-    PyMem_Free(t->owner);
-    PyMem_Free(t->valid);
-    PyMem_Free(t->counter);
-    PyMem_Free(t->stamps);
-    PyMem_Free(t->ekeys);
-    PyMem_Free(t->live);
-    PyMem_Free(t->free_list);
-    PyMem_Free(t->buckets);
-    PyMem_Free(t->bucket_len);
+    PyMem_RawFree(t->counters);
+    PyMem_RawFree(t->rollover);
+    PyMem_RawFree(t->bits_lo);
+    PyMem_RawFree(t->bits_hi);
+    PyMem_RawFree(t->owner);
+    PyMem_RawFree(t->valid);
+    PyMem_RawFree(t->counter);
+    PyMem_RawFree(t->stamps);
+    PyMem_RawFree(t->ekeys);
+    PyMem_RawFree(t->live);
+    PyMem_RawFree(t->free_list);
+    PyMem_RawFree(t->buckets);
+    PyMem_RawFree(t->bucket_len);
     gtable_zero(t);
 }
 
@@ -601,59 +624,59 @@ gtable_reserve(GTable *t, Py_ssize_t cap, int n_nodes)
     if (cap <= t->pool_cap)
         return 0;
     if (t->kind == PT_GROUP) {
-        int32_t *counters = PyMem_Realloc(
+        int32_t *counters = PyMem_RawRealloc(
             t->counters, (size_t)cap * n_nodes * sizeof(int32_t));
         if (!counters)
             return -1;
         t->counters = counters;
         int32_t *rollover =
-            PyMem_Realloc(t->rollover, (size_t)cap * sizeof(int32_t));
+            PyMem_RawRealloc(t->rollover, (size_t)cap * sizeof(int32_t));
         if (!rollover)
             return -1;
         t->rollover = rollover;
         uint64_t *bits_lo =
-            PyMem_Realloc(t->bits_lo, (size_t)cap * sizeof(uint64_t));
+            PyMem_RawRealloc(t->bits_lo, (size_t)cap * sizeof(uint64_t));
         if (!bits_lo)
             return -1;
         t->bits_lo = bits_lo;
         uint64_t *bits_hi =
-            PyMem_Realloc(t->bits_hi, (size_t)cap * sizeof(uint64_t));
+            PyMem_RawRealloc(t->bits_hi, (size_t)cap * sizeof(uint64_t));
         if (!bits_hi)
             return -1;
         t->bits_hi = bits_hi;
     }
     else if (t->kind == PT_OWNER) {
         int32_t *owner =
-            PyMem_Realloc(t->owner, (size_t)cap * sizeof(int32_t));
+            PyMem_RawRealloc(t->owner, (size_t)cap * sizeof(int32_t));
         if (!owner)
             return -1;
         t->owner = owner;
-        uint8_t *valid = PyMem_Realloc(t->valid, (size_t)cap);
+        uint8_t *valid = PyMem_RawRealloc(t->valid, (size_t)cap);
         if (!valid)
             return -1;
         t->valid = valid;
     }
     else {
         int32_t *counter =
-            PyMem_Realloc(t->counter, (size_t)cap * sizeof(int32_t));
+            PyMem_RawRealloc(t->counter, (size_t)cap * sizeof(int32_t));
         if (!counter)
             return -1;
         t->counter = counter;
     }
-    int64_t *stamps = PyMem_Realloc(t->stamps, (size_t)cap * sizeof(int64_t));
+    int64_t *stamps = PyMem_RawRealloc(t->stamps, (size_t)cap * sizeof(int64_t));
     if (!stamps)
         return -1;
     t->stamps = stamps;
-    int64_t *ekeys = PyMem_Realloc(t->ekeys, (size_t)cap * sizeof(int64_t));
+    int64_t *ekeys = PyMem_RawRealloc(t->ekeys, (size_t)cap * sizeof(int64_t));
     if (!ekeys)
         return -1;
     t->ekeys = ekeys;
-    uint8_t *live = PyMem_Realloc(t->live, (size_t)cap);
+    uint8_t *live = PyMem_RawRealloc(t->live, (size_t)cap);
     if (!live)
         return -1;
     t->live = live;
     int32_t *free_list =
-        PyMem_Realloc(t->free_list, (size_t)cap * sizeof(int32_t));
+        PyMem_RawRealloc(t->free_list, (size_t)cap * sizeof(int32_t));
     if (!free_list)
         return -1;
     t->free_list = free_list;
@@ -799,8 +822,8 @@ gtable_load(GTable *t, PyObject *table, int n_nodes)
         if (!PyDict_CheckExact(stamps) || !PyDict_CheckExact(set_keys))
             goto envelope;
         t->buckets =
-            PyMem_Malloc((size_t)(t->n_sets * t->assoc) * sizeof(int32_t));
-        t->bucket_len = PyMem_Calloc((size_t)t->n_sets, sizeof(int32_t));
+            PyMem_RawMalloc((size_t)(t->n_sets * t->assoc) * sizeof(int32_t));
+        t->bucket_len = PyMem_RawCalloc((size_t)t->n_sets, sizeof(int32_t));
         if (!t->buckets || !t->bucket_len) {
             PyErr_NoMemory();
             goto fail;
@@ -1316,10 +1339,10 @@ stable_free(STable *st)
 {
     if (st->map.keys)
         map_free(&st->map);
-    PyMem_Free(st->idxs);
-    PyMem_Free(st->tags);
-    PyMem_Free(st->bits_lo);
-    PyMem_Free(st->bits_hi);
+    PyMem_RawFree(st->idxs);
+    PyMem_RawFree(st->tags);
+    PyMem_RawFree(st->bits_lo);
+    PyMem_RawFree(st->bits_hi);
     memset(st, 0, sizeof(*st));
 }
 
@@ -1328,21 +1351,21 @@ stable_reserve(STable *st, Py_ssize_t cap)
 {
     if (cap <= st->cap)
         return 0;
-    int64_t *idxs = PyMem_Realloc(st->idxs, (size_t)cap * sizeof(int64_t));
+    int64_t *idxs = PyMem_RawRealloc(st->idxs, (size_t)cap * sizeof(int64_t));
     if (!idxs)
         return -1;
     st->idxs = idxs;
-    int64_t *tags = PyMem_Realloc(st->tags, (size_t)cap * sizeof(int64_t));
+    int64_t *tags = PyMem_RawRealloc(st->tags, (size_t)cap * sizeof(int64_t));
     if (!tags)
         return -1;
     st->tags = tags;
     uint64_t *bits_lo =
-        PyMem_Realloc(st->bits_lo, (size_t)cap * sizeof(uint64_t));
+        PyMem_RawRealloc(st->bits_lo, (size_t)cap * sizeof(uint64_t));
     if (!bits_lo)
         return -1;
     st->bits_lo = bits_lo;
     uint64_t *bits_hi =
-        PyMem_Realloc(st->bits_hi, (size_t)cap * sizeof(uint64_t));
+        PyMem_RawRealloc(st->bits_hi, (size_t)cap * sizeof(uint64_t));
     if (!bits_hi)
         return -1;
     st->bits_hi = bits_hi;
@@ -1554,7 +1577,7 @@ policy_replay(PyObject *self, PyObject *args)
     }
 
     if (policy == POLICY_STICKY) {
-        stables = PyMem_Calloc((size_t)n_nodes, sizeof(STable));
+        stables = PyMem_RawCalloc((size_t)n_nodes, sizeof(STable));
         if (!stables) {
             PyErr_NoMemory();
             goto done;
@@ -1574,7 +1597,7 @@ policy_replay(PyObject *self, PyObject *args)
         int kindA = policy == POLICY_GROUP
                         ? PT_GROUP
                         : (policy == POLICY_BIFS ? PT_BIFS : PT_OWNER);
-        tablesA = PyMem_Calloc((size_t)n_nodes, sizeof(GTable));
+        tablesA = PyMem_RawCalloc((size_t)n_nodes, sizeof(GTable));
         if (!tablesA) {
             PyErr_NoMemory();
             goto done;
@@ -1591,7 +1614,7 @@ policy_replay(PyObject *self, PyObject *args)
             }
         }
         if (policy == POLICY_OWNER_GROUP) {
-            tablesB = PyMem_Calloc((size_t)n_nodes, sizeof(GTable));
+            tablesB = PyMem_RawCalloc((size_t)n_nodes, sizeof(GTable));
             if (!tablesB) {
                 PyErr_NoMemory();
                 goto done;
@@ -1619,8 +1642,8 @@ policy_replay(PyObject *self, PyObject *args)
         }
     }
     if (want_out) {
-        lat_out = PyMem_Malloc((size_t)(nrec ? nrec : 1) * sizeof(double));
-        tb_out = PyMem_Malloc((size_t)(nrec ? nrec : 1) * sizeof(int64_t));
+        lat_out = PyMem_RawMalloc((size_t)(nrec ? nrec : 1) * sizeof(double));
+        tb_out = PyMem_RawMalloc((size_t)(nrec ? nrec : 1) * sizeof(int64_t));
         if (!lat_out || !tb_out) {
             PyErr_NoMemory();
             goto done;
@@ -1662,7 +1685,9 @@ policy_replay(PyObject *self, PyObject *args)
         int32_t p_code = -1;
         uint64_t p_lo = 0, p_hi = 0;
         int64_t p_count = 0;
+        int oom = 0;
 
+        Py_BEGIN_ALLOW_THREADS
         for (Py_ssize_t i = 0; i < nrec; i++) {
             const int64_t address = addrs[i];
             const int32_t requester = reqs[i];
@@ -1791,16 +1816,16 @@ policy_replay(PyObject *self, PyObject *args)
                 req_lo |= sh_lo & notreq_lo;
                 req_hi |= sh_hi & notreq_hi;
                 if (map_put3(&mosi, block, requester, 0, 0) < 0) {
-                    PyErr_NoMemory();
-                    goto done;
+                    oom = 1;
+                    goto compute_halt;
                 }
             }
             else if (owner != requester) {
                 if (map_put3(&mosi, block, owner,
                              (int64_t)(sh_lo | reqbit_lo),
                              (int64_t)(sh_hi | reqbit_hi)) < 0) {
-                    PyErr_NoMemory();
-                    goto done;
+                    oom = 1;
+                    goto compute_halt;
                 }
             }
 
@@ -1841,8 +1866,8 @@ policy_replay(PyObject *self, PyObject *args)
                 if (e < 0 && allocate) {
                     e = gtable_allocate(t, key, n_nodes);
                     if (e < 0) {
-                        PyErr_NoMemory();
-                        goto done;
+                        oom = 1;
+                        goto compute_halt;
                     }
                 }
                 if (e >= 0 && responder != -1)
@@ -1858,8 +1883,8 @@ policy_replay(PyObject *self, PyObject *args)
                         break;
                     e = gtable_allocate(t, key, n_nodes);
                     if (e < 0) {
-                        PyErr_NoMemory();
-                        goto done;
+                        oom = 1;
+                        goto compute_halt;
                     }
                 }
                 if (responder == -1) {
@@ -1879,8 +1904,8 @@ policy_replay(PyObject *self, PyObject *args)
                         break;
                     e = gtable_allocate(t, key, n_nodes);
                     if (e < 0) {
-                        PyErr_NoMemory();
-                        goto done;
+                        oom = 1;
+                        goto compute_halt;
                     }
                 }
                 if (responder == -1 && !allocate) {
@@ -1904,8 +1929,8 @@ policy_replay(PyObject *self, PyObject *args)
                 else if (allocate) {
                     e = gtable_allocate(t, key, n_nodes);
                     if (e < 0) {
-                        PyErr_NoMemory();
-                        goto done;
+                        oom = 1;
+                        goto compute_halt;
                     }
                 }
                 if (e >= 0) {
@@ -1928,8 +1953,8 @@ policy_replay(PyObject *self, PyObject *args)
                 else if (allocate) {
                     e = gtable_allocate(g, key, n_nodes);
                     if (e < 0) {
-                        PyErr_NoMemory();
-                        goto done;
+                        oom = 1;
+                        goto compute_halt;
                     }
                 }
                 if (e >= 0 && responder != -1)
@@ -1953,8 +1978,8 @@ policy_replay(PyObject *self, PyObject *args)
                 Py_ssize_t slot = map_find(&st->map, idx);
                 if (slot < 0) {
                     if (stable_append(st, idx, bn, tr_lo, tr_hi) < 0) {
-                        PyErr_NoMemory();
-                        goto done;
+                        oom = 1;
+                        goto compute_halt;
                     }
                     st->n_alloc++;
                 }
@@ -1997,6 +2022,12 @@ policy_replay(PyObject *self, PyObject *args)
             policy_flush(policy, tablesA, tablesB, p_lo, p_hi, p_key,
                          p_req, p_code, p_count, n_nodes, cmax, thr,
                          rperiod, tdown);
+    compute_halt:;
+        Py_END_ALLOW_THREADS
+        if (oom) {
+            PyErr_NoMemory();
+            goto done;
+        }
 
         /* Write every piece of state back, then build the result. */
         if (policy == POLICY_STICKY) {
@@ -2059,22 +2090,22 @@ done:
     if (tablesA) {
         for (int i = 0; i < n_nodes; i++)
             gtable_free(&tablesA[i]);
-        PyMem_Free(tablesA);
+        PyMem_RawFree(tablesA);
     }
     if (tablesB) {
         for (int i = 0; i < n_nodes; i++)
             gtable_free(&tablesB[i]);
-        PyMem_Free(tablesB);
+        PyMem_RawFree(tablesB);
     }
     if (stables) {
         for (int i = 0; i < n_nodes; i++)
             stable_free(&stables[i]);
-        PyMem_Free(stables);
+        PyMem_RawFree(stables);
     }
     if (mosi.keys)
         map_free(&mosi);
-    PyMem_Free(lat_out);
-    PyMem_Free(tb_out);
+    PyMem_RawFree(lat_out);
+    PyMem_RawFree(tb_out);
     PyBuffer_Release(&addr_b);
     PyBuffer_Release(&pc_b);
     PyBuffer_Release(&req_b);
@@ -2107,12 +2138,12 @@ typedef struct {
 static void
 ncollector_dealloc(NCollector *self)
 {
-    PyMem_Free(self->l1);
-    PyMem_Free(self->l1_len);
-    PyMem_Free(self->l2);
-    PyMem_Free(self->l2_len);
-    PyMem_Free(self->executed);
-    PyMem_Free(self->at_last_miss);
+    PyMem_RawFree(self->l1);
+    PyMem_RawFree(self->l1_len);
+    PyMem_RawFree(self->l2);
+    PyMem_RawFree(self->l2_len);
+    PyMem_RawFree(self->executed);
+    PyMem_RawFree(self->at_last_miss);
     if (self->mosi.keys)
         map_free(&self->mosi);
     Py_TYPE(self)->tp_free((PyObject *)self);
@@ -2154,12 +2185,12 @@ ncollector_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
 
     size_t c1 = (size_t)n_procs * (size_t)n1;
     size_t c2 = (size_t)n_procs * (size_t)n2;
-    self->l1 = PyMem_Malloc(c1 * (size_t)a1 * sizeof(int64_t));
-    self->l1_len = PyMem_Calloc(c1, sizeof(int32_t));
-    self->l2 = PyMem_Malloc(c2 * (size_t)a2 * sizeof(int64_t));
-    self->l2_len = PyMem_Calloc(c2, sizeof(int32_t));
-    self->executed = PyMem_Calloc((size_t)n_procs, sizeof(int64_t));
-    self->at_last_miss = PyMem_Calloc((size_t)n_procs, sizeof(int64_t));
+    self->l1 = PyMem_RawMalloc(c1 * (size_t)a1 * sizeof(int64_t));
+    self->l1_len = PyMem_RawCalloc(c1, sizeof(int32_t));
+    self->l2 = PyMem_RawMalloc(c2 * (size_t)a2 * sizeof(int64_t));
+    self->l2_len = PyMem_RawCalloc(c2, sizeof(int32_t));
+    self->executed = PyMem_RawCalloc((size_t)n_procs, sizeof(int64_t));
+    self->at_last_miss = PyMem_RawCalloc((size_t)n_procs, sizeof(int64_t));
     if (!self->l1 || !self->l1_len || !self->l2 || !self->l2_len
         || !self->executed || !self->at_last_miss) {
         Py_DECREF(self);
@@ -2309,23 +2340,23 @@ missout_reserve(MissOut *o, Py_ssize_t cap)
 {
     if (cap <= o->cap)
         return 0;
-    int64_t *addr = PyMem_Realloc(o->addr, (size_t)cap * sizeof(int64_t));
+    int64_t *addr = PyMem_RawRealloc(o->addr, (size_t)cap * sizeof(int64_t));
     if (!addr)
         return -1;
     o->addr = addr;
-    int64_t *pc = PyMem_Realloc(o->pc, (size_t)cap * sizeof(int64_t));
+    int64_t *pc = PyMem_RawRealloc(o->pc, (size_t)cap * sizeof(int64_t));
     if (!pc)
         return -1;
     o->pc = pc;
-    int32_t *node = PyMem_Realloc(o->node, (size_t)cap * sizeof(int32_t));
+    int32_t *node = PyMem_RawRealloc(o->node, (size_t)cap * sizeof(int32_t));
     if (!node)
         return -1;
     o->node = node;
-    int8_t *code = PyMem_Realloc(o->code, (size_t)cap);
+    int8_t *code = PyMem_RawRealloc(o->code, (size_t)cap);
     if (!code)
         return -1;
     o->code = code;
-    int64_t *gap = PyMem_Realloc(o->gap, (size_t)cap * sizeof(int64_t));
+    int64_t *gap = PyMem_RawRealloc(o->gap, (size_t)cap * sizeof(int64_t));
     if (!gap)
         return -1;
     o->gap = gap;
@@ -2385,12 +2416,27 @@ ncollector_process_chunk(NCollector *self, PyObject *args)
             PyBuffer_Release(&addr_buf);                                   \
     } while (0)
 
-    /* Node-range validation mirrors the Python loop's pre-check. */
+    /* Marshal (GIL held): flatten every chunk column into C arrays,
+     * mirroring the Python loop's node-range pre-check and pulling the
+     * int64-envelope validation forward so the compute loop below can
+     * run with the GIL released. */
     const int n_procs = self->n_procs;
+    int64_t *m_cols = PyMem_RawMalloc(
+        (size_t)(length ? length : 1) * 5 * sizeof(int64_t));
+    if (!m_cols) {
+        RELEASE_ADDR();
+        return PyErr_NoMemory();
+    }
+    int64_t *m_node = m_cols;
+    int64_t *m_gap = m_cols + length;
+    int64_t *m_pc = m_cols + 2 * length;
+    int64_t *m_write = m_cols + 3 * length;
+    int64_t *m_addr = m_cols + 4 * length;
     for (Py_ssize_t i = 0; i < length; i++) {
         int of = 0;
         int64_t node = as_i64(PyList_GET_ITEM(nodes_l, i), &of);
         if (of || node < 0 || node >= n_procs) {
+            PyMem_RawFree(m_cols);
             RELEASE_ADDR();
             if (!of) {
                 PyErr_Format(PyExc_ValueError,
@@ -2400,12 +2446,31 @@ ncollector_process_chunk(NCollector *self, PyObject *args)
             }
             Py_RETURN_NONE;
         }
+        m_node[i] = node;
+        m_gap[i] = as_i64(PyList_GET_ITEM(gaps_l, i), &of);
+        m_pc[i] = as_i64(PyList_GET_ITEM(pcs_l, i), &of);
+        m_write[i] = as_i64(PyList_GET_ITEM(writes_l, i), &of);
+        m_addr[i] = addr_arr
+                        ? addr_arr[i]
+                        : as_i64(PyList_GET_ITEM(addr_list, i), &of);
+        if (of || m_addr[i] < 0) {
+            /* Outside the envelope mid-chunk cannot happen for real
+             * generator output; bail out loudly rather than guessing. */
+            PyMem_RawFree(m_cols);
+            RELEASE_ADDR();
+            PyErr_SetString(PyExc_OverflowError,
+                            "Collector: value outside int64 envelope");
+            return NULL;
+        }
     }
+    /* Every column is copied; drop the address view before compute. */
+    RELEASE_ADDR();
+    addr_buf.buf = NULL;
 
     MissOut out;
     memset(&out, 0, sizeof(out));
     if (missout_reserve(&out, length > 16 ? length / 4 : 16) < 0) {
-        RELEASE_ADDR();
+        PyMem_RawFree(m_cols);
         return PyErr_NoMemory();
     }
 
@@ -2414,23 +2479,15 @@ ncollector_process_chunk(NCollector *self, PyObject *args)
     const int64_t n1 = self->n1, n2 = self->n2;
     const int32_t a1 = self->a1, a2 = self->a2;
     PyObject *result = NULL;
+    int oom = 0;
 
+    Py_BEGIN_ALLOW_THREADS
     for (Py_ssize_t i = 0; i < length; i++) {
-        int of = 0;
-        int64_t node = as_i64(PyList_GET_ITEM(nodes_l, i), &of);
-        int64_t gap = as_i64(PyList_GET_ITEM(gaps_l, i), &of);
-        int64_t pc = as_i64(PyList_GET_ITEM(pcs_l, i), &of);
-        int64_t is_write = as_i64(PyList_GET_ITEM(writes_l, i), &of);
-        int64_t address =
-            addr_arr ? addr_arr[i]
-                     : as_i64(PyList_GET_ITEM(addr_list, i), &of);
-        if (of || address < 0) {
-            /* Outside the envelope mid-chunk cannot happen for real
-             * generator output; bail out loudly rather than guessing. */
-            PyErr_SetString(PyExc_OverflowError,
-                            "Collector: value outside int64 envelope");
-            goto done;
-        }
+        const int64_t node = m_node[i];
+        const int64_t gap = m_gap[i];
+        const int64_t pc = m_pc[i];
+        const int64_t is_write = m_write[i];
+        const int64_t address = m_addr[i];
 
         self->executed[node] += gap;
         int64_t block = address & block_mask;
@@ -2482,8 +2539,8 @@ ncollector_process_chunk(NCollector *self, PyObject *args)
         int64_t done_instr = self->executed[node];
         if (out.len >= out.cap
             && missout_reserve(&out, out.cap * 2) < 0) {
-            PyErr_NoMemory();
-            goto done;
+            oom = 1;
+            goto chunk_halt;
         }
         out.gap[out.len] = done_instr - self->at_last_miss[node];
         self->at_last_miss[node] = done_instr;
@@ -2495,15 +2552,15 @@ ncollector_process_chunk(NCollector *self, PyObject *args)
         if (is_write) {
             required |= sharers & ~((uint64_t)1 << node);
             if (map_put(&self->mosi, block, node, 0) < 0) {
-                PyErr_NoMemory();
-                goto done;
+                oom = 1;
+                goto chunk_halt;
             }
         }
         else if (owner != node) {
             if (map_put(&self->mosi, block, owner,
                         (int64_t)(sharers | ((uint64_t)1 << node))) < 0) {
-                PyErr_NoMemory();
-                goto done;
+                oom = 1;
+                goto chunk_halt;
             }
         }
         out.addr[out.len] = block;
@@ -2571,6 +2628,12 @@ ncollector_process_chunk(NCollector *self, PyObject *args)
             l1_seg[(*l1_len)++] = block;
         }
     }
+chunk_halt:;
+    Py_END_ALLOW_THREADS
+    if (oom) {
+        PyErr_NoMemory();
+        goto done;
+    }
 
     result = Py_BuildValue(
         "ny#y#y#y#y#", out.len, (const char *)out.addr,
@@ -2581,13 +2644,13 @@ ncollector_process_chunk(NCollector *self, PyObject *args)
         out.len * (Py_ssize_t)sizeof(int64_t));
 
 done:
-    RELEASE_ADDR();
 #undef RELEASE_ADDR
-    PyMem_Free(out.addr);
-    PyMem_Free(out.pc);
-    PyMem_Free(out.node);
-    PyMem_Free(out.code);
-    PyMem_Free(out.gap);
+    PyMem_RawFree(m_cols);
+    PyMem_RawFree(out.addr);
+    PyMem_RawFree(out.pc);
+    PyMem_RawFree(out.node);
+    PyMem_RawFree(out.code);
+    PyMem_RawFree(out.gap);
     return result;
 }
 
@@ -2730,7 +2793,7 @@ PyInit__native(void)
         Py_DECREF(m);
         return NULL;
     }
-    if (PyModule_AddIntConstant(m, "ABI_VERSION", 2) < 0
+    if (PyModule_AddIntConstant(m, "ABI_VERSION", 3) < 0
         || PyModule_AddIntConstant(m, "POLICY_GROUP", POLICY_GROUP) < 0
         || PyModule_AddIntConstant(m, "POLICY_OWNER", POLICY_OWNER) < 0
         || PyModule_AddIntConstant(m, "POLICY_BIFS", POLICY_BIFS) < 0

@@ -16,6 +16,7 @@ addresses instead of recomputing them per consumer.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
 
@@ -49,6 +50,7 @@ class Trace:
         "_accesses",
         "_instructions",
         "_key_cache",
+        "_memo_lock",
     )
 
     def __init__(
@@ -67,6 +69,7 @@ class Trace:
         self._accesses = array(_CODE_TYPE)
         self._instructions = array(_ADDR_TYPE)
         self._key_cache = {}
+        self._memo_lock = threading.RLock()
         for record in records:
             self.append(record)
 
@@ -91,6 +94,7 @@ class Trace:
         self._accesses = accesses
         self._instructions = instructions
         self._key_cache = {}
+        self._memo_lock = threading.RLock()
         return self
 
     # ------------------------------------------------------------------
@@ -132,6 +136,24 @@ class Trace:
         """The instruction-gap column."""
         return self._instructions
 
+    def _memoize(self, cache_key, factory):
+        """Double-checked memoization into ``_key_cache``.
+
+        Sweep cells replay one shared trace on threads, so a miss
+        recomputes under the per-trace lock: exactly one thread runs
+        ``factory`` and every caller observes the same cached object
+        (no duplicate work, no torn cache).  The lock is reentrant —
+        factories may themselves call memoized accessors.
+        """
+        cached = self._key_cache.get(cache_key)
+        if cached is None:
+            with self._memo_lock:
+                cached = self._key_cache.get(cache_key)
+                if cached is None:
+                    cached = factory()
+                    self._key_cache[cache_key] = cached
+        return cached
+
     def block_keys(self, block_size: int) -> Sequence[int]:
         """Addresses aligned down to ``block_size`` (cached per trace).
 
@@ -139,13 +161,12 @@ class Trace:
         block-aligned (or, with a macroblock size, macroblock-aligned)
         keys — protocols, coherence state, sharing/locality analyses.
         """
-        cached = self._key_cache.get(block_size)
-        if cached is None:
-            cached = _columns.aligned_array(
+        return self._memoize(
+            block_size,
+            lambda: _columns.aligned_array(
                 self._addresses, block_size, _ADDR_TYPE
-            )
-            self._key_cache[block_size] = cached
-        return cached
+            ),
+        )
 
     def macroblock_keys(self, macroblock_size: int) -> Sequence[int]:
         """Addresses aligned down to ``macroblock_size`` (cached)."""
@@ -165,12 +186,9 @@ class Trace:
             "addresses", "pcs", "requesters", "accesses", "instructions"
         ):
             raise ValueError(f"unknown column {name!r}")
-        cache_key = ("boxed", name)
-        cached = self._key_cache.get(cache_key)
-        if cached is None:
-            cached = list(getattr(self, "_" + name))
-            self._key_cache[cache_key] = cached
-        return cached
+        return self._memoize(
+            ("boxed", name), lambda: list(getattr(self, "_" + name))
+        )
 
     def boxed_columns(self) -> tuple:
         """All five raw columns as pre-boxed lists (cached).
@@ -193,12 +211,10 @@ class Trace:
         The lighter companion of :meth:`derived_columns` for replay
         loops that only need block keys (directory/snooping).
         """
-        cache_key = ("blocks", block_size)
-        cached = self._key_cache.get(cache_key)
-        if cached is None:
-            cached = _columns.aligned_list(self._addresses, block_size)
-            self._key_cache[cache_key] = cached
-        return cached
+        return self._memoize(
+            ("blocks", block_size),
+            lambda: _columns.aligned_list(self._addresses, block_size),
+        )
 
     def memo(self, key, factory):
         """Memoize a value derived from this trace's columns.
@@ -209,11 +225,7 @@ class Trace:
         compute it once per trace.  ``key`` must be hashable and
         namespaced by the caller.
         """
-        cached = self._key_cache.get(key)
-        if cached is None:
-            cached = factory()
-            self._key_cache[key] = cached
-        return cached
+        return self._memoize(key, factory)
 
     def derived_columns(
         self,
@@ -234,9 +246,9 @@ class Trace:
             "derived", block_size, n_processors,
             key_granularity, use_pc_index,
         )
-        cached = self._key_cache.get(cache_key)
-        if cached is None:
-            cached = _columns.derived_columns(
+        return self._memoize(
+            cache_key,
+            lambda: _columns.derived_columns(
                 self._addresses,
                 self._pcs,
                 self._requesters,
@@ -244,9 +256,8 @@ class Trace:
                 n_processors,
                 key_granularity,
                 use_pc_index,
-            )
-            self._key_cache[cache_key] = cached
-        return cached
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Mutation
@@ -324,12 +335,10 @@ class Trace:
         """
         if n_warmup < 0:
             raise ValueError("n_warmup must be non-negative")
-        cache_key = ("split", n_warmup)
-        cached = self._key_cache.get(cache_key)
-        if cached is None:
-            cached = self[:n_warmup], self[n_warmup:]
-            self._key_cache[cache_key] = cached
-        return cached
+        return self._memoize(
+            ("split", n_warmup),
+            lambda: (self[:n_warmup], self[n_warmup:]),
+        )
 
     def filtered(
         self, predicate: Callable[[TraceRecord], bool]

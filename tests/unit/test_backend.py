@@ -8,6 +8,7 @@ fell back mid-sweep is visible in ``ResultSet.perf`` rather than just
 slower.
 """
 
+import concurrent.futures
 import warnings
 
 import pytest
@@ -69,6 +70,32 @@ def test_decline_counters_tally_per_kernel_and_reason():
     finally:
         kernels.reset_decline_counts()
     assert kernels.decline_counts() == {}
+
+
+def test_decline_counters_coherent_under_concurrent_increments():
+    # Threaded sweeps bump the process-wide tally from many threads
+    # at once; the lock in record_decline must make the
+    # read-modify-write atomic so no increment is lost.
+    kernels.reset_decline_counts()
+    per_thread = 5_000
+    threads = 8
+
+    def hammer(index: int) -> None:
+        for _ in range(per_thread):
+            kernels.record_decline("policy_replay", "envelope")
+            kernels.record_decline(f"kernel{index % 2}", "overflow")
+
+    try:
+        with concurrent.futures.ThreadPoolExecutor(threads) as pool:
+            list(pool.map(hammer, range(threads)))
+        counts = kernels.decline_counts()
+        assert counts["policy_replay:envelope"] == threads * per_thread
+        assert (
+            counts["kernel0:overflow"] + counts["kernel1:overflow"]
+            == threads * per_thread
+        )
+    finally:
+        kernels.reset_decline_counts()
 
 
 def test_perf_stats_render_decline_tallies():

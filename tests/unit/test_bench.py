@@ -54,6 +54,26 @@ class TestBenchSuite:
         text = bench.render_report(report)
         assert "fig5_tradeoff" in text
         assert "records/sec" in text
+        assert "thread scaling" in text
+
+    def test_thread_entries_report_parallel_efficiency(self, small_trace):
+        report = bench.run_suite(
+            small_trace, "barnes-hut", N_REFERENCES, 3, repeats=1
+        )
+        entries = {b["name"]: b for b in report["benchmarks"]}
+        for name, execution in bench.SWEEP_EXECUTION_ENTRIES.items():
+            entry = entries[name]
+            assert entry["executor"] == execution["executor"]
+            assert entry["threads"] == execution["threads"]
+            assert entry["backend"] == report["columns_backend"]
+        efficiency = report["parallel_efficiency"]
+        assert efficiency["threads"] == bench.SWEEP_THREADS
+        assert efficiency["speedup"] > 0
+        # speedup is rounded to 2 decimals and efficiency to 3, so
+        # the two can disagree by up to 0.005 / SWEEP_THREADS.
+        assert efficiency["efficiency"] == pytest.approx(
+            efficiency["speedup"] / bench.SWEEP_THREADS, abs=2.5e-3
+        )
 
 
 class TestBaselineCheck:
@@ -87,6 +107,28 @@ class TestBaselineCheck:
         assert not bench.check_against_baseline(
             self._report(20.0), self._report(10.0)
         )
+
+    def test_multi_thread_entries_not_gated(self):
+        # Thread-scaling throughput depends on the machine's core
+        # count, so a baseline from a different topology must not
+        # gate it (the CI parallel_efficiency assertion does).
+        baseline = {
+            "benchmarks": [
+                {"name": "sweep_threads_4", "calibrated": 10.0,
+                 "threads": 4},
+                {"name": "sweep_threads_1", "calibrated": 10.0,
+                 "threads": 1},
+            ]
+        }
+        report = {
+            "benchmarks": [
+                {"name": "sweep_threads_4", "calibrated": 1.0,
+                 "threads": 4},
+                {"name": "sweep_threads_1", "calibrated": 9.0,
+                 "threads": 1},
+            ]
+        }
+        assert bench.check_against_baseline(report, baseline) == []
 
 
 class TestSweepPerfStats:

@@ -468,11 +468,16 @@ class TestRunner:
         monkeypatch.setattr(runner_module.os, "cpu_count", lambda: None)
         assert runner_module.default_jobs() == 1
 
-    def test_rejects_injected_corpus_with_multiple_workers(self):
+    def test_process_pool_rejects_injected_corpus(self):
+        # The thread executor shares an injected corpus directly;
+        # only the process pool (which would have to pickle it) still
+        # rejects one, pointing at the alternatives.
         spec = ExperimentSpec(
             workloads=("ocean", "barnes-hut"), **SMALL
         )
-        runner = Runner(jobs=2, corpus=PersistentTraceCorpus())
+        runner = Runner(
+            jobs=2, executor="processes", corpus=PersistentTraceCorpus()
+        )
         with pytest.raises(ValueError, match="injected corpus"):
             runner.run(spec)
 
@@ -625,3 +630,98 @@ class TestGracefulFailure:
         assert results.failures[0].label == "directory"
         for record in results.records:
             assert record["normalized_runtime"] == pytest.approx(0.0)
+
+
+class TestThreadedRunner:
+    """``executor='threads'``: byte identity with serial everywhere.
+
+    The thread pool shares one in-memory corpus and reassembles in
+    canonical job order, so on every registered backend — pure, numpy,
+    and the GIL-releasing native kernels — a threaded sweep must equal
+    the serial one down to the serialized JSON bytes, for every
+    protocol and predictor the spec expands to.
+    """
+
+    ALL_POLICIES = (
+        "owner", "broadcast-if-shared", "group", "owner-group",
+        "sticky-spatial",
+    )
+
+    @pytest.fixture(params=("pure", "numpy", "native"))
+    def unified_backend(self, request):
+        from repro import kernels
+        from repro.common import backend as _backend
+
+        name = request.param
+        if name not in kernels.available_backends():
+            pytest.skip(f"{name} backend unavailable on this machine")
+        _backend.set_backend(name)
+        yield name
+        _backend.set_backend("auto")
+
+    def test_threads_match_serial_every_protocol(self, unified_backend):
+        spec = ExperimentSpec(
+            workloads=("ocean", "barnes-hut"),
+            kind="tradeoff",
+            n_references=2000,
+            policies=self.ALL_POLICIES,
+        )
+        serial = Runner(jobs=1).run(spec)
+        threaded = Runner(jobs=4, executor="threads").run(spec)
+        assert serial == threaded
+        assert serial.to_json() == threaded.to_json()
+
+    def test_runtime_threads_match_serial(self, unified_backend):
+        # Runtime sweeps normalize during reassembly; canonical-order
+        # reassembly must make that path thread-order independent too.
+        spec = ExperimentSpec(
+            workloads=("ocean",),
+            kind="runtime",
+            n_references=2000,
+            policies=("owner", "group"),
+            seeds=(1, 2),
+        )
+        serial = Runner(jobs=1).run(spec)
+        threaded = Runner(jobs=4, executor="threads").run(spec)
+        assert serial == threaded
+        assert serial.to_json() == threaded.to_json()
+
+    def test_injected_corpus_shared_across_threads(self):
+        from repro.evaluation.corpus import TraceCorpus
+
+        spec = ExperimentSpec(
+            workloads=("ocean", "barnes-hut"), seeds=(1, 2), **SMALL
+        )
+        corpus = TraceCorpus(spec.system_config)
+        threaded = Runner(
+            jobs=4, executor="threads", corpus=corpus
+        ).run(spec)
+        assert not threaded.failures
+        # One generation per unique (workload, seed) cell, shared by
+        # every label cell of the sweep.
+        assert len(corpus._cache) == 4
+        assert threaded == Runner(jobs=1, corpus=corpus).run(spec)
+
+    def test_resolved_executor_follows_backend(self):
+        from repro import kernels
+        from repro.common import backend as _backend
+
+        assert Runner(jobs=2, executor="threads").resolved_executor() \
+            == "threads"
+        assert Runner(jobs=2, executor="processes").resolved_executor() \
+            == "processes"
+        if "native" in kernels.available_backends():
+            _backend.set_backend("native")
+            try:
+                assert Runner(jobs=2).resolved_executor() == "threads"
+            finally:
+                _backend.set_backend("auto")
+        _backend.set_backend("pure")
+        try:
+            assert Runner(jobs=2).resolved_executor() == "processes"
+        finally:
+            _backend.set_backend("auto")
+
+    def test_rejects_bad_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            Runner(jobs=2, executor="fibers")

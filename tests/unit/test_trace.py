@@ -191,3 +191,61 @@ class TestTraceStats:
         stats = compute_trace_stats(make_trace([]))
         assert stats.n_records == 0
         assert stats.read_fraction == 0.0
+
+
+class TestTraceMemoLock:
+    def test_concurrent_memoization_computes_once(self):
+        # Threaded sweep cells derive columns from one shared trace;
+        # the per-trace lock must collapse a thundering herd onto a
+        # single factory call with every caller seeing that object.
+        import concurrent.futures
+        import threading
+
+        trace = make_trace(
+            [gets(0x40 * i, i % 4) for i in range(64)]
+        )
+        calls = []
+        gate = threading.Barrier(8)
+
+        def factory():
+            calls.append(1)
+            return [record.address for record in trace]
+
+        def worker():
+            gate.wait()
+            return trace.memo(("test", "shared"), factory)
+
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            results = [f.result() for f in
+                       [pool.submit(worker) for _ in range(8)]]
+        assert len(calls) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_concurrent_block_keys_no_torn_cache(self):
+        import concurrent.futures
+
+        trace = make_trace(
+            [gets(0x40 * i, i % 4) for i in range(256)]
+        )
+        expected = list(trace.block_keys(64))
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            futures = [
+                pool.submit(trace.block_keys, 64) for _ in range(32)
+            ]
+            views = [f.result() for f in futures]
+        assert all(list(view) == expected for view in views)
+        # One cached object serves every thread.
+        assert len({id(view) for view in views}) == 1
+
+    def test_memo_reentrant_from_factory(self):
+        # Memo factories call other memoized accessors (derived
+        # columns pull block keys); the per-trace lock is reentrant
+        # so that nesting cannot deadlock.
+        trace = make_trace([gets(0x40, 0), getx(0x80, 1)])
+
+        def factory():
+            return sum(trace.block_keys(64))
+
+        assert trace.memo(("test", "nested"), factory) == sum(
+            trace.block_keys(64)
+        )
