@@ -74,7 +74,7 @@ from repro.protocols import (
 from repro.trace import Trace, TraceRecord
 from repro.workloads import WORKLOAD_NAMES, create_workload
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AccessType",

@@ -128,11 +128,22 @@ SWEEP_THREADS = 4
 #: overhead, thread scaling), so they must measure the backend the
 #: user actually sweeps with.  Each records its ``executor`` /
 #: ``threads`` / ``backend`` in the report entry.
+#: Worker processes for the ``sweep_coldstart`` entry.
+COLDSTART_PROCESSES = 2
+
 SWEEP_EXECUTION_ENTRIES = {
     "sweep_inprocess": {"executor": "serial", "threads": 1},
     "fabric_overhead": {"executor": "fabric", "threads": 1},
     "sweep_threads_1": {"executor": "threads", "threads": 1},
     "sweep_threads_4": {"executor": "threads", "threads": SWEEP_THREADS},
+    # Process-pool sweep against a warmed on-disk cache: prices worker
+    # spawn plus each worker's per-process trace-store loads — the
+    # cold-start cost the zero-copy v2 store attacks.  `threads` here
+    # is the worker count; >1 keeps it out of the cross-machine
+    # calibrated gate (like sweep_threads_4, it measures topology).
+    "sweep_coldstart": {
+        "executor": "processes", "threads": COLDSTART_PROCESSES,
+    },
 }
 
 
@@ -380,6 +391,66 @@ def _benchmarks(
         Runner(jobs=1, cache_dir=_shared_traces()).run(spec)
         return spec.n_jobs * len(trace)
 
+    def sweep_coldstart() -> int:
+        from repro.experiment.runner import Runner
+
+        spec = _sweep_spec()
+        Runner(
+            jobs=COLDSTART_PROCESSES,
+            executor="processes",
+            cache_dir=_shared_traces(),
+        ).run(spec)
+        return spec.n_jobs * len(trace)
+
+    # -- trace store load path ----------------------------------------
+    # `trace_load_binary` vs `trace_load_v2` price the per-cell setup
+    # the v2 store deletes.  The v1 sidecar copies every column byte
+    # (`array.frombytes`) and then recomputes the derived replay
+    # columns from scratch; the v2 sidecar mmaps, serving the base
+    # columns and the persisted block/macroblock keys as zero-copy
+    # views — the replay-ready state for the compiled tier, which
+    # consumes raw columns directly.  (The Python tiers still box
+    # lists on first use; that cost is deferred to replay, not paid
+    # per load, and the store serves it via C-level copies.)
+    def _store_paths():
+        if "store_bin" not in state:
+            from repro.experiment.cache import derived_config
+            from repro.trace.io import write_trace_binary, write_trace_v2
+
+            _shared_traces()  # owns the tempdir
+            root = state["root"]
+            state["store_bin"] = root / "bench-trace.bin"
+            state["store_bin2"] = root / "bench-trace.bin2"
+            write_trace_binary(trace, state["store_bin"])
+            write_trace_v2(
+                trace, state["store_bin2"], derived_config(config)
+            )
+        return state["store_bin"], state["store_bin2"]
+
+    def trace_load_binary() -> int:
+        from repro.trace.io import read_trace_binary
+
+        bin_path, _ = _store_paths()
+        loaded = read_trace_binary(bin_path)
+        loaded.derived_columns(
+            config.block_size,
+            config.n_processors,
+            predictor_config.index_granularity,
+            False,
+        )
+        loaded.block_keys(config.block_size)
+        loaded.block_keys(config.macroblock_size)
+        return len(loaded)
+
+    def trace_load_v2() -> int:
+        from repro.trace.io import read_trace_v2
+
+        _, v2_path = _store_paths()
+        loaded = read_trace_v2(v2_path)
+        loaded.block_keys(config.block_size)
+        loaded.block_keys(config.macroblock_size)
+        return len(loaded)
+
     # -- thread scaling -----------------------------------------------
     # `sweep_threads_1` / `sweep_threads_4` run the *same* eight-cell
     # sweep (two seeds x four fused policies) through the thread
@@ -467,7 +538,10 @@ def _benchmarks(
         ("analysis_sharing", analysis_sharing),
         ("analysis_locality", analysis_locality),
         ("trace_stats", trace_stats),
+        ("trace_load_binary", trace_load_binary),
+        ("trace_load_v2", trace_load_v2),
         ("sweep_inprocess", sweep_inprocess),
+        ("sweep_coldstart", sweep_coldstart),
         ("fabric_overhead", fabric_overhead),
         ("sweep_threads_1", lambda: sweep_threads(1)),
         ("sweep_threads_4", lambda: sweep_threads(SWEEP_THREADS)),
@@ -549,6 +623,12 @@ def run_suite(
         "seed": seed,
         "trace_records": len(trace),
         "python": platform.python_version(),
+        # Machine shape, so the thread-scaling / parallel_efficiency
+        # entries are interpretable from the committed file alone
+        # (earlier baselines were measured on a 1-core container with
+        # no way to tell).
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
         "columns_backend": unified,
         "python_tier": python_tier,
         "calibration_kops": round(score, 1),

@@ -6,6 +6,14 @@ predictor experiment (deterministic, precise comparisons — Section
 workload's trace generates it through the cache pipeline; subsequent
 requests return the cached result, so every predictor sees the
 identical request stream.
+
+Corpus traces are shared — across a sweep's threads within one
+process, and (when the disk-backed subclass serves a ``.bin2`` store
+entry zero-copy) across every process mapping the same file, whose
+pages the OS cache holds once per host.  Treat them as read-only;
+mutating accessors on a mapped trace copy-on-write first
+(:meth:`repro.trace.trace.Trace.frozen`), so a misbehaving consumer
+degrades to a private copy rather than corrupting the shared store.
 """
 
 from __future__ import annotations

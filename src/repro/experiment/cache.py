@@ -26,13 +26,15 @@ from typing import Optional, Union
 
 from repro.cache.pipeline import CollectionResult
 from repro.common.atomicio import tmp_sibling, write_text_atomic
-from repro.common.params import SystemConfig
+from repro.common.params import PredictorConfig, SystemConfig
 from repro.evaluation.corpus import TraceCorpus
 from repro.trace.io import (
     read_trace,
     read_trace_binary,
+    read_trace_v2,
     write_trace,
     write_trace_binary,
+    write_trace_v2,
 )
 
 #: Bump when the on-disk layout or trace semantics change.
@@ -61,6 +63,24 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def derived_config(config: SystemConfig) -> dict:
+    """The v2 sidecar's persisted derived-column configuration.
+
+    Derived replay columns are a pure function of the base columns
+    plus these constants, so persisting them versions the *sidecar*,
+    never the trace key (:data:`CACHE_FORMAT` stays put).  The index
+    granularity is the paper's reference predictor indexing
+    (:class:`PredictorConfig` default); sweeps that override it still
+    load the v2 base columns zero-copy and recompute the index keys.
+    """
+    return {
+        "block_size": config.block_size,
+        "macroblock_size": config.macroblock_size,
+        "n_processors": config.n_processors,
+        "index_granularity": PredictorConfig().index_granularity,
+    }
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -102,13 +122,22 @@ class TraceCache:
 
     Each entry is a ``<key>.trace`` file in the standard text format
     plus a ``<key>.json`` sidecar holding the collection counters and
-    the human-readable key fields (for inspection and debugging).
-    Writes go through a temporary file and :func:`os.replace`, so
-    concurrent workers storing the same key race benignly.
+    the human-readable key fields (for inspection and debugging), a
+    ``<key>.bin`` binary sidecar, and a ``<key>.bin2`` v2 columnar
+    sidecar served zero-copy via ``mmap`` (the preferred load path;
+    fallback chain ``.bin2 → .bin → .trace``, with missing sidecars
+    healed on the next load).  Writes go through a temporary file and
+    :func:`os.replace`, so concurrent workers storing the same key
+    race benignly.
+
+    ``derived`` configures which derived replay columns the v2
+    sidecar persists (see :func:`derived_config`); None writes base
+    columns only.
     """
 
-    def __init__(self, root: PathLike):
+    def __init__(self, root: PathLike, derived: Optional[dict] = None):
         self.root = pathlib.Path(root)
+        self.derived = derived
         self.stats = CacheStats()
         # Threaded sweeps share one cache across cells; the counter
         # read-modify-writes below are not atomic once kernels drop
@@ -152,22 +181,31 @@ class TraceCache:
             self.root / f"{key}.trace",
             self.root / f"{key}.json",
             self.root / f"{key}.bin",
+            self.root / f"{key}.bin2",
         )
 
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[CollectionResult]:
         """The stored collection for ``key``, or None (counts stats)."""
-        trace_path, meta_path, binary_path = self._paths(key)
+        trace_path, meta_path, binary_path, v2_path = self._paths(key)
         try:
             meta = json.loads(meta_path.read_text(encoding="ascii"))
-            # The binary sidecar loads the columns verbatim (fast path
-            # for per-label sweep cells); fall back to parsing the
-            # text format, trusted because write_trace produced it.
+            # Fallback chain .bin2 → .bin → .trace: the v2 sidecar is
+            # served zero-copy over mmap (same-host workers share the
+            # page cache); the binary sidecar loads the columns
+            # verbatim; the text format is the trusted last resort
+            # (write_trace produced it).  A missing/torn sidecar is
+            # healed from whichever slower tier succeeded, so the next
+            # load takes the fast path again.
             try:
-                trace = read_trace_binary(binary_path)
+                trace = read_trace_v2(v2_path)
             except (OSError, ValueError):
-                trace = read_trace(trace_path, trusted=True)
-                self._heal_binary(trace, binary_path)
+                try:
+                    trace = read_trace_binary(binary_path)
+                except (OSError, ValueError):
+                    trace = read_trace(trace_path, trusted=True)
+                    self._heal_binary(trace, binary_path)
+                self._heal_v2(trace, v2_path)
         except (OSError, ValueError, KeyError):
             with self._stats_lock:
                 self.stats.misses += 1
@@ -200,6 +238,18 @@ class TraceCache:
             except OSError:
                 pass
 
+    def _heal_v2(self, trace, v2_path) -> None:
+        """Best-effort rewrite of a missing/stale/torn v2 sidecar."""
+        tmp = tmp_sibling(v2_path)
+        try:
+            write_trace_v2(trace, tmp, self.derived)
+            os.replace(tmp, v2_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
     def store(
         self,
         key: str,
@@ -208,7 +258,7 @@ class TraceCache:
     ) -> None:
         """Persist ``result`` under ``key`` (atomically)."""
         self.root.mkdir(parents=True, exist_ok=True)
-        trace_path, meta_path, binary_path = self._paths(key)
+        trace_path, meta_path, binary_path, v2_path = self._paths(key)
         meta = {
             "instructions": {
                 str(node): count
@@ -219,18 +269,21 @@ class TraceCache:
         }
         tmp_trace = tmp_sibling(trace_path)
         tmp_binary = tmp_sibling(binary_path)
+        tmp_v2 = tmp_sibling(v2_path)
         try:
             write_trace(result.trace, tmp_trace)
             write_trace_binary(result.trace, tmp_binary)
+            write_trace_v2(result.trace, tmp_v2, self.derived)
             # Trace columns first: a reader needs trace + sidecar, and
             # load() opens the JSON sidecar before the trace files, so
             # a concurrent reader either misses (regenerates, benign)
             # or sees a complete entry — never a torn one.
+            os.replace(tmp_v2, v2_path)
             os.replace(tmp_binary, binary_path)
             os.replace(tmp_trace, trace_path)
             write_text_atomic(meta_path, json.dumps(meta, sort_keys=True))
         finally:
-            for leftover in (tmp_trace, tmp_binary):
+            for leftover in (tmp_trace, tmp_binary, tmp_v2):
                 try:
                     os.unlink(leftover)
                 except OSError:
@@ -241,7 +294,7 @@ class TraceCache:
         removed = 0
         if self.root.is_dir():
             for path in self.root.iterdir():
-                if path.suffix in (".trace", ".json", ".bin"):
+                if path.suffix in (".trace", ".json", ".bin", ".bin2"):
                     path.unlink()
                     removed += 1
         return removed
@@ -262,7 +315,8 @@ class PersistentTraceCorpus(TraceCorpus):
     ):
         super().__init__(config)
         self.disk = TraceCache(
-            cache_dir if cache_dir is not None else default_cache_dir()
+            cache_dir if cache_dir is not None else default_cache_dir(),
+            derived=derived_config(self.config),
         )
 
     @property

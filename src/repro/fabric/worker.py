@@ -26,6 +26,7 @@ enqueue work continuously.
 from __future__ import annotations
 
 import dataclasses
+import json
 import multiprocessing
 import os
 import socket
@@ -60,13 +61,24 @@ def default_worker_id() -> str:
 
 
 class CorpusRegistry:
-    """Spec-digest → corpus map, shareable across worker threads.
+    """System-config → corpus map, shareable across worker threads.
 
     A thread pool of workers passes one registry to every
     :class:`FabricWorker` so all threads replay out of a single
     in-memory memoized corpus (the corpus itself generates each trace
     exactly once under its per-key locks); process pools let each
     worker default to a private registry.
+
+    Corpora are keyed by the *system configuration*, not the full
+    spec digest: a trace's content depends only on the system config
+    (plus workload/size/seed, handled per-trace inside the corpus),
+    so overlapping specs — the common serve-mode shape, where many
+    enqueued queries vary only policies or bandwidth — share one
+    in-memory corpus instead of reloading per spec.  Across worker
+    *processes* the sharing continues one level down: each corpus
+    serves ``.bin2`` store entries as ``mmap`` views, so every worker
+    on a host references the same physical page-cache copy of the
+    trace bytes.
     """
 
     def __init__(self, traces_dir: PathLike):
@@ -75,8 +87,10 @@ class CorpusRegistry:
         self._lock = threading.Lock()
 
     def corpus(self, spec: ExperimentSpec) -> TraceCorpus:
-        """The (persistent) corpus for ``spec``, created once."""
-        digest = spec.digest()
+        """The (persistent) corpus for ``spec``'s system config."""
+        digest = json.dumps(
+            dataclasses.asdict(spec.system_config), sort_keys=True
+        )
         with self._lock:
             corpus = self._corpora.get(digest)
             if corpus is None:
@@ -205,10 +219,11 @@ class FabricWorker:
         return spec
 
     def _corpus(self, spec: ExperimentSpec) -> TraceCorpus:
-        # One persistent corpus per spec digest: in-memory memoization
-        # within this worker (shared across a thread pool via the
-        # registry), the fabric's shared traces/ dir across workers
-        # and hosts.
+        # One persistent corpus per system config: in-memory
+        # memoization within this worker (shared across a thread pool
+        # via the registry), the fabric's shared traces/ dir across
+        # workers and hosts — mapped zero-copy, so same-host workers
+        # share one physical copy of the trace bytes.
         return self._corpora.corpus(spec)
 
 

@@ -27,6 +27,16 @@
  * touching any Python state) when they meet state outside it, e.g. a
  * key that overflows int64.
  *
+ * Column buffers: trace columns arrive as PyArg_ParseTuple "y*"
+ * (PyBUF_SIMPLE) buffers, so ANY C-contiguous buffer-protocol object
+ * qualifies — stdlib array columns, and equally the read-only
+ * memoryview columns of an mmap-backed frozen trace (the v2 trace
+ * store, repro/trace/io.py).  Mapped store pages therefore flow into
+ * compiled replay with zero copies; nothing here may write through a
+ * "y*" buffer (output buffers are parsed "w*").  Non-contiguous views
+ * are rejected by the parse itself; the marshal layer declines them
+ * first.
+ *
  * Threading: every kernel runs in three phases — marshal Python state
  * into C buffers (GIL held), pure-C compute inside
  * Py_BEGIN_ALLOW_THREADS/Py_END_ALLOW_THREADS, and write-back (GIL

@@ -45,7 +45,17 @@ def _ext():
 # ----------------------------------------------------------------------
 
 def _trace_columns(trace):
-    """The four int columns, or None when dtypes are off-envelope."""
+    """The four int columns, or None when dtypes are off-envelope.
+
+    The extension parses columns as ``y*`` buffers, so any C-contiguous
+    buffer-protocol object qualifies — stdlib ``array`` columns and the
+    read-only ``memoryview`` columns of an mmap-backed frozen trace
+    (:func:`repro.trace.io.read_trace_v2`) flow in untouched, letting
+    mapped store pages reach compiled replay without a copy.  A
+    non-contiguous view (which ``y*`` would reject with ``BufferError``
+    mid-call) declines here instead; frozen-trace slicing never
+    produces one, so this guard is belt-and-braces.
+    """
     addresses = trace._addresses
     pcs = trace._pcs
     requesters = trace._requesters
@@ -57,6 +67,9 @@ def _trace_columns(trace):
         or accesses.itemsize != 1
     ):  # pragma: no cover - fixed typecodes on supported platforms
         return None
+    for column in (addresses, pcs, requesters, accesses):
+        if isinstance(column, memoryview) and not column.c_contiguous:
+            return None  # pragma: no cover - never produced by Trace
     return addresses, pcs, requesters, accesses
 
 

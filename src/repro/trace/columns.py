@@ -203,6 +203,26 @@ def derived_columns(
     )
 
 
+def derived_from_segments(segments) -> DerivedColumns:
+    """Box persisted derived segments into :class:`DerivedColumns`.
+
+    ``segments`` maps segment names (as laid out by the v2 trace
+    store — see :mod:`repro.trace.io`) to flat int64 buffers over the
+    store mapping.  Boxing each segment once here replaces the
+    per-process arithmetic recompute with straight C-level copies;
+    the resulting lists are identical to what
+    :func:`derived_columns` produces from the base columns.
+    """
+    return DerivedColumns(
+        list(segments["blocks"]),
+        list(segments["keys"]),
+        list(segments["homes"]),
+        list(segments["minimals"]),
+        list(segments["reqbits"]),
+        list(segments["notreqs"]),
+    )
+
+
 def aligned_list(addresses, block_size: int) -> List[int]:
     """Block-aligned addresses as a pre-boxed list.
 

@@ -51,6 +51,10 @@ class Trace:
         "_instructions",
         "_key_cache",
         "_memo_lock",
+        "_frozen",
+        "_source",
+        "_derived_store",
+        "_derived_meta",
     )
 
     def __init__(
@@ -70,6 +74,10 @@ class Trace:
         self._instructions = array(_ADDR_TYPE)
         self._key_cache = {}
         self._memo_lock = threading.RLock()
+        self._frozen = False
+        self._source = None
+        self._derived_store = None
+        self._derived_meta = None
         for record in records:
             self.append(record)
 
@@ -95,7 +103,98 @@ class Trace:
         self._instructions = instructions
         self._key_cache = {}
         self._memo_lock = threading.RLock()
+        self._frozen = False
+        self._source = None
+        self._derived_store = None
+        self._derived_meta = None
         return self
+
+    @classmethod
+    def _from_buffers(
+        cls,
+        addresses,
+        pcs,
+        requesters,
+        accesses,
+        instructions,
+        *,
+        n_processors: int,
+        name: str,
+        source=None,
+        derived_store=None,
+        derived_meta=None,
+    ) -> "Trace":
+        """Adopt read-only buffer-backed columns (frozen, zero-copy).
+
+        Columns are C-contiguous ``memoryview`` slices of ``source``
+        (an open ``mmap`` over the trace store, or a private bytes
+        copy under ``REPRO_MMAP=0``).  The trace is *frozen*: the
+        first mutation copies every column into private arrays
+        (:meth:`_materialize`), so the backing store is never written
+        through.  ``derived_store``/``derived_meta`` optionally carry
+        the persisted derived replay columns, served by
+        :meth:`block_keys` / :meth:`block_keys_list` /
+        :meth:`derived_columns` without recomputation.
+        """
+        self = cls._from_columns(
+            addresses, pcs, requesters, accesses, instructions,
+            n_processors, name,
+        )
+        self._frozen = True
+        self._source = source
+        self._derived_store = derived_store
+        self._derived_meta = derived_meta
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether columns are read-only views over a backing store."""
+        return self._frozen
+
+    def _materialize(self) -> None:
+        """Copy-on-write: swap mapped columns for private arrays.
+
+        Frozen traces serve columns as read-only views over the store
+        mapping; the first mutation lands here, copying each column
+        into a private ``array`` so the store file is never written
+        through and concurrent readers of the same mapping are
+        unaffected.
+        """
+        if not self._frozen:
+            return
+        with self._memo_lock:
+            if not self._frozen:
+                return
+            self._addresses = array(_ADDR_TYPE, self._addresses.tobytes())
+            self._pcs = array(_ADDR_TYPE, self._pcs.tobytes())
+            self._requesters = array(_NODE_TYPE, self._requesters.tobytes())
+            self._accesses = array(_CODE_TYPE, self._accesses.tobytes())
+            self._instructions = array(
+                _ADDR_TYPE, self._instructions.tobytes()
+            )
+            self._frozen = False
+            self._source = None
+            self._derived_store = None
+            self._derived_meta = None
+            self._key_cache.clear()
+
+    def _stored_aligned(self, block_size: int):
+        """The persisted aligned-address segment for ``block_size``.
+
+        Returns the flat int64 view from the derived store when its
+        configuration covers ``block_size`` (the store persists both
+        block- and macroblock-aligned keys), else None.
+        """
+        store = self._derived_store
+        if store is None:
+            return None
+        meta = self._derived_meta
+        if block_size == meta["block_size"]:
+            return store["blocks"]
+        if block_size == meta["macroblock_size"]:
+            return store["mblocks"]
+        return None
 
     # ------------------------------------------------------------------
     @property
@@ -160,7 +259,14 @@ class Trace:
         Computed once and shared by every consumer that needs
         block-aligned (or, with a macroblock size, macroblock-aligned)
         keys — protocols, coherence state, sharing/locality analyses.
+
+        On a frozen trace whose store persisted this configuration's
+        derived columns, the aligned keys are served as a zero-copy
+        int64 view over the mapping instead of being recomputed.
         """
+        stored = self._stored_aligned(block_size)
+        if stored is not None:
+            return stored
         return self._memoize(
             block_size,
             lambda: _columns.aligned_array(
@@ -211,10 +317,13 @@ class Trace:
         The lighter companion of :meth:`derived_columns` for replay
         loops that only need block keys (directory/snooping).
         """
-        return self._memoize(
-            ("blocks", block_size),
-            lambda: _columns.aligned_list(self._addresses, block_size),
-        )
+        def factory():
+            stored = self._stored_aligned(block_size)
+            if stored is not None:
+                return list(stored)
+            return _columns.aligned_list(self._addresses, block_size)
+
+        return self._memoize(("blocks", block_size), factory)
 
     def memo(self, key, factory):
         """Memoize a value derived from this trace's columns.
@@ -246,9 +355,18 @@ class Trace:
             "derived", block_size, n_processors,
             key_granularity, use_pc_index,
         )
-        return self._memoize(
-            cache_key,
-            lambda: _columns.derived_columns(
+
+        def factory():
+            meta = self._derived_meta
+            if (
+                self._derived_store is not None
+                and not use_pc_index
+                and block_size == meta["block_size"]
+                and n_processors == meta["n_processors"]
+                and key_granularity == meta["index_granularity"]
+            ):
+                return _columns.derived_from_segments(self._derived_store)
+            return _columns.derived_columns(
                 self._addresses,
                 self._pcs,
                 self._requesters,
@@ -256,8 +374,9 @@ class Trace:
                 n_processors,
                 key_granularity,
                 use_pc_index,
-            ),
-        )
+            )
+
+        return self._memoize(cache_key, factory)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -292,6 +411,8 @@ class Trace:
         callers guarantee non-negative fields, ``requester`` within
         range, and ``access_code`` in {0 (GETS), 1 (GETX)}.
         """
+        if self._frozen:
+            self._materialize()
         self._addresses.append(address)
         self._pcs.append(pc)
         self._requesters.append(requester)
@@ -315,6 +436,8 @@ class Trace:
         calls instead of per-record appends.  Callers guarantee the
         same invariants as :meth:`append_fields` and equal lengths.
         """
+        if self._frozen:
+            self._materialize()
         self._addresses.extend(addresses)
         self._pcs.extend(pcs)
         self._requesters.extend(requesters)
@@ -418,6 +541,8 @@ class Trace:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
+            if self._frozen:
+                return self._slice_frozen(index)
             return Trace._from_columns(
                 self._addresses[index],
                 self._pcs[index],
@@ -442,6 +567,48 @@ class Trace:
         )
 
     # ------------------------------------------------------------------
+    def _slice_frozen(self, index: slice) -> "Trace":
+        """Slice a frozen trace, zero-copy when the step is one.
+
+        Unit-step slices return sub-views of the same mapping — the
+        persisted derived columns are element-aligned with the base
+        columns, so they slice along for free and ``split_warmup``
+        on a mapped trace stays zero-copy.  Strided slices
+        materialize private arrays: a strided ``memoryview`` is not
+        C-contiguous and must never reach the vectorized or native
+        tiers.
+        """
+        start, stop, step = index.indices(len(self))
+        if step != 1:
+            return Trace._from_columns(
+                array(_ADDR_TYPE, self._addresses[index]),
+                array(_ADDR_TYPE, self._pcs[index]),
+                array(_NODE_TYPE, self._requesters[index]),
+                array(_CODE_TYPE, self._accesses[index]),
+                array(_ADDR_TYPE, self._instructions[index]),
+                self._n_processors,
+                self._name,
+            )
+        view = slice(start, stop)
+        derived_store = None
+        if self._derived_store is not None:
+            derived_store = {
+                segment: column[view]
+                for segment, column in self._derived_store.items()
+            }
+        return Trace._from_buffers(
+            self._addresses[view],
+            self._pcs[view],
+            self._requesters[view],
+            self._accesses[view],
+            self._instructions[view],
+            n_processors=self._n_processors,
+            name=self._name,
+            source=self._source,
+            derived_store=derived_store,
+            derived_meta=self._derived_meta,
+        )
+
     def _select_code(self, code: int) -> "Trace":
         out = Trace(n_processors=self._n_processors, name=self._name)
         append = out.append_fields

@@ -1,0 +1,337 @@
+"""Unit tests for the v2 trace store and the zero-copy load path."""
+
+import os
+import random
+import sys
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.experiment.cache import TraceCache, derived_config
+from repro.trace import Trace
+from repro.trace.io import (
+    MMAP_ENV,
+    _V2_ALIGNMENT,
+    _V2_MAGIC,
+    mmap_enabled,
+    read_trace_binary,
+    read_trace_v2,
+    write_trace,
+    write_trace_binary,
+    write_trace_v2,
+)
+
+CONFIG = SystemConfig(n_processors=8)
+DERIVED = derived_config(CONFIG)
+
+
+def make_trace(records=4000, n_processors=8, seed=7, name="store"):
+    rng = random.Random(seed)
+    trace = Trace(n_processors=n_processors, name=name)
+    for _ in range(records):
+        trace.append_fields(
+            rng.randrange(1 << 40),
+            rng.randrange(1 << 30),
+            rng.randrange(n_processors),
+            rng.randrange(2),
+            rng.randrange(100),
+        )
+    return trace
+
+
+def columns(trace):
+    return (
+        list(trace.addresses),
+        list(trace.pcs),
+        list(trace.requesters),
+        list(trace.accesses),
+        list(trace.instructions),
+    )
+
+
+class TestV2RoundTrip:
+    def test_round_trip_identity(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, DERIVED)
+        loaded = read_trace_v2(path)
+        assert loaded.n_processors == trace.n_processors
+        assert loaded.name == trace.name
+        assert columns(loaded) == columns(trace)
+
+    def test_write_is_deterministic(self, tmp_path):
+        trace = make_trace()
+        write_trace_v2(trace, tmp_path / "a.bin2", DERIVED)
+        write_trace_v2(trace, tmp_path / "b.bin2", DERIVED)
+        assert (
+            (tmp_path / "a.bin2").read_bytes()
+            == (tmp_path / "b.bin2").read_bytes()
+        )
+
+    def test_segments_are_64_byte_aligned(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, DERIVED)
+        import json
+
+        data = path.read_bytes()
+        header = json.loads(
+            data[len(_V2_MAGIC): data.index(b"\n", len(_V2_MAGIC))]
+        )
+        assert header["segments"]
+        for _, _, _, offset, _ in header["segments"]:
+            assert offset % _V2_ALIGNMENT == 0
+
+    def test_derived_store_matches_recompute(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, DERIVED)
+        loaded = read_trace_v2(path)
+        args = (
+            DERIVED["block_size"],
+            DERIVED["n_processors"],
+            DERIVED["index_granularity"],
+            False,
+        )
+        assert loaded.derived_columns(*args) == trace.derived_columns(*args)
+        assert list(loaded.block_keys(DERIVED["block_size"])) == list(
+            trace.block_keys(DERIVED["block_size"])
+        )
+        assert list(
+            loaded.block_keys(DERIVED["macroblock_size"])
+        ) == list(trace.block_keys(DERIVED["macroblock_size"]))
+        assert loaded.block_keys_list(
+            DERIVED["block_size"]
+        ) == trace.block_keys_list(DERIVED["block_size"])
+
+    def test_off_config_recomputes(self, tmp_path):
+        # A configuration the store did not persist falls back to the
+        # normal per-trace computation, identical to a private trace.
+        trace = make_trace()
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, DERIVED)
+        loaded = read_trace_v2(path)
+        assert loaded.derived_columns(128, 4, 512, False) == (
+            trace.derived_columns(128, 4, 512, False)
+        )
+        assert list(loaded.block_keys(32)) == list(trace.block_keys(32))
+
+    def test_without_derived_block(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path)
+        loaded = read_trace_v2(path)
+        assert columns(loaded) == columns(trace)
+        assert loaded.derived_columns(64, 8, 1024, False) == (
+            trace.derived_columns(64, 8, 1024, False)
+        )
+
+    def test_wide_system_skips_derived(self, tmp_path):
+        # 63+ node bitmasks do not fit an int64 segment: base columns
+        # still persist, derived persistence is skipped.
+        trace = make_trace(records=50, n_processors=100)
+        derived = dict(DERIVED, n_processors=100)
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, derived)
+        loaded = read_trace_v2(path)
+        assert columns(loaded) == columns(trace)
+        assert loaded._derived_store is None
+
+    def test_empty_trace(self, tmp_path):
+        trace = Trace(n_processors=4, name="empty")
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, DERIVED)
+        loaded = read_trace_v2(path)
+        assert len(loaded) == 0
+        assert loaded.n_processors == 4
+
+
+class TestV2Rejection:
+    def _write(self, tmp_path, **kwargs):
+        path = tmp_path / "t.bin2"
+        write_trace_v2(make_trace(), path, DERIVED)
+        return path
+
+    def test_rejects_truncation(self, tmp_path):
+        path = self._write(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-1])
+        with pytest.raises(ValueError, match="truncated or torn"):
+            read_trace_v2(path)
+
+    def test_rejects_trailing_bytes(self, tmp_path):
+        path = self._write(tmp_path)
+        path.write_bytes(path.read_bytes() + b"\0")
+        with pytest.raises(ValueError, match="truncated or torn"):
+            read_trace_v2(path)
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "t.bin2"
+        path.write_bytes(b"#not-a-trace\n")
+        with pytest.raises(ValueError, match="not a v2"):
+            read_trace_v2(path)
+
+    def test_rejects_byteorder_mismatch(self, tmp_path):
+        path = self._write(tmp_path)
+        data = path.read_bytes()
+        other = b"big" if sys.byteorder == "little" else b"little"
+        swapped = data.replace(
+            b'"byteorder": "%s"' % sys.byteorder.encode("ascii"),
+            b'"byteorder": "%s"' % other,
+            1,
+        )
+        assert swapped != data
+        path.write_bytes(swapped)
+        with pytest.raises(ValueError, match="byteorder"):
+            read_trace_v2(path)
+
+    def test_binary_v1_size_checked_up_front(self, tmp_path):
+        # Satellite: read_trace_binary validates the header's layout
+        # against one fstat instead of failing column-by-column.
+        trace = make_trace()
+        path = tmp_path / "t.bin"
+        write_trace_binary(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="does not match"):
+            read_trace_binary(path)
+        path.write_bytes(data + b"x")
+        with pytest.raises(ValueError, match="does not match"):
+            read_trace_binary(path)
+
+
+class TestFrozenSemantics:
+    def _load(self, tmp_path, **kwargs):
+        trace = make_trace(**kwargs)
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, DERIVED)
+        return trace, path, read_trace_v2(path)
+
+    def test_loaded_trace_is_frozen(self, tmp_path):
+        _, _, loaded = self._load(tmp_path)
+        assert loaded.frozen
+
+    def test_mutation_copies_never_writes_through(self, tmp_path):
+        trace, path, loaded = self._load(tmp_path)
+        before = path.read_bytes()
+        loaded.append_fields(0x40, 0x10, 1, 0, 3)
+        assert not loaded.frozen
+        assert len(loaded) == len(trace) + 1
+        assert path.read_bytes() == before
+        # A fresh load still sees the original records.
+        assert columns(read_trace_v2(path)) == columns(trace)
+
+    def test_extend_fields_materializes(self, tmp_path):
+        trace, path, loaded = self._load(tmp_path)
+        loaded.extend_fields([1], [2], [3], [1], [4])
+        assert not loaded.frozen
+        assert len(loaded) == len(trace) + 1
+        assert list(loaded.addresses)[:-1] == list(trace.addresses)
+
+    def test_unit_slice_stays_frozen_and_correct(self, tmp_path):
+        trace, _, loaded = self._load(tmp_path)
+        warm, measured = loaded.split_warmup(100)
+        assert warm.frozen and measured.frozen
+        assert columns(warm) == tuple(c[:100] for c in columns(trace))
+        assert list(measured.block_keys(64)) == list(
+            trace.block_keys(64)
+        )[100:]
+        args = (64, 8, 1024, False)
+        assert measured.derived_columns(*args) == (
+            trace[100:].derived_columns(*args)
+        )
+
+    def test_strided_slice_materializes(self, tmp_path):
+        trace, _, loaded = self._load(tmp_path)
+        strided = loaded[::3]
+        assert not strided.frozen
+        assert list(strided.addresses) == list(trace.addresses)[::3]
+
+    def test_replay_on_mapped_trace_matches_private(self, tmp_path):
+        # End-to-end: the simulation result of a frozen mapped trace
+        # is identical to the same trace replayed from private arrays.
+        from repro.evaluation.runtime import make_protocol
+        from repro.evaluation.tradeoff import evaluate_protocol
+
+        trace, _, loaded = self._load(tmp_path, records=2000)
+        results = []
+        for candidate in (trace, loaded):
+            protocol = make_protocol("group", CONFIG)
+            results.append(
+                evaluate_protocol(protocol, candidate, label="group")
+            )
+        assert results[0] == results[1]
+
+
+class TestMmapEscapeHatch:
+    def test_disabled_load_is_byte_identical(self, tmp_path, monkeypatch):
+        trace = make_trace()
+        path = tmp_path / "t.bin2"
+        write_trace_v2(trace, path, DERIVED)
+        mapped = read_trace_v2(path)
+        monkeypatch.setenv(MMAP_ENV, "0")
+        assert not mmap_enabled()
+        copied = read_trace_v2(path)
+        assert copied.frozen
+        assert columns(copied) == columns(mapped)
+        args = (64, 8, 1024, False)
+        assert copied.derived_columns(*args) == (
+            mapped.derived_columns(*args)
+        )
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(MMAP_ENV, raising=False)
+        assert mmap_enabled()
+        monkeypatch.setenv(MMAP_ENV, "off")
+        assert not mmap_enabled()
+        monkeypatch.setenv(MMAP_ENV, "1")
+        assert mmap_enabled()
+
+
+class TestCacheFallbackChain:
+    def _store(self, tmp_path):
+        cache = TraceCache(tmp_path, derived=DERIVED)
+        from repro.cache.pipeline import CollectionResult
+
+        trace = make_trace()
+        cache.store(
+            "k", CollectionResult(trace=trace, instructions={}, references=1)
+        )
+        return cache, trace
+
+    def test_load_prefers_v2(self, tmp_path):
+        cache, trace = self._store(tmp_path)
+        result = cache.load("k")
+        assert result.trace.frozen  # came from the mapped v2 sidecar
+        assert columns(result.trace) == columns(trace)
+
+    def test_torn_v2_heals_from_binary(self, tmp_path):
+        cache, trace = self._store(tmp_path)
+        v2 = tmp_path / "k.bin2"
+        good = v2.read_bytes()
+        v2.write_bytes(good[: len(good) // 2])
+        result = cache.load("k")
+        assert result is not None
+        assert columns(result.trace) == columns(trace)
+        assert v2.read_bytes() == good  # healed byte-identically
+        assert cache.load("k").trace.frozen
+
+    def test_torn_v2_and_binary_heal_from_text(self, tmp_path):
+        cache, trace = self._store(tmp_path)
+        (tmp_path / "k.bin2").write_bytes(b"garbage")
+        (tmp_path / "k.bin").write_bytes(b"garbage")
+        result = cache.load("k")
+        assert result is not None
+        assert columns(result.trace) == columns(trace)
+        # Both sidecars were healed; the next load maps the v2 file.
+        assert cache.load("k").trace.frozen
+
+    def test_missing_v2_healed_for_legacy_entry(self, tmp_path):
+        # A corpus written before the v2 format (or shipped without
+        # sidecars) grows a .bin2 on first load.
+        cache, trace = self._store(tmp_path)
+        (tmp_path / "k.bin2").unlink()
+        result = cache.load("k")
+        assert result is not None
+        assert (tmp_path / "k.bin2").exists()
+        assert cache.load("k").trace.frozen
